@@ -1,0 +1,162 @@
+// Command pubsub-sim runs one end-to-end simulation: generate a network and
+// a stock workload, precompute multicast groups with a chosen algorithm,
+// replay an event stream through the Engine, and report per-method costs
+// and the improvement over unicast.
+//
+// Usage:
+//
+//	pubsub-sim [flags]
+//
+// Flags:
+//
+//	-alg NAME     clustering algorithm: kmeans, forgy, mst, pairs,
+//	              approx-pairs, noloss (default forgy)
+//	-groups K     number of multicast groups (default 100)
+//	-subs N       subscriptions (default 1000)
+//	-modes N      publication mixture modes (default 1)
+//	-events N     replayed events (default 500)
+//	-budget N     cell budget for grid algorithms (default 6000)
+//	-threshold F  Fig 5 threshold (default 0 = always multicast)
+//	-dynamic      enable per-event unicast/multicast/broadcast selection
+//	-subs-trace F load subscriptions from a trace file instead of generating
+//	-seed N       random seed (default 1)
+//
+// Trace files use the workload text format (see ReadSubscriptions); the
+// network is still generated, so node ids in the trace must fit it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/matching"
+	"repro/internal/multicast"
+	"repro/internal/noloss"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func main() {
+	alg := flag.String("alg", "forgy", "clustering algorithm")
+	groups := flag.Int("groups", 100, "multicast groups")
+	subs := flag.Int("subs", 1000, "subscriptions")
+	modes := flag.Int("modes", 1, "publication mixture modes")
+	events := flag.Int("events", 500, "replayed events")
+	budget := flag.Int("budget", 6000, "cell budget for grid algorithms")
+	threshold := flag.Float64("threshold", 0, "Fig 5 multicast threshold")
+	dynamic := flag.Bool("dynamic", false, "per-event unicast/multicast/broadcast selection")
+	subsTrace := flag.String("subs-trace", "", "load subscriptions from a trace file")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	if err := run(*alg, *groups, *subs, *modes, *events, *budget, *threshold, *seed, *dynamic, *subsTrace); err != nil {
+		fmt.Fprintf(os.Stderr, "pubsub-sim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(algName string, groups, subs, modes, events, budget int, threshold float64, seed int64, dynamic bool, subsTrace string) error {
+	topo := topology.Eval600
+	topo.Seed = seed
+	g, err := topology.Generate(topo)
+	if err != nil {
+		return err
+	}
+	w, err := workload.NewStockWorld(g, workload.StockConfig{
+		NumSubscriptions: subs,
+		BlockSplit:       []float64{0.4, 0.3, 0.3},
+		NameMeans:        []float64{3, 10, 17},
+		PubModes:         modes,
+		Seed:             seed + 1,
+	})
+	if err != nil {
+		return err
+	}
+	if subsTrace != "" {
+		f, err := os.Open(subsTrace)
+		if err != nil {
+			return err
+		}
+		loaded, err := workload.ReadSubscriptions(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		w, err = workload.NewCustomWorld(g, w.Axes, loaded)
+		if err != nil {
+			return fmt.Errorf("trace workload: %w", err)
+		}
+	}
+	train := w.Events(2000, seed+2)
+	eval := w.Events(events, seed+3)
+
+	cfg := core.Config{Groups: groups, CellBudget: budget, Threshold: threshold, DynamicMethod: dynamic}
+	switch algName {
+	case "kmeans":
+		cfg.Algorithm = &cluster.KMeans{Variant: cluster.MacQueen}
+	case "forgy":
+		cfg.Algorithm = &cluster.KMeans{Variant: cluster.Forgy}
+	case "mst":
+		cfg.Algorithm = cluster.MST{}
+	case "pairs":
+		cfg.Algorithm = &cluster.Pairwise{}
+	case "approx-pairs":
+		cfg.Algorithm = &cluster.Pairwise{Approx: true}
+	case "noloss":
+		cfg.NoLoss = &noloss.Config{PoolSize: 5000, Iterations: 8}
+	default:
+		return fmt.Errorf("unknown algorithm %q", algName)
+	}
+
+	start := time.Now()
+	engine, err := core.NewFromWorld(w, train, cfg)
+	if err != nil {
+		return err
+	}
+	buildTime := time.Since(start)
+
+	matcher, err := matching.NewRTree(w)
+	if err != nil {
+		return err
+	}
+	base, err := sim.MeasureBaselines(engine.Model(), w, matcher, eval)
+	if err != nil {
+		return err
+	}
+
+	var totals core.Costs
+	methodCount := map[multicast.Method]int{}
+	for _, ev := range eval {
+		d, c, err := engine.Publish(ev)
+		if err != nil {
+			return err
+		}
+		totals.Network += c.Network
+		totals.AppLevel += c.AppLevel
+		methodCount[d.Method]++
+	}
+	n := float64(len(eval))
+	netAvg := totals.Network / n
+	almAvg := totals.AppLevel / n
+
+	fmt.Printf("network:    %d nodes, %d edges (seed %d)\n", g.NumNodes(), g.NumEdges(), seed)
+	fmt.Printf("workload:   %d subscriptions on %d subscriber nodes, %d-mode publications\n",
+		len(w.Subs), w.NumSubscribers(), modes)
+	fmt.Printf("strategy:   %s, K=%d groups (%d non-empty), built in %v\n",
+		algName, groups, engine.NumGroups(), buildTime.Round(time.Millisecond))
+	fmt.Printf("decisions:  %d multicast, %d unicast, %d broadcast of %d events\n",
+		methodCount[multicast.NetworkMulticast], methodCount[multicast.Unicast],
+		methodCount[multicast.Broadcast], len(eval))
+	fmt.Printf("baselines:  unicast %.0f   broadcast %.0f   ideal %.0f (per event)\n",
+		base.Unicast, base.Broadcast, base.Ideal)
+	fmt.Printf("cost:       network multicast %.0f (%.1f%% improvement)\n",
+		netAvg, sim.Improvement(base, netAvg))
+	fmt.Printf("            app-level multicast %.0f (%.1f%% improvement)\n",
+		almAvg, sim.Improvement(base, almAvg))
+	return nil
+}

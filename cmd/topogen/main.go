@@ -1,0 +1,83 @@
+// Command topogen generates a transit–stub network topology and prints it
+// in a simple edge-list format (or summarises it), mirroring how the paper
+// used the GT-ITM package.
+//
+// Usage:
+//
+//	topogen [flags]
+//
+// Flags:
+//
+//	-blocks N     transit blocks (default 3)
+//	-transit N    transit nodes per block (default 5)
+//	-stubs N      stubs per transit node (default 2)
+//	-nodes N      nodes per stub (default 20)
+//	-seed N       random seed (default 1)
+//	-summary      print structure statistics instead of edges
+//	-dot          emit Graphviz DOT for visualisation
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/topology"
+)
+
+func main() {
+	blocks := flag.Int("blocks", 3, "transit blocks")
+	transit := flag.Int("transit", 5, "transit nodes per block")
+	stubs := flag.Int("stubs", 2, "stubs per transit node")
+	nodes := flag.Int("nodes", 20, "nodes per stub")
+	seed := flag.Int64("seed", 1, "random seed")
+	summary := flag.Bool("summary", false, "print statistics instead of edges")
+	dot := flag.Bool("dot", false, "emit Graphviz DOT instead of the edge list")
+	flag.Parse()
+
+	g, err := topology.Generate(topology.Config{
+		TransitBlocks:   *blocks,
+		TransitPerBlock: *transit,
+		StubsPerTransit: *stubs,
+		NodesPerStub:    *nodes,
+		Seed:            *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "topogen: %v\n", err)
+		os.Exit(1)
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	if *dot {
+		if err := topology.WriteDOT(w, g); err != nil {
+			fmt.Fprintf(os.Stderr, "topogen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *summary {
+		transitCount := 0
+		for i := 0; i < g.NumNodes(); i++ {
+			if g.Node(topology.NodeID(i)).Kind == topology.Transit {
+				transitCount++
+			}
+		}
+		fmt.Fprintf(w, "nodes:        %d\n", g.NumNodes())
+		fmt.Fprintf(w, "edges:        %d\n", g.NumEdges())
+		fmt.Fprintf(w, "transit:      %d\n", transitCount)
+		fmt.Fprintf(w, "stubs:        %d\n", g.NumStubs())
+		fmt.Fprintf(w, "blocks:       %d\n", g.NumBlocks())
+		fmt.Fprintf(w, "total cost:   %.1f\n", g.TotalEdgeCost())
+		fmt.Fprintf(w, "connected:    %v\n", g.Connected())
+		return
+	}
+
+	// Round-trippable dump (see topology.ReadText).
+	if err := topology.WriteText(w, g); err != nil {
+		fmt.Fprintf(os.Stderr, "topogen: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,86 @@
+// Broker runs the pub-sub system "for real": instead of pricing delivery
+// paths, it spins up an in-process delivery fabric (one inbox goroutine per
+// subscriber node, a decision stage, a fan-out worker pool) and pushes an
+// event stream through it. It contrasts a grid-clustered engine — fast,
+// but some multicast copies land on uninterested nodes — with a No-Loss
+// engine, whose groups by construction never waste a single copy.
+//
+// Run with:
+//
+//	go run ./examples/broker
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pubsub "repro"
+)
+
+func main() {
+	g, err := pubsub.GenerateTopology(pubsub.Eval600)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := pubsub.NewStockWorld(g, pubsub.StockConfig{
+		NumSubscriptions: 800,
+		PubModes:         1,
+		Seed:             41,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	train := w.Events(1500, 42)
+	events := w.Events(1000, 43)
+
+	configs := []struct {
+		name string
+		cfg  pubsub.EngineConfig
+	}{
+		{"forgy grid (K=50)", pubsub.EngineConfig{
+			Groups: 50, Algorithm: &pubsub.KMeans{Variant: pubsub.Forgy}, CellBudget: 2000,
+		}},
+		{"no-loss (K=50)", pubsub.EngineConfig{
+			Groups: 50, NoLoss: &pubsub.NoLossConfig{PoolSize: 2000, Iterations: 6},
+		}},
+	}
+
+	for _, c := range configs {
+		engine, err := pubsub.NewEngineFromWorld(w, train, c.cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, err := pubsub.NewBroker(engine, pubsub.WithWorkers(4))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, ev := range events {
+			b.Publish(ev)
+		}
+		b.Close()
+		st := b.Stats()
+
+		wasteRate := 0.0
+		if st.Deliveries > 0 {
+			wasteRate = 100 * float64(st.Wasted) / float64(st.Deliveries)
+		}
+		fmt.Printf("%-20s published %d  (multicast %d / unicast %d)\n",
+			c.name, st.Published, st.Multicast, st.Unicast)
+		fmt.Printf("%-20s delivered %d copies, %d wasted (%.1f%%)\n",
+			"", st.Deliveries, st.Wasted, wasteRate)
+
+		// Busiest receiver.
+		var topNode pubsub.NodeID
+		var topCount int64
+		for n, cnt := range st.PerNode {
+			if cnt > topCount {
+				topNode, topCount = n, cnt
+			}
+		}
+		fmt.Printf("%-20s busiest node %d received %d copies\n\n", "", topNode, topCount)
+	}
+	fmt.Println("Grid clustering delivers many wasted end-point copies, yet its total")
+	fmt.Println("link cost is far lower (multicast trees share edges — see the cost")
+	fmt.Println("experiments); No-Loss guarantees zero waste but routes fewer events")
+	fmt.Println("through groups, leaving more unicast work.")
+}

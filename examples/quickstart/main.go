@@ -1,0 +1,95 @@
+// Quickstart: build a network, generate a stock-ticker workload, precompute
+// multicast groups with Forgy K-means, and publish a handful of events.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pubsub "repro"
+)
+
+func main() {
+	// A small transit–stub network: 1 transit block of 4 routers, each
+	// sponsoring 3 stub networks of 8 nodes (the paper's "100 node"
+	// configuration).
+	g, err := pubsub.GenerateTopology(pubsub.TopologyConfig{
+		TransitBlocks:   1,
+		TransitPerBlock: 4,
+		StubsPerTransit: 3,
+		NodesPerStub:    8,
+		Seed:            7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 200 stock subscriptions: {bst, name, quote, volume} rectangles placed
+	// over the network with Zipf-like concentration.
+	w, err := pubsub.NewStockWorld(g, pubsub.StockConfig{
+		NumSubscriptions: 200,
+		PubModes:         1,
+		Seed:             8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Train publication probabilities on a sample stream, then build the
+	// engine: K = 20 multicast groups, Forgy K-means over the top 500
+	// hyper-cells.
+	train := w.Events(1000, 9)
+	engine, err := pubsub.NewEngineFromWorld(w, train, pubsub.EngineConfig{
+		Groups:     20,
+		Algorithm:  &pubsub.KMeans{Variant: pubsub.Forgy},
+		CellBudget: 500,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("engine ready: %d subscriptions, %d multicast groups\n\n",
+		engine.NumSubscriptions(), engine.NumGroups())
+
+	// Publish ten events and show the delivery decision for each.
+	for i, ev := range w.Events(10, 10) {
+		d, costs, err := engine.Publish(ev)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch {
+		case d.Group >= 0:
+			fmt.Printf("event %d from node %d: multicast to group %d (%d interested nodes), cost %.1f\n",
+				i, ev.Pub, d.Group, len(d.Interested), costs.Network)
+		case len(d.Interested) > 0:
+			fmt.Printf("event %d from node %d: unicast to %d interested nodes, cost %.1f\n",
+				i, ev.Pub, len(d.Interested), costs.Network)
+		default:
+			fmt.Printf("event %d from node %d: no interested subscribers\n", i, ev.Pub)
+		}
+	}
+
+	// Subscriptions can change at run time; the engine re-balances its
+	// groups with a few warm K-means passes instead of re-clustering from
+	// scratch.
+	sub := pubsub.Subscription{
+		Owner: w.SubscriberNodes[0],
+		Rect: pubsub.Rect{
+			pubsub.Span(-0.5, 0.5), // bst = buy
+			pubsub.Span(8, 12),     // a band of names
+			pubsub.RightOf(9),      // quote > 9
+			pubsub.FullInterval(),  // any volume
+		},
+	}
+	if _, err := engine.AddSubscription(sub); err != nil {
+		log.Fatal(err)
+	}
+	if err := engine.Refresh(2); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter adding a subscription and a warm refresh: %d subscriptions, %d groups\n",
+		engine.NumSubscriptions(), engine.NumGroups())
+}

@@ -1,0 +1,81 @@
+// Regional reproduces the paper's §3 motivating study in miniature: on the
+// same network, how do unicast, broadcast and ideal multicast compare as
+// the number of subscriptions shrinks and as subscriber interest becomes
+// regional? The gap between broadcast and ideal multicast is the headroom
+// that subscription clustering exploits.
+//
+// Run with:
+//
+//	go run ./examples/regional
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	pubsub "repro"
+)
+
+func main() {
+	g, err := pubsub.GenerateTopology(pubsub.TopologyConfig{
+		TransitBlocks:   1,
+		TransitPerBlock: 4,
+		StubsPerTransit: 3,
+		NodesPerStub:    8, // the paper's 100-node network
+		Seed:            11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := pubsub.NewCostModel(g)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "regionalism\tsubs\tdist'n\tunicast\tbroadcast\tideal\tbroadcast/ideal")
+	for _, degree := range []float64{0.4, 0.0} {
+		for _, subs := range []int{2000, 500, 80} {
+			for _, dist := range []pubsub.PrefDist{pubsub.Uniform, pubsub.Gaussian} {
+				u, b, ideal := measure(model, g, degree, subs, dist)
+				fmt.Fprintf(tw, "%.1f\t%d\t%s\t%.0f\t%.0f\t%.0f\t%.1fx\n",
+					degree, subs, dist, u, b, ideal, b/ideal)
+			}
+		}
+	}
+	tw.Flush()
+	fmt.Println("\nObservations (the paper's §3 argument):")
+	fmt.Println(" - with many subscriptions, broadcast ≈ ideal: flooding is fine;")
+	fmt.Println(" - with few subscriptions the broadcast/ideal gap opens — multicast groups pay off;")
+	fmt.Println(" - regional interest (0.4) shrinks every cost: interested nodes cluster in the topology.")
+}
+
+func measure(model *pubsub.CostModel, g *pubsub.Graph, degree float64, subs int, dist pubsub.PrefDist) (unicast, broadcast, ideal float64) {
+	w, err := pubsub.NewRegionalWorld(g, pubsub.RegionalConfig{
+		NumSubscriptions: subs,
+		Regionalism:      degree,
+		Dist:             dist,
+		Seed:             int64(subs)*7 + int64(dist),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	events := w.Events(200, 99)
+	// Match by brute force: subscription counts here are small.
+	for _, ev := range events {
+		seen := map[pubsub.NodeID]bool{}
+		var nodes []pubsub.NodeID
+		for _, s := range w.Subs {
+			if s.Rect.Contains(ev.Point) {
+				unicast += model.Dist(ev.Pub, s.Owner)
+				if !seen[s.Owner] {
+					seen[s.Owner] = true
+					nodes = append(nodes, s.Owner)
+				}
+			}
+		}
+		broadcast += model.BroadcastCost(ev.Pub)
+		ideal += model.SPTCoverCost(ev.Pub, nodes)
+	}
+	n := float64(len(events))
+	return unicast / n, broadcast / n, ideal / n
+}

@@ -1,0 +1,299 @@
+// Package bitset provides a dense, fixed-capacity bit set used throughout the
+// clustering library as the subscriber membership vector s(a) ∈ {0,1}^Ns of
+// the ICDCS 2002 paper. The hot operations of every clustering algorithm —
+// expected-waste distances — reduce to AND-NOT population counts, so the
+// representation is a flat []uint64 with branch-free word loops.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a dense bit set over the universe [0, Len()). The zero value is an
+// empty set of length zero; use New to create a set with capacity.
+//
+// All binary operations (Union, Intersect, AndNotCount, ...) require both
+// operands to have the same length; they panic otherwise, because mixing
+// universes is always a programming error in this library.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns a Set over the universe [0, n) with all bits clear.
+func New(n int) *Set {
+	if n < 0 {
+		panic(fmt.Sprintf("bitset: negative length %d", n))
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// FromIndices builds a set over [0, n) with the given bits set.
+func FromIndices(n int, indices ...int) *Set {
+	s := New(n)
+	for _, i := range indices {
+		s.Set(i)
+	}
+	return s
+}
+
+// Len returns the size of the universe (not the number of set bits).
+func (s *Set) Len() int { return s.n }
+
+// check panics if i is outside the universe.
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+}
+
+func (s *Set) checkSame(t *Set) {
+	if s.n != t.n {
+		panic(fmt.Sprintf("bitset: mismatched lengths %d and %d", s.n, t.n))
+	}
+}
+
+// Set sets bit i.
+func (s *Set) Set(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Clear clears bit i.
+func (s *Set) Clear(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Test reports whether bit i is set.
+func (s *Set) Test(i int) bool {
+	s.check(i)
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Any reports whether at least one bit is set.
+func (s *Set) Any() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// None reports whether the set is empty.
+func (s *Set) None() bool { return !s.Any() }
+
+// Clone returns a deep copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words)), n: s.n}
+	copy(c.words, s.words)
+	return c
+}
+
+// CopyFrom overwrites s with the contents of t (same length required).
+func (s *Set) CopyFrom(t *Set) {
+	s.checkSame(t)
+	copy(s.words, t.words)
+}
+
+// Reset clears every bit.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// UnionWith sets s = s ∪ t in place.
+func (s *Set) UnionWith(t *Set) {
+	s.checkSame(t)
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+}
+
+// IntersectWith sets s = s ∩ t in place.
+func (s *Set) IntersectWith(t *Set) {
+	s.checkSame(t)
+	for i, w := range t.words {
+		s.words[i] &= w
+	}
+}
+
+// DifferenceWith sets s = s ∖ t in place.
+func (s *Set) DifferenceWith(t *Set) {
+	s.checkSame(t)
+	for i, w := range t.words {
+		s.words[i] &^= w
+	}
+}
+
+// Union returns a new set s ∪ t.
+func (s *Set) Union(t *Set) *Set {
+	c := s.Clone()
+	c.UnionWith(t)
+	return c
+}
+
+// Intersect returns a new set s ∩ t.
+func (s *Set) Intersect(t *Set) *Set {
+	c := s.Clone()
+	c.IntersectWith(t)
+	return c
+}
+
+// Difference returns a new set s ∖ t.
+func (s *Set) Difference(t *Set) *Set {
+	c := s.Clone()
+	c.DifferenceWith(t)
+	return c
+}
+
+// Equal reports whether s and t contain exactly the same bits.
+func (s *Set) Equal(t *Set) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AndNotCount returns |s ∖ t|, the number of bits set in s but not in t.
+// This is the inner loop of the paper's expected-waste distance d(a, b).
+func (s *Set) AndNotCount(t *Set) int {
+	s.checkSame(t)
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w &^ t.words[i])
+	}
+	return c
+}
+
+// IntersectCount returns |s ∩ t| without allocating.
+func (s *Set) IntersectCount(t *Set) int {
+	s.checkSame(t)
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w & t.words[i])
+	}
+	return c
+}
+
+// UnionCount returns |s ∪ t| without allocating.
+func (s *Set) UnionCount(t *Set) int {
+	s.checkSame(t)
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w | t.words[i])
+	}
+	return c
+}
+
+// SymmetricDiffCount returns |s ⊕ t|, the squared Euclidean distance between
+// the two membership vectors (paper §4.1).
+func (s *Set) SymmetricDiffCount(t *Set) int {
+	s.checkSame(t)
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w ^ t.words[i])
+	}
+	return c
+}
+
+// Intersects reports whether s ∩ t is non-empty.
+func (s *Set) Intersects(t *Set) bool {
+	s.checkSame(t)
+	for i, w := range s.words {
+		if w&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IsSubsetOf reports whether every bit of s is also set in t.
+func (s *Set) IsSubsetOf(t *Set) bool {
+	s.checkSame(t)
+	for i, w := range s.words {
+		if w&^t.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for every set bit in increasing order. If fn returns
+// false, iteration stops early.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + tz) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Indices returns the sorted slice of set bit positions.
+func (s *Set) Indices() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// Hash returns an order-independent 64-bit FNV-1a style hash of the set's
+// contents, suitable for hyper-cell coalescing buckets. Equal sets always
+// hash equally.
+func (s *Set) Hash() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, w := range s.words {
+		for b := 0; b < 8; b++ {
+			h ^= (w >> (8 * b)) & 0xff
+			h *= prime
+		}
+	}
+	return h
+}
+
+// String renders the set as a compact list like "{1, 5, 9}".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

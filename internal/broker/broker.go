@@ -1,0 +1,278 @@
+// Package broker turns the Engine's per-event delivery *decisions* into
+// actual message deliveries over an in-process fabric: every network node
+// gets an inbox goroutine, publications flow through a decision stage that
+// owns the Engine, and a fan-out worker pool places one copy of each event
+// in every destination inbox (group members, remainder top-ups, or unicast
+// targets).
+//
+// The broker exists to validate delivery *semantics* end to end — the cost
+// model in internal/sim prices paths, this package checks who actually
+// receives what:
+//
+//   - completeness: every subscriber interested in an event receives it;
+//   - single delivery: no node receives the same event twice;
+//   - waste: deliveries to uninterested group members are counted, and a
+//     No-Loss engine produces exactly zero of them.
+//
+// Pipeline shape (all stdlib, structured shutdown):
+//
+//	Publish() → publishCh → decision goroutine (owns *core.Engine)
+//	          → fanoutCh  → N fan-out workers → per-node inboxes
+//	          → per-node consumer goroutines → Stats
+package broker
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/multicast"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Delivery is one message copy arriving at a node.
+type Delivery struct {
+	Event  workload.Event
+	Method multicast.Method
+	Group  int // -1 for unicast deliveries
+	// Interested reports whether the receiving node had a matching
+	// subscription (false ⇒ wasted delivery).
+	Interested bool
+}
+
+// routed couples a decided event with its destinations.
+type routed struct {
+	ev         workload.Event
+	d          core.Decision
+	interested map[topology.NodeID]bool
+}
+
+// Stats aggregates delivery accounting. Snapshot via Broker.Stats.
+type Stats struct {
+	Published  int64
+	Multicast  int64 // events delivered via a group
+	Unicast    int64 // events delivered by unicast only
+	Broadcast  int64 // events flooded (DynamicMethod engines only)
+	Deliveries int64 // message copies placed in inboxes
+	Wasted     int64 // copies delivered to uninterested nodes
+	PerNode    map[topology.NodeID]int64
+}
+
+// Broker is the delivery fabric. Create with New, feed with Publish, stop
+// with Close. Safe for concurrent Publish calls.
+type Broker struct {
+	engine  *core.Engine
+	workers int
+
+	publishCh chan workload.Event
+	fanoutCh  chan routed
+	inboxes   map[topology.NodeID]chan Delivery
+
+	// observer, when set, sees every delivery after stats accounting.
+	observer func(topology.NodeID, Delivery)
+
+	mu    sync.Mutex
+	stats Stats
+
+	decisionWG sync.WaitGroup
+	fanoutWG   sync.WaitGroup
+	consumerWG sync.WaitGroup
+	closeOnce  sync.Once
+}
+
+// Option customises a Broker.
+type Option func(*Broker)
+
+// WithWorkers sets the fan-out worker count (default 4).
+func WithWorkers(n int) Option {
+	return func(b *Broker) { b.workers = n }
+}
+
+// WithObserver registers a callback invoked for every delivery (after
+// accounting). The callback runs on consumer goroutines and must be safe
+// for concurrent use.
+func WithObserver(fn func(topology.NodeID, Delivery)) Option {
+	return func(b *Broker) { b.observer = fn }
+}
+
+// New starts a broker over an engine. The engine must not be used by the
+// caller until Close returns (the decision goroutine owns it).
+func New(engine *core.Engine, opts ...Option) (*Broker, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("broker: nil engine")
+	}
+	b := &Broker{
+		engine:    engine,
+		workers:   4,
+		publishCh: make(chan workload.Event, 64),
+		fanoutCh:  make(chan routed, 64),
+		inboxes:   make(map[topology.NodeID]chan Delivery),
+	}
+	for _, opt := range opts {
+		opt(b)
+	}
+	if b.workers < 1 {
+		return nil, fmt.Errorf("broker: %d workers", b.workers)
+	}
+	b.stats.PerNode = make(map[topology.NodeID]int64)
+
+	// One inbox + consumer per subscriber node.
+	for _, n := range engine.World().SubscriberNodes {
+		ch := make(chan Delivery, 32)
+		b.inboxes[n] = ch
+		b.consumerWG.Add(1)
+		go b.consume(n, ch)
+	}
+
+	b.decisionWG.Add(1)
+	go b.decide()
+
+	for i := 0; i < b.workers; i++ {
+		b.fanoutWG.Add(1)
+		go b.fanout()
+	}
+	return b, nil
+}
+
+// Publish enqueues one event for delivery. It blocks when the pipeline is
+// saturated and panics if called after Close.
+func (b *Broker) Publish(ev workload.Event) {
+	b.publishCh <- ev
+}
+
+// Close drains the pipeline and stops all goroutines. Safe to call more
+// than once; Publish must not be called afterwards.
+func (b *Broker) Close() {
+	b.closeOnce.Do(func() {
+		close(b.publishCh)
+		b.decisionWG.Wait()
+		close(b.fanoutCh)
+		b.fanoutWG.Wait()
+		for _, ch := range b.inboxes {
+			close(ch)
+		}
+		b.consumerWG.Wait()
+	})
+}
+
+// Stats returns a snapshot of the accounting so far (call after Close for
+// final numbers).
+func (b *Broker) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := b.stats
+	out.PerNode = make(map[topology.NodeID]int64, len(b.stats.PerNode))
+	for k, v := range b.stats.PerNode {
+		out.PerNode[k] = v
+	}
+	return out
+}
+
+// decide is the single goroutine owning the engine.
+func (b *Broker) decide() {
+	defer b.decisionWG.Done()
+	for ev := range b.publishCh {
+		d := b.engine.Decide(ev)
+		interested := make(map[topology.NodeID]bool, len(d.Interested))
+		for _, n := range d.Interested {
+			interested[n] = true
+		}
+		b.mu.Lock()
+		b.stats.Published++
+		switch d.Method {
+		case multicast.NetworkMulticast:
+			b.stats.Multicast++
+		case multicast.Broadcast:
+			b.stats.Broadcast++
+		default:
+			b.stats.Unicast++
+		}
+		b.mu.Unlock()
+		b.fanoutCh <- routed{ev: ev, d: d, interested: interested}
+	}
+}
+
+// fanout places one copy per destination inbox.
+func (b *Broker) fanout() {
+	defer b.fanoutWG.Done()
+	for r := range b.fanoutCh {
+		if r.d.Method == multicast.Broadcast {
+			// Flooding: every subscriber node receives a copy (non-subscriber
+			// nodes have no inbox and are represented by waste accounting at
+			// the cost level, not the delivery level).
+			for n := range b.inboxes {
+				b.deliver(n, Delivery{
+					Event:      r.ev,
+					Method:     multicast.Broadcast,
+					Group:      -1,
+					Interested: r.interested[n],
+				})
+			}
+			continue
+		}
+		if r.d.Method == multicast.NetworkMulticast {
+			info := b.engine.Group(r.d.Group)
+			for _, n := range info.Nodes {
+				b.deliver(n, Delivery{
+					Event:      r.ev,
+					Method:     multicast.NetworkMulticast,
+					Group:      r.d.Group,
+					Interested: r.interested[n],
+				})
+			}
+			for _, n := range r.d.Remainder {
+				b.deliver(n, Delivery{
+					Event:      r.ev,
+					Method:     multicast.Unicast,
+					Group:      -1,
+					Interested: true,
+				})
+			}
+			continue
+		}
+		for _, n := range r.d.Interested {
+			b.deliver(n, Delivery{
+				Event:      r.ev,
+				Method:     multicast.Unicast,
+				Group:      -1,
+				Interested: true,
+			})
+		}
+	}
+}
+
+// deliver places a copy in a node's inbox; unknown nodes (non-subscribers)
+// are counted but have no inbox.
+func (b *Broker) deliver(n topology.NodeID, d Delivery) {
+	ch, ok := b.inboxes[n]
+	if !ok {
+		// A group may reference a node that stopped subscribing between
+		// refreshes; count the waste, nothing to deliver to.
+		b.mu.Lock()
+		b.stats.Deliveries++
+		if !d.Interested {
+			b.stats.Wasted++
+		}
+		b.mu.Unlock()
+		return
+	}
+	ch <- d
+}
+
+// consume drains one node's inbox and accounts deliveries.
+func (b *Broker) consume(n topology.NodeID, ch <-chan Delivery) {
+	defer b.consumerWG.Done()
+	for d := range ch {
+		b.mu.Lock()
+		b.stats.Deliveries++
+		b.stats.PerNode[n]++
+		if !d.Interested {
+			b.stats.Wasted++
+		}
+		b.mu.Unlock()
+		if b.observer != nil {
+			b.observer(n, d)
+		}
+	}
+}

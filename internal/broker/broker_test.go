@@ -1,0 +1,226 @@
+package broker
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/noloss"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func testEngine(t *testing.T, cfg core.Config, seed int64) (*core.Engine, *workload.World) {
+	t.Helper()
+	topo := topology.Eval600
+	topo.Seed = seed
+	g, err := topology.Generate(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.NewStockWorld(g, workload.StockConfig{
+		NumSubscriptions: 300, PubModes: 1, Seed: seed + 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.NewFromWorld(w, w.Events(800, seed+2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, w
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("nil engine accepted")
+	}
+	e, _ := testEngine(t, core.Config{Groups: 10, CellBudget: 300}, 200)
+	if _, err := New(e, WithWorkers(0)); err == nil {
+		t.Error("zero workers accepted")
+	}
+}
+
+// TestCompleteness: every interested subscriber receives every event they
+// match, exactly once, regardless of delivery method.
+func TestCompleteness(t *testing.T) {
+	e, w := testEngine(t, core.Config{Groups: 25, CellBudget: 500}, 201)
+	events := w.Events(200, 210)
+
+	type key struct {
+		node  topology.NodeID
+		event int
+	}
+	var mu sync.Mutex
+	received := map[key]int{}
+	// Tag events by index via pointer identity of the point slice.
+	index := map[*float64]int{}
+	for i := range events {
+		index[&events[i].Point[0]] = i
+	}
+
+	b, err := New(e, WithWorkers(3), WithObserver(func(n topology.NodeID, d Delivery) {
+		if !d.Interested {
+			return
+		}
+		mu.Lock()
+		received[key{n, index[&d.Event.Point[0]]}]++
+		mu.Unlock()
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range events {
+		b.Publish(events[i])
+	}
+	b.Close()
+
+	// Oracle: brute-force interest.
+	for i, ev := range events {
+		for _, n := range w.SubscriberNodes {
+			interested := false
+			for _, s := range w.Subs {
+				if s.Owner == n && s.Rect.Contains(ev.Point) {
+					interested = true
+					break
+				}
+			}
+			got := received[key{n, i}]
+			if interested && got != 1 {
+				t.Fatalf("event %d node %d: %d deliveries, want 1", i, n, got)
+			}
+			if !interested && got != 0 {
+				t.Fatalf("event %d node %d: %d interested-deliveries, want 0", i, n, got)
+			}
+		}
+	}
+
+	st := b.Stats()
+	if st.Published != int64(len(events)) {
+		t.Errorf("Published = %d", st.Published)
+	}
+	if st.Multicast+st.Unicast != st.Published {
+		t.Errorf("method split %d+%d != %d", st.Multicast, st.Unicast, st.Published)
+	}
+	if st.Multicast == 0 {
+		t.Error("no multicast deliveries at all")
+	}
+	if st.Deliveries < st.Wasted {
+		t.Error("accounting inconsistent")
+	}
+}
+
+// TestNoLossZeroWaste: a No-Loss engine never delivers to an uninterested
+// node.
+func TestNoLossZeroWaste(t *testing.T) {
+	e, w := testEngine(t, core.Config{
+		Groups: 40,
+		NoLoss: &noloss.Config{PoolSize: 500, Iterations: 3, Seeds: 24},
+	}, 202)
+	b, err := New(e, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range w.Events(300, 211) {
+		b.Publish(ev)
+	}
+	b.Close()
+	st := b.Stats()
+	if st.Wasted != 0 {
+		t.Fatalf("no-loss broker wasted %d deliveries", st.Wasted)
+	}
+	if st.Deliveries == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
+// TestGridWasteBounded: grid groups may waste, but waste must stay below
+// total deliveries and zero-waste is impossible to guarantee — sanity
+// bounds only.
+func TestGridWasteBounded(t *testing.T) {
+	e, w := testEngine(t, core.Config{Groups: 10, CellBudget: 300}, 203)
+	b, err := New(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range w.Events(200, 212) {
+		b.Publish(ev)
+	}
+	b.Close()
+	st := b.Stats()
+	if st.Wasted >= st.Deliveries {
+		t.Fatalf("waste %d >= deliveries %d", st.Wasted, st.Deliveries)
+	}
+	// PerNode totals add up.
+	var sum int64
+	for _, v := range st.PerNode {
+		sum += v
+	}
+	if sum != st.Deliveries {
+		t.Fatalf("per-node sum %d != deliveries %d", sum, st.Deliveries)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	e, _ := testEngine(t, core.Config{Groups: 5, CellBudget: 200}, 204)
+	b, err := New(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	b.Close() // must not panic or deadlock
+}
+
+func TestConcurrentPublishers(t *testing.T) {
+	e, w := testEngine(t, core.Config{Groups: 20, CellBudget: 400}, 205)
+	b, err := New(e, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := w.Events(400, 213)
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(part int) {
+			defer wg.Done()
+			for i := part; i < len(events); i += 4 {
+				b.Publish(events[i])
+			}
+		}(p)
+	}
+	wg.Wait()
+	b.Close()
+	if got := b.Stats().Published; got != int64(len(events)) {
+		t.Fatalf("Published = %d, want %d", got, len(events))
+	}
+}
+
+// TestDynamicMethodBroadcast: a dynamic-method engine may flood; the
+// broker must then deliver one copy to every subscriber node, and the
+// method split must account broadcasts separately.
+func TestDynamicMethodBroadcast(t *testing.T) {
+	e, w := testEngine(t, core.Config{Groups: 5, CellBudget: 100, DynamicMethod: true}, 206)
+	b, err := New(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := w.Events(300, 214)
+	for _, ev := range events {
+		b.Publish(ev)
+	}
+	b.Close()
+	st := b.Stats()
+	if st.Multicast+st.Unicast+st.Broadcast != st.Published {
+		t.Fatalf("method split %d+%d+%d != %d", st.Multicast, st.Unicast, st.Broadcast, st.Published)
+	}
+	if st.Broadcast > 0 {
+		// At least one flood happened: some node must have received ≥ the
+		// broadcast count (every subscriber gets every flood).
+		for _, n := range w.SubscriberNodes {
+			if st.PerNode[n] < st.Broadcast {
+				t.Fatalf("node %d received %d < %d broadcasts", n, st.PerNode[n], st.Broadcast)
+			}
+			break
+		}
+	}
+}

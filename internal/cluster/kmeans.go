@@ -1,0 +1,262 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+)
+
+// Variant selects between the two iterative K-means flavours studied in the
+// paper (§4.2): MacQueen updates a cluster's membership vector after every
+// single move, Forgy applies a whole pass of assignments before updating.
+type Variant uint8
+
+// K-means variants.
+const (
+	MacQueen Variant = iota
+	Forgy
+)
+
+func (v Variant) String() string {
+	switch v {
+	case MacQueen:
+		return "k-means"
+	case Forgy:
+		return "forgy"
+	default:
+		return fmt.Sprintf("Variant(%d)", uint8(v))
+	}
+}
+
+// KMeans is the iterative cell-clustering algorithm. The zero value is a
+// MacQueen K-means with the paper's default iteration cap.
+type KMeans struct {
+	Variant Variant
+	// MaxIters caps re-assignment passes; the paper uses 100 and observes
+	// convergence in under 20. Defaults to 100 when 0.
+	MaxIters int
+}
+
+// Name implements Algorithm.
+func (k *KMeans) Name() string { return k.Variant.String() }
+
+// kstate tracks the mutable cluster vectors: per-subscriber containment
+// counts (so removals are exact), the derived membership bitsets, the
+// probability mass and the cell count of every cluster.
+type kstate struct {
+	in      *Input
+	counts  [][]int32
+	members []*bitset.Set
+	prob    []float64
+	size    []int
+	assign  Assignment
+}
+
+func newKState(in *Input, k int) *kstate {
+	st := &kstate{
+		in:      in,
+		counts:  make([][]int32, k),
+		members: make([]*bitset.Set, k),
+		prob:    make([]float64, k),
+		size:    make([]int, k),
+		assign:  make(Assignment, len(in.Cells)),
+	}
+	for g := 0; g < k; g++ {
+		st.counts[g] = make([]int32, in.NumSubscribers)
+		st.members[g] = bitset.New(in.NumSubscribers)
+	}
+	for i := range st.assign {
+		st.assign[i] = -1
+	}
+	return st
+}
+
+func (st *kstate) add(ci, g int) {
+	cell := &st.in.Cells[ci]
+	cell.Members.ForEach(func(i int) bool {
+		st.counts[g][i]++
+		if st.counts[g][i] == 1 {
+			st.members[g].Set(i)
+		}
+		return true
+	})
+	st.prob[g] += cell.Prob
+	st.size[g]++
+	st.assign[ci] = g
+}
+
+func (st *kstate) remove(ci int) {
+	g := st.assign[ci]
+	cell := &st.in.Cells[ci]
+	cell.Members.ForEach(func(i int) bool {
+		st.counts[g][i]--
+		if st.counts[g][i] == 0 {
+			st.members[g].Clear(i)
+		}
+		return true
+	})
+	st.prob[g] -= cell.Prob
+	st.size[g]--
+	st.assign[ci] = -1
+}
+
+// closest returns the group whose membership vector is nearest to cell ci
+// under the expected-waste distance.
+func (st *kstate) closest(ci int) int {
+	cell := &st.in.Cells[ci]
+	best, bestD := -1, 0.0
+	for g := range st.members {
+		d := Dist(cell.Prob, cell.Members, st.prob[g], st.members[g])
+		if best == -1 || d < bestD {
+			best, bestD = g, d
+		}
+	}
+	return best
+}
+
+// Cluster implements Algorithm.
+func (k *KMeans) Cluster(in *Input, groups int) (Assignment, error) {
+	if err := validateK(in, groups); err != nil {
+		return nil, err
+	}
+	if groups >= len(in.Cells) {
+		return singletonAssignment(len(in.Cells)), nil
+	}
+	maxIters := k.MaxIters
+	if maxIters <= 0 {
+		maxIters = 100
+	}
+
+	st := newKState(in, groups)
+	// Step 0 — initial partition: the K most popular hyper-cells seed the
+	// groups (cells arrive rating-sorted from BuildInput); the remainder
+	// join their closest group.
+	for g := 0; g < groups; g++ {
+		st.add(g, g)
+	}
+	for ci := groups; ci < len(in.Cells); ci++ {
+		st.add(ci, st.closest(ci))
+	}
+
+	switch k.Variant {
+	case MacQueen:
+		k.runMacQueen(st, maxIters)
+	case Forgy:
+		k.runForgy(st, maxIters)
+	default:
+		return nil, fmt.Errorf("cluster: unknown k-means variant %d", k.Variant)
+	}
+	return st.assign, nil
+}
+
+// ClusterWarm resumes iterative clustering from a prior assignment — the
+// paper's subscription-dynamics story (§6, item 5): when subscriptions
+// change, a few re-balancing passes from the previous partition are far
+// cheaper than clustering from scratch. initial maps each cell to a group
+// in [0, groups); cells with initial[i] < 0 join their closest group after
+// the seeded cells are placed.
+func (k *KMeans) ClusterWarm(in *Input, groups int, initial Assignment, iters int) (Assignment, error) {
+	if err := validateK(in, groups); err != nil {
+		return nil, err
+	}
+	if len(initial) != len(in.Cells) {
+		return nil, fmt.Errorf("cluster: warm start has %d entries for %d cells", len(initial), len(in.Cells))
+	}
+	if groups >= len(in.Cells) {
+		return singletonAssignment(len(in.Cells)), nil
+	}
+	if iters <= 0 {
+		iters = 1
+	}
+	st := newKState(in, groups)
+	var unplaced []int
+	for ci, g := range initial {
+		if g >= groups {
+			return nil, fmt.Errorf("cluster: warm start group %d out of range [0,%d)", g, groups)
+		}
+		if g < 0 {
+			unplaced = append(unplaced, ci)
+			continue
+		}
+		st.add(ci, g)
+	}
+	// Guarantee every group is non-empty (closest() must see live vectors
+	// and the move rules assume no empty groups): seed empties with the
+	// most popular unplaced or already-placed cells.
+	for g := 0; g < groups; g++ {
+		if st.size[g] > 0 {
+			continue
+		}
+		if len(unplaced) > 0 {
+			st.add(unplaced[0], g)
+			unplaced = unplaced[1:]
+			continue
+		}
+		for ci := range in.Cells {
+			if st.size[st.assign[ci]] > 1 {
+				st.remove(ci)
+				st.add(ci, g)
+				break
+			}
+		}
+	}
+	for _, ci := range unplaced {
+		st.add(ci, st.closest(ci))
+	}
+	switch k.Variant {
+	case MacQueen:
+		k.runMacQueen(st, iters)
+	case Forgy:
+		k.runForgy(st, iters)
+	default:
+		return nil, fmt.Errorf("cluster: unknown k-means variant %d", k.Variant)
+	}
+	return st.assign, nil
+}
+
+// runMacQueen re-assigns cells one at a time, updating cluster vectors
+// after every move, until a full pass moves nothing.
+func (k *KMeans) runMacQueen(st *kstate, maxIters int) {
+	for iter := 0; iter < maxIters; iter++ {
+		moved := false
+		for ci := range st.in.Cells {
+			cur := st.assign[ci]
+			if st.size[cur] == 1 {
+				continue // a cluster may not lose its last cell
+			}
+			best := st.closest(ci)
+			if best != cur {
+				st.remove(ci)
+				st.add(ci, best)
+				moved = true
+			}
+		}
+		if !moved {
+			return
+		}
+	}
+}
+
+// runForgy computes a whole pass of assignments against frozen cluster
+// vectors, then applies the moves and updates.
+func (k *KMeans) runForgy(st *kstate, maxIters int) {
+	target := make([]int, len(st.in.Cells))
+	for iter := 0; iter < maxIters; iter++ {
+		for ci := range st.in.Cells {
+			target[ci] = st.closest(ci)
+		}
+		moved := false
+		for ci, want := range target {
+			cur := st.assign[ci]
+			if want == cur || st.size[cur] == 1 {
+				continue
+			}
+			st.remove(ci)
+			st.add(ci, want)
+			moved = true
+		}
+		if !moved {
+			return
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/routing"
+)
+
+// MST is the minimum-spanning-tree clustering algorithm (§4.4, after Zahn):
+// treat hyper-cells as nodes of a complete graph weighted by the
+// expected-waste distance, process edges in non-decreasing order combining
+// components (Kruskal), and stop when exactly K components remain.
+//
+// Unlike pairwise grouping, distances are between *cells* and never
+// recomputed, so the whole edge order is fixed up front. Processing edges
+// in non-decreasing order until K components remain is equivalent to
+// building the MST and deleting its K−1 heaviest edges; this implementation
+// therefore runs Prim in O(n²) with O(n) memory instead of materialising
+// all n(n−1)/2 edges.
+type MST struct{}
+
+// Name implements Algorithm.
+func (MST) Name() string { return "mst" }
+
+// Cluster implements Algorithm.
+func (MST) Cluster(in *Input, k int) (Assignment, error) {
+	if err := validateK(in, k); err != nil {
+		return nil, err
+	}
+	n := len(in.Cells)
+	if k >= n {
+		return singletonAssignment(n), nil
+	}
+
+	// Prim over the implicit complete graph.
+	type mstEdge struct {
+		u, v int
+		d    float64
+	}
+	inTree := make([]bool, n)
+	best := make([]float64, n)
+	bestFrom := make([]int, n)
+	for i := range best {
+		best[i] = math.Inf(1)
+		bestFrom[i] = -1
+	}
+	inTree[0] = true
+	c0 := &in.Cells[0]
+	for j := 1; j < n; j++ {
+		cj := &in.Cells[j]
+		best[j] = Dist(c0.Prob, c0.Members, cj.Prob, cj.Members)
+		bestFrom[j] = 0
+	}
+	edges := make([]mstEdge, 0, n-1)
+	for added := 1; added < n; added++ {
+		pick := -1
+		for j := 0; j < n; j++ {
+			if !inTree[j] && (pick == -1 || best[j] < best[pick]) {
+				pick = j
+			}
+		}
+		inTree[pick] = true
+		edges = append(edges, mstEdge{u: bestFrom[pick], v: pick, d: best[pick]})
+		cp := &in.Cells[pick]
+		for j := 0; j < n; j++ {
+			if !inTree[j] {
+				cj := &in.Cells[j]
+				if d := Dist(cp.Prob, cp.Members, cj.Prob, cj.Members); d < best[j] {
+					best[j] = d
+					bestFrom[j] = pick
+				}
+			}
+		}
+	}
+
+	// Keep the n−k lightest MST edges; the K−1 heaviest are the cuts.
+	sort.Slice(edges, func(i, j int) bool { return edges[i].d < edges[j].d })
+	uf := routing.NewUnionFind(n)
+	for _, e := range edges[:n-k] {
+		uf.Union(e.u, e.v)
+	}
+	assign := make(Assignment, n)
+	for i := range assign {
+		assign[i] = uf.Find(i)
+	}
+	return assign, nil
+}
+
+var _ Algorithm = MST{}

@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// RemoveOutliers implements the outlier-removal preprocessing the paper
+// motivates in §4.1 and defers to future work: hyper-cells with a "rather
+// unique combination of subscribers" force waste into whatever group
+// absorbs them, and feeding them to the clustering algorithm degrades the
+// solution (Figures 10–11 show quality *dropping* as more cells are fed).
+//
+// A cell's outlier score is its expected-waste distance to its nearest
+// neighbour: isolated membership vectors with non-trivial publication mass
+// score high. The frac·n highest-scoring cells are removed (they fall back
+// to unicast at match time, exactly like cells cut by the cell budget).
+// The returned Input preserves rating order; the second result is the
+// number of cells removed.
+//
+// The scan is O(n²) bitset distance computations; with the paper's budgets
+// (≤ 6000 cells) this is comparable to one MST clustering pass.
+//
+// Measured caveat (see EXPERIMENTS.md, ablations): on the paper's own
+// workload this policy does not pay off — the highest-scoring cells carry
+// real publication mass, and exiling them to unicast costs more than the
+// waste they would induce inside a group. The implementation is provided
+// to complete the paper's future-work agenda and to let users evaluate it
+// on their own workloads.
+func RemoveOutliers(in *Input, frac float64) (*Input, int, error) {
+	if in == nil || len(in.Cells) == 0 {
+		return nil, 0, fmt.Errorf("cluster: empty input")
+	}
+	if frac < 0 || frac >= 1 {
+		return nil, 0, fmt.Errorf("cluster: outlier fraction %v, need [0,1)", frac)
+	}
+	n := len(in.Cells)
+	drop := int(float64(n) * frac)
+	if drop == 0 {
+		return in, 0, nil
+	}
+	if drop >= n {
+		drop = n - 1
+	}
+
+	// Nearest-neighbour expected-waste distance per cell.
+	scores := make([]float64, n)
+	for i := range scores {
+		scores[i] = math.Inf(1)
+	}
+	for i := 0; i < n; i++ {
+		ci := &in.Cells[i]
+		for j := i + 1; j < n; j++ {
+			cj := &in.Cells[j]
+			d := Dist(ci.Prob, ci.Members, cj.Prob, cj.Members)
+			if d < scores[i] {
+				scores[i] = d
+			}
+			if d < scores[j] {
+				scores[j] = d
+			}
+		}
+	}
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Highest score first; ties keep the lower-rated (later) cell so the
+	// popular cells survive.
+	sort.SliceStable(order, func(a, b int) bool {
+		if scores[order[a]] != scores[order[b]] {
+			return scores[order[a]] > scores[order[b]]
+		}
+		return order[a] > order[b]
+	})
+	dropped := make(map[int]bool, drop)
+	for _, i := range order[:drop] {
+		dropped[i] = true
+	}
+
+	out := &Input{
+		NumSubscribers:  in.NumSubscribers,
+		TotalHyperCells: in.TotalHyperCells,
+		Cells:           make([]HyperCell, 0, n-drop),
+	}
+	for i := range in.Cells {
+		if !dropped[i] {
+			out.Cells = append(out.Cells, in.Cells[i])
+		}
+	}
+	return out, drop, nil
+}

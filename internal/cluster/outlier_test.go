@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/space"
+)
+
+// inputWithOutliers builds blocks of near-identical cells plus a few cells
+// with unique memberships and non-trivial probability — textbook outliers.
+func inputWithOutliers(nOutliers int) *Input {
+	r := rand.New(rand.NewSource(3))
+	in := noisyInput(r, 3, 8, 4) // 24 cells, 12 subscribers
+	ns := in.NumSubscribers
+	id := space.CellID(1000)
+	for i := 0; i < nOutliers; i++ {
+		m := bitset.New(ns)
+		m.Set(i % ns)
+		m.Set((i + 5) % ns)
+		in.Cells = append(in.Cells, HyperCell{
+			Cells:   []space.CellID{id},
+			Members: m,
+			Prob:    0.05, // heavy enough to hurt any group it joins
+		})
+		id++
+	}
+	in.TotalHyperCells = len(in.Cells)
+	sortByRating(in)
+	return in
+}
+
+func TestRemoveOutliersValidation(t *testing.T) {
+	in := synthInput(2, 2, 2)
+	if _, _, err := RemoveOutliers(nil, 0.1); err == nil {
+		t.Error("nil input accepted")
+	}
+	if _, _, err := RemoveOutliers(in, -0.1); err == nil {
+		t.Error("negative fraction accepted")
+	}
+	if _, _, err := RemoveOutliers(in, 1); err == nil {
+		t.Error("fraction 1 accepted")
+	}
+}
+
+func TestRemoveOutliersZeroFracIsIdentity(t *testing.T) {
+	in := synthInput(2, 3, 2)
+	out, removed, err := RemoveOutliers(in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 0 || out != in {
+		t.Error("zero fraction should return the input unchanged")
+	}
+}
+
+func TestRemoveOutliersDropsUniqueCells(t *testing.T) {
+	in := inputWithOutliers(3)
+	total := len(in.Cells)
+	out, removed, err := RemoveOutliers(in, 3.0/float64(total)+0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 3 {
+		t.Fatalf("removed %d, want 3", removed)
+	}
+	if len(out.Cells) != total-3 {
+		t.Fatalf("kept %d cells, want %d", len(out.Cells), total-3)
+	}
+	// The synthetic outliers (cell ids ≥ 1000) must be the ones dropped.
+	for _, c := range out.Cells {
+		for _, id := range c.Cells {
+			if id >= 1000 {
+				t.Fatalf("outlier cell %d survived", id)
+			}
+		}
+	}
+	// Preserved order and metadata.
+	if out.NumSubscribers != in.NumSubscribers || out.TotalHyperCells != in.TotalHyperCells {
+		t.Error("metadata not preserved")
+	}
+	for i := 1; i < len(out.Cells); i++ {
+		if out.Cells[i].Rating() > out.Cells[i-1].Rating()+1e-12 {
+			t.Fatal("rating order broken")
+		}
+	}
+}
+
+func TestRemoveOutliersImprovesWaste(t *testing.T) {
+	in := inputWithOutliers(4)
+	alg := &KMeans{Variant: Forgy}
+	full, err := alg.Cluster(in, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wFull, _ := ExpectedWaste(in, full)
+
+	clean, removed, err := RemoveOutliers(in, 4.0/float64(len(in.Cells))+0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("nothing removed")
+	}
+	a, err := alg.Cluster(clean, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wClean, _ := ExpectedWaste(clean, a)
+	if wClean >= wFull {
+		t.Errorf("outlier removal did not reduce waste: %v vs %v", wClean, wFull)
+	}
+}
+
+func TestRemoveOutliersNeverEmpties(t *testing.T) {
+	in := synthInput(2, 2, 2) // 4 cells
+	out, removed, err := RemoveOutliers(in, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Cells) == 0 {
+		t.Fatal("removed everything")
+	}
+	if removed >= len(in.Cells) {
+		t.Fatalf("removed %d of %d", removed, len(in.Cells))
+	}
+}

@@ -1,0 +1,261 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitset"
+)
+
+// Pairwise is the bottom-up pairwise grouping algorithm (§4.3): every
+// hyper-cell starts in its own group and the two groups at minimum
+// expected-waste distance merge until K groups remain.
+//
+// With Approx set, each merge step uses the secretary rule instead of an
+// exhaustive minimum: it inspects a 1/e fraction of the candidate pairs,
+// remembers the best, then takes the first later pair that beats it. This
+// trades solution quality for speed, as in the paper.
+type Pairwise struct {
+	Approx bool
+}
+
+// Name implements Algorithm.
+func (p *Pairwise) Name() string {
+	if p.Approx {
+		return "approx-pairs"
+	}
+	return "pairs"
+}
+
+// pairState tracks live groups during agglomeration.
+type pairState struct {
+	members []*bitset.Set
+	prob    []float64
+	alive   []bool
+	liveIDs []int // indices of live groups, maintained compactly
+}
+
+func newPairState(in *Input) *pairState {
+	n := len(in.Cells)
+	st := &pairState{
+		members: make([]*bitset.Set, n),
+		prob:    make([]float64, n),
+		alive:   make([]bool, n),
+		liveIDs: make([]int, n),
+	}
+	for i := range in.Cells {
+		st.members[i] = in.Cells[i].Members.Clone()
+		st.prob[i] = in.Cells[i].Prob
+		st.alive[i] = true
+		st.liveIDs[i] = i
+	}
+	return st
+}
+
+func (st *pairState) dist(i, j int) float64 {
+	return Dist(st.prob[i], st.members[i], st.prob[j], st.members[j])
+}
+
+// merge folds group j into group i and removes j from the live list.
+func (st *pairState) merge(i, j int) {
+	st.members[i].UnionWith(st.members[j])
+	st.prob[i] += st.prob[j]
+	st.alive[j] = false
+	for k, id := range st.liveIDs {
+		if id == j {
+			st.liveIDs = append(st.liveIDs[:k], st.liveIDs[k+1:]...)
+			break
+		}
+	}
+}
+
+// Cluster implements Algorithm.
+func (p *Pairwise) Cluster(in *Input, k int) (Assignment, error) {
+	if err := validateK(in, k); err != nil {
+		return nil, err
+	}
+	n := len(in.Cells)
+	if k >= n {
+		return singletonAssignment(n), nil
+	}
+
+	st := newPairState(in)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+
+	if p.Approx {
+		p.runApprox(st, parent, k)
+	} else {
+		p.runExact(st, parent, k)
+	}
+
+	// Compress merge forest into an assignment.
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	assign := make(Assignment, n)
+	for i := range assign {
+		assign[i] = find(i)
+	}
+	return assign, nil
+}
+
+// runExact maintains the live×live distance matrix and each live group's
+// nearest neighbour, the classic O(n²) agglomerative implementation.
+func (p *Pairwise) runExact(st *pairState, parent []int, k int) {
+	n := len(st.members)
+	dm := make([][]float32, n)
+	for i := range dm {
+		dm[i] = make([]float32, n)
+	}
+	for a, i := range st.liveIDs {
+		for _, j := range st.liveIDs[a+1:] {
+			d := float32(st.dist(i, j))
+			dm[i][j] = d
+			dm[j][i] = d
+		}
+	}
+	nn := make([]int, n) // nearest live neighbour of each live group
+	recomputeNN := func(i int) {
+		best, bestD := -1, float32(math.Inf(1))
+		for _, j := range st.liveIDs {
+			if j != i && dm[i][j] < bestD {
+				best, bestD = j, dm[i][j]
+			}
+		}
+		nn[i] = best
+	}
+	for _, i := range st.liveIDs {
+		recomputeNN(i)
+	}
+
+	for len(st.liveIDs) > k {
+		// Global minimum over nearest-neighbour candidates.
+		bi := -1
+		var bd float32
+		for _, i := range st.liveIDs {
+			if j := nn[i]; j >= 0 {
+				if bi == -1 || dm[i][j] < bd {
+					bi, bd = i, dm[i][j]
+				}
+			}
+		}
+		i, j := bi, nn[bi]
+		st.merge(i, j)
+		parent[j] = i
+		for _, l := range st.liveIDs {
+			if l != i {
+				d := float32(st.dist(i, l))
+				dm[i][l] = d
+				dm[l][i] = d
+			}
+		}
+		recomputeNN(i)
+		for _, l := range st.liveIDs {
+			if l == i {
+				continue
+			}
+			if nn[l] == i || nn[l] == j {
+				recomputeNN(l)
+			} else if dm[l][i] < dm[l][nn[l]] {
+				// The merged group moved closer than l's previous nearest.
+				nn[l] = i
+			}
+		}
+	}
+}
+
+// runApprox performs each merge with the secretary stopping rule over a
+// deterministic-but-scrambled enumeration of live pairs: remember the best
+// distance among the first 1/e of the stream, then take the first later
+// pair that beats it. Distances are cached in a matrix (only the merged
+// group's row changes per step), so the approximation — and the speedup —
+// lies in the merge selection: unlike the exact variant it never maintains
+// nearest-neighbour lists and may pick a suboptimal pair.
+func (p *Pairwise) runApprox(st *pairState, parent []int, k int) {
+	n := len(st.members)
+	dm := make([][]float32, n)
+	for i := range dm {
+		dm[i] = make([]float32, n)
+	}
+	for a, i := range st.liveIDs {
+		for _, j := range st.liveIDs[a+1:] {
+			d := float32(st.dist(i, j))
+			dm[i][j] = d
+			dm[j][i] = d
+		}
+	}
+
+	for len(st.liveIDs) > k {
+		live := st.liveIDs
+		m := len(live)
+		totalPairs := m * (m - 1) / 2
+		sample := int(math.Ceil(float64(totalPairs) / math.E))
+
+		bi, bj := -1, -1
+		bd := float32(math.Inf(1))
+		seen := 0
+		// Enumerate pairs with a stride coprime to m to decorrelate the
+		// scan order from group age.
+		stride := 1
+		if m > 2 {
+			stride = m/2 + 1
+			for gcd(stride, m) != 1 {
+				stride++
+			}
+		}
+		done := false
+		for a := 0; a < m && !done; a++ {
+			ia := (a * stride) % m
+			row := dm[live[ia]]
+			for b := a + 1; b < m; b++ {
+				ib := (b * stride) % m
+				d := row[live[ib]]
+				seen++
+				if d < bd {
+					bd = d
+					bi, bj = live[ia], live[ib]
+					// Past the sample: take the first improvement.
+					if seen > sample {
+						done = true
+						break
+					}
+				}
+			}
+		}
+		st.merge(bi, bj)
+		parent[bj] = bi
+		for _, l := range st.liveIDs {
+			if l != bi {
+				d := float32(st.dist(bi, l))
+				dm[bi][l] = d
+				dm[l][bi] = d
+			}
+		}
+	}
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// sanity check that both modes satisfy Algorithm at compile time.
+var (
+	_ Algorithm = (*Pairwise)(nil)
+	_ Algorithm = (*KMeans)(nil)
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (p *Pairwise) String() string {
+	return fmt.Sprintf("Pairwise{Approx: %v}", p.Approx)
+}

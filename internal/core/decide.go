@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/multicast"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Decision is the Engine's delivery plan for one event.
+type Decision struct {
+	// Method is Unicast when no group was used, otherwise NetworkMulticast
+	// (the caller picks the actual framework when costing; see Costs).
+	Method multicast.Method
+	// Group is the multicast group index, -1 when Method is Unicast.
+	Group int
+	// Interested lists the distinct nodes with at least one matching
+	// subscription, ascending.
+	Interested []topology.NodeID
+	// Remainder lists interested nodes the routed group does not cover;
+	// they receive unicast top-up copies. Empty when Method is Unicast.
+	Remainder []topology.NodeID
+	// MatchedSubs are the matching subscription slots, ascending.
+	MatchedSubs []int
+}
+
+// Decide matches the event and plans its delivery per Figures 5/6. With
+// Config.DynamicMethod it additionally compares the group-multicast,
+// unicast and broadcast prices and downgrades or upgrades the method to
+// the cheapest (the §1 distribution-method decision).
+func (e *Engine) Decide(ev workload.Event) Decision {
+	d := e.decideStatic(ev)
+	if !e.cfg.DynamicMethod {
+		return d
+	}
+	return e.pickMethod(ev, d)
+}
+
+// decideStatic is the Fig 5/6 routing without method re-selection.
+func (e *Engine) decideStatic(ev workload.Event) Decision {
+	d := Decision{Group: -1, Method: multicast.Unicast}
+	hits := e.tree.SearchPoint(ev.Point)
+	sort.Ints(hits)
+	d.MatchedSubs = hits
+	seen := map[topology.NodeID]bool{}
+	for _, si := range hits {
+		n := e.world.Subs[si].Owner
+		if !seen[n] {
+			seen[n] = true
+			d.Interested = append(d.Interested, n)
+		}
+	}
+	sort.Slice(d.Interested, func(i, j int) bool { return d.Interested[i] < d.Interested[j] })
+
+	var g int
+	var ok bool
+	if e.nlIdx != nil {
+		g, ok = e.nlIdx.GroupFor(ev.Point)
+	} else {
+		g, ok = e.gridIdx.GroupFor(ev.Point)
+	}
+	if !ok {
+		return d
+	}
+
+	// Threshold rule (Fig 5): multicast only when enough of the group is
+	// interested.
+	if e.cfg.Threshold > 0 && len(e.groupNodes[g]) > 0 {
+		inGroup := 0
+		for _, n := range d.Interested {
+			if e.memberOf(g, n) {
+				inGroup++
+			}
+		}
+		if float64(inGroup)/float64(len(e.groupNodes[g])) < e.cfg.Threshold {
+			return d
+		}
+	}
+
+	d.Method = multicast.NetworkMulticast
+	d.Group = g
+	for _, n := range d.Interested {
+		if !e.memberOf(g, n) {
+			d.Remainder = append(d.Remainder, n)
+		}
+	}
+	return d
+}
+
+func (e *Engine) memberOf(g int, n topology.NodeID) bool {
+	idx, ok := e.world.SubscriberIndex(n)
+	if !ok {
+		return false
+	}
+	if e.nlIdx != nil {
+		return e.nlIdx.Groups()[g].Members.Test(idx)
+	}
+	return e.gridRes.Groups[g].Members.Test(idx)
+}
+
+// Costs prices a decision under both multicast frameworks.
+type Costs struct {
+	Network  float64
+	AppLevel float64
+}
+
+// pickMethod downgrades or upgrades a routed decision to the cheapest of
+// group multicast, per-node unicast and broadcast, priced under the
+// network-supported framework.
+func (e *Engine) pickMethod(ev workload.Event, d Decision) Decision {
+	unicast := 0.0
+	for _, n := range d.Interested {
+		unicast += e.model.Dist(ev.Pub, n)
+	}
+	bcast := e.model.BroadcastCost(ev.Pub)
+
+	group := math.Inf(1)
+	if d.Method == multicast.NetworkMulticast && d.Group >= 0 {
+		group = e.model.SPTCoverCost(ev.Pub, e.groupNodes[d.Group])
+		for _, n := range d.Remainder {
+			group += e.model.Dist(ev.Pub, n)
+		}
+	}
+
+	switch {
+	case bcast <= unicast && bcast <= group:
+		d.Method = multicast.Broadcast
+		d.Group = -1
+		d.Remainder = nil
+	case unicast <= group:
+		d.Method = multicast.Unicast
+		d.Group = -1
+		d.Remainder = nil
+	default:
+		// keep the group multicast
+	}
+	return d
+}
+
+// CostOf prices a decision for the given event.
+func (e *Engine) CostOf(ev workload.Event, d Decision) Costs {
+	if d.Method == multicast.Broadcast {
+		b := e.model.BroadcastCost(ev.Pub)
+		return Costs{Network: b, AppLevel: b}
+	}
+	if d.Method == multicast.Unicast || d.Group < 0 {
+		u := 0.0
+		for _, n := range d.Interested {
+			u += e.model.Dist(ev.Pub, n)
+		}
+		return Costs{Network: u, AppLevel: u}
+	}
+	top := 0.0
+	for _, n := range d.Remainder {
+		top += e.model.Dist(ev.Pub, n)
+	}
+	return Costs{
+		Network:  e.model.SPTCoverCost(ev.Pub, e.groupNodes[d.Group]) + top,
+		AppLevel: e.model.ALMCost(ev.Pub, e.overlays[d.Group]) + top,
+	}
+}
+
+// Publish decides and prices one event in a single call.
+func (e *Engine) Publish(ev workload.Event) (Decision, Costs, error) {
+	if len(ev.Point) != e.world.Dim {
+		return Decision{}, Costs{}, fmt.Errorf("core: event dim %d, world dim %d", len(ev.Point), e.world.Dim)
+	}
+	if ev.Pub < 0 || int(ev.Pub) >= e.graph.NumNodes() {
+		return Decision{}, Costs{}, fmt.Errorf("core: publisher %d out of range", ev.Pub)
+	}
+	d := e.Decide(ev)
+	return d, e.CostOf(ev, d), nil
+}

@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/noloss"
+	"repro/internal/sim"
+)
+
+// Fig7Point is one point of Figure 7: the improvement percentage of one
+// algorithm at one group count, under both multicast frameworks.
+type Fig7Point struct {
+	Alg      string
+	K        int
+	Network  float64 // improvement % under network-supported multicast
+	AppLevel float64 // improvement % under application-level multicast
+}
+
+// DefaultKs is the Figure 7 sweep over available multicast groups.
+func DefaultKs() []int { return []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100} }
+
+// RunFig7 sweeps group counts for every grid algorithm plus No-Loss on the
+// environment, returning improvement percentages.
+func RunFig7(env *StockEnv, ks []int, specs []AlgorithmSpec, nolossCfg noloss.Config) ([]Fig7Point, error) {
+	if len(ks) == 0 {
+		ks = DefaultKs()
+	}
+	if specs == nil {
+		specs = DefaultAlgorithms()
+	}
+	var out []Fig7Point
+	for _, spec := range specs {
+		for _, k := range ks {
+			costs, _, err := env.runGrid(spec, k, sim.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig7 %s k=%d: %w", spec.Alg.Name(), k, err)
+			}
+			out = append(out, Fig7Point{
+				Alg:      spec.Alg.Name(),
+				K:        k,
+				Network:  sim.Improvement(env.Baselines, costs.Network),
+				AppLevel: sim.Improvement(env.Baselines, costs.AppLevel),
+			})
+		}
+	}
+	// No-Loss: built once, evaluated per K.
+	nres, err := noloss.Build(env.World, env.Train, nolossCfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig7 no-loss build: %w", err)
+	}
+	for _, k := range ks {
+		costs, err := sim.EvaluateNoLoss(env.Model, env.World, nres, k, env.Matcher, env.Eval)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig7 no-loss k=%d: %w", k, err)
+		}
+		out = append(out, Fig7Point{
+			Alg:      "no-loss",
+			K:        k,
+			Network:  sim.Improvement(env.Baselines, costs.Network),
+			AppLevel: sim.Improvement(env.Baselines, costs.AppLevel),
+		})
+	}
+	return out, nil
+}
+
+// Fig8Point is one point of Figure 8: No-Loss quality as a function of its
+// two parameters (rectangles kept and iterations).
+type Fig8Point struct {
+	PoolSize   int
+	Iterations int
+	K          int     // groups used at evaluation
+	Network    float64 // improvement %
+}
+
+// Fig8Config selects the two sweeps. K is the group count used when
+// evaluating each run.
+type Fig8Config struct {
+	PoolSizes  []int // swept with Iterations = FixedIters
+	Iterations []int // swept with PoolSize = FixedPool
+	FixedPool  int
+	FixedIters int
+	K          int
+}
+
+// DefaultFig8 mirrors the paper's ranges around its operating point
+// (5000 rectangles, 8 iterations).
+func DefaultFig8() Fig8Config {
+	return Fig8Config{
+		PoolSizes:  []int{500, 1000, 2000, 4000, 6000, 8000},
+		Iterations: []int{1, 2, 4, 6, 8, 10},
+		FixedPool:  5000,
+		FixedIters: 8,
+		K:          100,
+	}
+}
+
+// RunFig8 sweeps No-Loss parameters. The pool-size sweep is run twice:
+// once evaluating the paper's default K groups, and once using the whole
+// pool as the group list A (K = pool size, the literal Fig 6 reading) —
+// the latter exposes pool-size sensitivity that a fixed small K masks,
+// because the top-K regions stabilise at small pools.
+func RunFig8(env *StockEnv, cfg Fig8Config) ([]Fig8Point, error) {
+	if cfg.K == 0 {
+		cfg.K = 100
+	}
+	var out []Fig8Point
+	eval := func(pool, iters, k int) error {
+		nres, err := noloss.Build(env.World, env.Train, noloss.Config{PoolSize: pool, Iterations: iters})
+		if err != nil {
+			return err
+		}
+		costs, err := sim.EvaluateNoLoss(env.Model, env.World, nres, k, env.Matcher, env.Eval)
+		if err != nil {
+			return err
+		}
+		out = append(out, Fig8Point{
+			PoolSize:   pool,
+			Iterations: iters,
+			K:          k,
+			Network:    sim.Improvement(env.Baselines, costs.Network),
+		})
+		return nil
+	}
+	for _, pool := range cfg.PoolSizes {
+		if err := eval(pool, cfg.FixedIters, cfg.K); err != nil {
+			return nil, fmt.Errorf("experiments: fig8 pool=%d: %w", pool, err)
+		}
+	}
+	for _, pool := range cfg.PoolSizes {
+		if err := eval(pool, cfg.FixedIters, pool); err != nil {
+			return nil, fmt.Errorf("experiments: fig8 pool=%d k=pool: %w", pool, err)
+		}
+	}
+	for _, iters := range cfg.Iterations {
+		if err := eval(cfg.FixedPool, iters, cfg.K); err != nil {
+			return nil, fmt.Errorf("experiments: fig8 iters=%d: %w", iters, err)
+		}
+	}
+	return out, nil
+}
+
+// Fig9Series is Figure 9: the same algorithm comparison run on two
+// networks generated with different seeds, demonstrating topology
+// robustness.
+type Fig9Series struct {
+	Seed   int64
+	Points []Fig7Point
+}
+
+// RunFig9 runs the Figure 7 sweep on two environments differing only in
+// seed.
+func RunFig9(base StockEnvConfig, seeds [2]int64, ks []int, specs []AlgorithmSpec, nolossCfg noloss.Config) ([2]Fig9Series, error) {
+	var out [2]Fig9Series
+	for i, seed := range seeds {
+		cfg := base
+		cfg.Seed = seed
+		env, err := NewStockEnv(cfg)
+		if err != nil {
+			return out, fmt.Errorf("experiments: fig9 seed %d: %w", seed, err)
+		}
+		pts, err := RunFig7(env, ks, specs, nolossCfg)
+		if err != nil {
+			return out, fmt.Errorf("experiments: fig9 seed %d: %w", seed, err)
+		}
+		out[i] = Fig9Series{Seed: seed, Points: pts}
+	}
+	return out, nil
+}
+
+// Fig10Point is one point of Figures 10/11: quality and clustering wall
+// time as a function of the cell budget fed to an algorithm.
+type Fig10Point struct {
+	Alg         string
+	Budget      int
+	Improvement float64 // network multicast improvement %
+	Elapsed     time.Duration
+}
+
+// Fig10Config selects the sweep.
+type Fig10Config struct {
+	Budgets []int
+	K       int
+}
+
+// DefaultFig10 mirrors the paper's cell-count sweep.
+func DefaultFig10() Fig10Config {
+	return Fig10Config{
+		Budgets: []int{250, 500, 1000, 2000, 4000, 6000},
+		K:       100,
+	}
+}
+
+// RunFig10 sweeps the cell budget for each algorithm, measuring solution
+// quality and clustering time. Figure 11 (quality as a function of time)
+// is a re-plot of the same points.
+func RunFig10(env *StockEnv, specs []AlgorithmSpec, cfg Fig10Config) ([]Fig10Point, error) {
+	if specs == nil {
+		specs = DefaultAlgorithms()
+	}
+	if cfg.K == 0 {
+		cfg.K = 100
+	}
+	if len(cfg.Budgets) == 0 {
+		cfg.Budgets = DefaultFig10().Budgets
+	}
+	var out []Fig10Point
+	for _, spec := range specs {
+		for _, budget := range cfg.Budgets {
+			if spec.MaxBudget > 0 && budget > spec.MaxBudget {
+				continue
+			}
+			s := spec
+			s.Budget = budget
+			costs, elapsed, err := env.runGrid(s, cfg.K, sim.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig10 %s budget=%d: %w", spec.Alg.Name(), budget, err)
+			}
+			out = append(out, Fig10Point{
+				Alg:         spec.Alg.Name(),
+				Budget:      budget,
+				Improvement: sim.Improvement(env.Baselines, costs.Network),
+				Elapsed:     elapsed,
+			})
+		}
+	}
+	return out, nil
+}

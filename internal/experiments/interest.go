@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/matching"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// InterestProfile summarises, for one configuration, the distribution of
+// the per-event interested-node fraction — the §3 argument for why
+// multicast pays off in some regimes and not in others.
+//
+// The paper: "The Gryphon framework has a 100 node network, with an
+// average of 125 subscriptions for each of the 80 nodes … the number of
+// nodes interested in this publication will either be very high or very
+// low", so broadcast + unicast suffice there, while "for larger networks
+// with relatively fewer subscriptions … multicast is most beneficial".
+type InterestProfile struct {
+	Label     string
+	Nodes     int
+	Subs      int
+	Histogram [10]float64 // share of events whose interest fraction falls in [i/10, (i+1)/10)
+	MeanFrac  float64
+}
+
+// InterestSpec identifies one configuration to profile.
+type InterestSpec struct {
+	Label string
+	Net   topology.Config
+	Subs  int
+	Dist  workload.PrefDist
+}
+
+// GryphonSpecs contrasts the Gryphon-like regime (small network, ~125
+// subscriptions per node) with the paper's regime (large network, few
+// subscriptions per node).
+func GryphonSpecs() []InterestSpec {
+	return []InterestSpec{
+		{Label: "gryphon-like (100 nodes, 10000 subs)", Net: topology.Net100, Subs: 10000, Dist: workload.Gaussian},
+		{Label: "paper regime (600 nodes, 1000 subs)", Net: topology.Net600, Subs: 1000, Dist: workload.Gaussian},
+	}
+}
+
+// RunInterestProfile measures the interested-node fraction distribution
+// for each spec, using the §3 workload with regionalism 0.
+func RunInterestProfile(specs []InterestSpec, events int, seed int64) ([]InterestProfile, error) {
+	if len(specs) == 0 {
+		specs = GryphonSpecs()
+	}
+	if events == 0 {
+		events = 400
+	}
+	out := make([]InterestProfile, 0, len(specs))
+	for i, spec := range specs {
+		topo := spec.Net
+		topo.Seed = seed
+		g, err := topology.Generate(topo)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: interest %q: %w", spec.Label, err)
+		}
+		w, err := workload.NewRegionalWorld(g, workload.RegionalConfig{
+			NumSubscriptions: spec.Subs,
+			Regionalism:      0,
+			Dist:             spec.Dist,
+			Seed:             seed + int64(i) + 1,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: interest %q: %w", spec.Label, err)
+		}
+		m, err := matching.NewRTree(w)
+		if err != nil {
+			return nil, err
+		}
+		p := InterestProfile{Label: spec.Label, Nodes: g.NumNodes(), Subs: spec.Subs}
+		evs := w.Events(events, seed+int64(i)+1000)
+		for _, e := range evs {
+			nodes := matching.InterestedNodes(w, m.Match(e.Point))
+			frac := float64(len(nodes)) / float64(g.NumNodes())
+			bucket := int(frac * 10)
+			if bucket > 9 {
+				bucket = 9
+			}
+			p.Histogram[bucket]++
+			p.MeanFrac += frac
+		}
+		for b := range p.Histogram {
+			p.Histogram[b] /= float64(len(evs))
+		}
+		p.MeanFrac /= float64(len(evs))
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// RenderInterestProfile writes the profiles as decile tables.
+func RenderInterestProfile(w io.Writer, title string, ps []InterestProfile) error {
+	fmt.Fprintf(w, "%s\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "configuration\tmean frac\t0-10%\t10-20%\t…\t80-90%\t90-100%")
+	for _, p := range ps {
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%.2f\t…\t%.2f\t%.2f\n",
+			p.Label, p.MeanFrac, p.Histogram[0], p.Histogram[1], p.Histogram[8], p.Histogram[9])
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nfull deciles:")
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for _, p := range ps {
+		fmt.Fprintf(tw, "%s\t", p.Label)
+		for _, h := range p.Histogram {
+			fmt.Fprintf(tw, "%.2f\t", h)
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/multicast"
+	"repro/internal/noloss"
+	"repro/internal/sim"
+)
+
+// inputCache memoises BuildInput per cell budget so concurrent jobs on the
+// same environment rasterise subscriptions once per budget.
+type inputCache struct {
+	env *StockEnv
+	mu  sync.Mutex
+	m   map[int]*cluster.Input
+}
+
+func newInputCache(env *StockEnv) *inputCache {
+	return &inputCache{env: env, m: make(map[int]*cluster.Input)}
+}
+
+func (c *inputCache) get(budget int) (*cluster.Input, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if in, ok := c.m[budget]; ok {
+		return in, nil
+	}
+	in, err := cluster.BuildInput(c.env.World, c.env.Grid, c.env.Train, budget)
+	if err != nil {
+		return nil, err
+	}
+	c.m[budget] = in
+	return in, nil
+}
+
+// RunFig7Parallel computes the same points as RunFig7 using a worker pool.
+// Each worker owns a private cost model (the shared one caches
+// shortest-path trees lazily and is not safe for concurrent use); the
+// clustering Input per budget is built once and shared read-only. workers
+// ≤ 0 selects GOMAXPROCS. Results are identical to the sequential runner
+// and returned in the same order.
+func RunFig7Parallel(env *StockEnv, ks []int, specs []AlgorithmSpec, nolossCfg noloss.Config, workers int) ([]Fig7Point, error) {
+	if len(ks) == 0 {
+		ks = DefaultKs()
+	}
+	if specs == nil {
+		specs = DefaultAlgorithms()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	type job struct {
+		idx  int
+		spec AlgorithmSpec // zero Alg ⇒ no-loss job
+		k    int
+	}
+	njobs := len(specs)*len(ks) + len(ks)
+	jobs := make([]job, 0, njobs)
+	for _, spec := range specs {
+		for _, k := range ks {
+			jobs = append(jobs, job{idx: len(jobs), spec: spec, k: k})
+		}
+	}
+	for _, k := range ks {
+		jobs = append(jobs, job{idx: len(jobs), k: k})
+	}
+
+	// No-Loss groups are shared by every no-loss job; build once up front.
+	nres, err := noloss.Build(env.World, env.Train, nolossCfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: parallel fig7 no-loss build: %w", err)
+	}
+
+	cache := newInputCache(env)
+	out := make([]Fig7Point, njobs)
+	errs := make([]error, njobs)
+	jobCh := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			model := multicast.NewModel(env.World.Graph)
+			for j := range jobCh {
+				out[j.idx], errs[j.idx] = runOne(env, cache, model, nres, j.spec, j.k)
+			}
+		}()
+	}
+	for _, j := range jobs {
+		jobCh <- j
+	}
+	close(jobCh)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// runOne executes a single (algorithm, k) job against a private model.
+func runOne(env *StockEnv, cache *inputCache, model *multicast.Model, nres *noloss.Result, spec AlgorithmSpec, k int) (Fig7Point, error) {
+	if spec.Alg == nil {
+		costs, err := sim.EvaluateNoLoss(model, env.World, nres, k, env.Matcher, env.Eval)
+		if err != nil {
+			return Fig7Point{}, fmt.Errorf("experiments: parallel no-loss k=%d: %w", k, err)
+		}
+		return Fig7Point{
+			Alg:      "no-loss",
+			K:        k,
+			Network:  sim.Improvement(env.Baselines, costs.Network),
+			AppLevel: sim.Improvement(env.Baselines, costs.AppLevel),
+		}, nil
+	}
+	in, err := cache.get(spec.Budget)
+	if err != nil {
+		return Fig7Point{}, err
+	}
+	assign, err := spec.Alg.Cluster(in, k)
+	if err != nil {
+		return Fig7Point{}, fmt.Errorf("experiments: parallel %s k=%d: %w", spec.Alg.Name(), k, err)
+	}
+	res, err := cluster.BuildResult(in, assign)
+	if err != nil {
+		return Fig7Point{}, err
+	}
+	costs, err := sim.EvaluateGrid(model, env.World, env.Grid, res, env.Matcher, env.Eval, sim.Options{})
+	if err != nil {
+		return Fig7Point{}, err
+	}
+	return Fig7Point{
+		Alg:      spec.Alg.Name(),
+		K:        k,
+		Network:  sim.Improvement(env.Baselines, costs.Network),
+		AppLevel: sim.Improvement(env.Baselines, costs.AppLevel),
+	}, nil
+}

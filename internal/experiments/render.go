@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// RenderTable writes Table 1/2 style rows as an aligned text table.
+func RenderTable(w io.Writer, title string, rows []TableRow) error {
+	fmt.Fprintf(w, "%s\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Node\tSub'n\tDist'n\tUnicast\tBroadcast\tIdeal")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%d\t%s\t%.0f\t%.0f\t%.0f\n",
+			r.Nodes, r.Subs, r.Dist, r.Unicast, r.Broadcast, r.Ideal)
+	}
+	return tw.Flush()
+}
+
+// RenderTableCSV writes Table rows as CSV.
+func RenderTableCSV(w io.Writer, rows []TableRow) error {
+	if _, err := fmt.Fprintln(w, "nodes,subs,dist,unicast,broadcast,ideal"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%d,%d,%s,%.2f,%.2f,%.2f\n",
+			r.Nodes, r.Subs, r.Dist, r.Unicast, r.Broadcast, r.Ideal); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderFig7 writes Figure 7 points grouped by algorithm, one series per
+// block, K ascending.
+func RenderFig7(w io.Writer, title string, pts []Fig7Point) error {
+	fmt.Fprintf(w, "%s\n", title)
+	byAlg := map[string][]Fig7Point{}
+	var order []string
+	for _, p := range pts {
+		if _, ok := byAlg[p.Alg]; !ok {
+			order = append(order, p.Alg)
+		}
+		byAlg[p.Alg] = append(byAlg[p.Alg], p)
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "algorithm\tK\tnetwork %\tapp-level %")
+	for _, alg := range order {
+		series := byAlg[alg]
+		sort.Slice(series, func(i, j int) bool { return series[i].K < series[j].K })
+		for _, p := range series {
+			fmt.Fprintf(tw, "%s\t%d\t%.1f\t%.1f\n", p.Alg, p.K, p.Network, p.AppLevel)
+		}
+	}
+	return tw.Flush()
+}
+
+// RenderFig7CSV writes Figure 7 points as CSV.
+func RenderFig7CSV(w io.Writer, pts []Fig7Point) error {
+	if _, err := fmt.Fprintln(w, "algorithm,k,network_improvement,applevel_improvement"); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if _, err := fmt.Fprintf(w, "%s,%d,%.3f,%.3f\n", p.Alg, p.K, p.Network, p.AppLevel); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderFig8 writes the No-Loss parameter sweep.
+func RenderFig8(w io.Writer, title string, pts []Fig8Point) error {
+	fmt.Fprintf(w, "%s\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "rectangles\titerations\tgroups\timprovement %")
+	for _, p := range pts {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%.1f\n", p.PoolSize, p.Iterations, p.K, p.Network)
+	}
+	return tw.Flush()
+}
+
+// RenderFig8CSV writes Figure 8 points as CSV.
+func RenderFig8CSV(w io.Writer, pts []Fig8Point) error {
+	if _, err := fmt.Fprintln(w, "pool_size,iterations,groups,network_improvement"); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%.3f\n", p.PoolSize, p.Iterations, p.K, p.Network); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderFig10 writes the quality/time sweep (Figures 10 and 11 share it).
+func RenderFig10(w io.Writer, title string, pts []Fig10Point) error {
+	fmt.Fprintf(w, "%s\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "algorithm\tcells\timprovement %\ttime")
+	for _, p := range pts {
+		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%v\n", p.Alg, p.Budget, p.Improvement, p.Elapsed.Round(1e6))
+	}
+	return tw.Flush()
+}
+
+// RenderFig10CSV writes Figure 10/11 points as CSV.
+func RenderFig10CSV(w io.Writer, pts []Fig10Point) error {
+	if _, err := fmt.Fprintln(w, "algorithm,cells,network_improvement,seconds"); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if _, err := fmt.Fprintf(w, "%s,%d,%.3f,%.6f\n", p.Alg, p.Budget, p.Improvement, p.Elapsed.Seconds()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderBaseline writes the §5.2 absolute baseline costs.
+func RenderBaseline(w io.Writer, r BaselineResult) {
+	fmt.Fprintf(w, "§5.2 baseline (%d nodes, %d subscriptions):\n", r.Nodes, r.Subs)
+	fmt.Fprintf(w, "  unicast   %.0f\n", r.Baselines.Unicast)
+	fmt.Fprintf(w, "  broadcast %.0f\n", r.Baselines.Broadcast)
+	fmt.Fprintf(w, "  ideal     %.0f\n", r.Baselines.Ideal)
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/matching"
+	"repro/internal/multicast"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// TableRowSpec identifies one row of Table 1 or 2: a network size, a
+// subscription count and a distribution family.
+type TableRowSpec struct {
+	Net  topology.Config
+	Subs int
+	Dist workload.PrefDist
+}
+
+// TableRow is one measured row: per-event average costs of the three
+// reference schemes.
+type TableRow struct {
+	Nodes     int
+	Subs      int
+	Dist      workload.PrefDist
+	Unicast   float64
+	Broadcast float64
+	Ideal     float64
+}
+
+// Table1Rows reproduces the row list of Table 1 (regionalism 0.4).
+func Table1Rows() []TableRowSpec {
+	return []TableRowSpec{
+		{topology.Net100, 5000, workload.Uniform},
+		{topology.Net100, 5000, workload.Gaussian},
+		{topology.Net100, 1000, workload.Uniform},
+		{topology.Net100, 1000, workload.Gaussian},
+		{topology.Net100, 80, workload.Uniform},
+		{topology.Net100, 80, workload.Gaussian},
+		{topology.Net300, 5000, workload.Uniform},
+		{topology.Net300, 1000, workload.Uniform},
+		{topology.Net300, 350, workload.Uniform},
+		{topology.Net600, 10000, workload.Uniform},
+		{topology.Net600, 10000, workload.Gaussian},
+		{topology.Net600, 5000, workload.Uniform},
+		{topology.Net600, 5000, workload.Gaussian},
+		{topology.Net600, 1000, workload.Uniform},
+		{topology.Net600, 1000, workload.Gaussian},
+	}
+}
+
+// Table2Rows reproduces the row list of Table 2 (no regionalism).
+func Table2Rows() []TableRowSpec {
+	return []TableRowSpec{
+		{topology.Net100, 5000, workload.Uniform},
+		{topology.Net100, 5000, workload.Gaussian},
+		{topology.Net100, 1000, workload.Uniform},
+		{topology.Net100, 1000, workload.Gaussian},
+		{topology.Net100, 80, workload.Uniform},
+		{topology.Net100, 80, workload.Gaussian},
+		{topology.Net300, 5000, workload.Uniform},
+		{topology.Net300, 5000, workload.Gaussian},
+		{topology.Net300, 1000, workload.Uniform},
+		{topology.Net300, 1000, workload.Gaussian},
+		{topology.Net300, 80, workload.Uniform},
+		{topology.Net300, 80, workload.Gaussian},
+		{topology.Net600, 10000, workload.Uniform},
+		{topology.Net600, 10000, workload.Gaussian},
+		{topology.Net600, 5000, workload.Uniform},
+		{topology.Net600, 5000, workload.Gaussian},
+		{topology.Net600, 1000, workload.Uniform},
+		{topology.Net600, 1000, workload.Gaussian},
+	}
+}
+
+// TableConfig parameterises a Table 1/2 run.
+type TableConfig struct {
+	Regionalism float64
+	Rows        []TableRowSpec
+	Events      int // per-row replayed events; defaults to 300
+	Seed        int64
+}
+
+// RunTable measures one Table 1/2 style table. Topologies are cached per
+// network config so rows on the same network share a graph, as in the
+// paper.
+func RunTable(cfg TableConfig) ([]TableRow, error) {
+	if cfg.Events == 0 {
+		cfg.Events = 300
+	}
+	if len(cfg.Rows) == 0 {
+		return nil, fmt.Errorf("experiments: no table rows")
+	}
+	graphs := map[topology.Config]*topology.Graph{}
+	models := map[topology.Config]*multicast.Model{}
+	out := make([]TableRow, 0, len(cfg.Rows))
+	for i, row := range cfg.Rows {
+		g, ok := graphs[row.Net]
+		if !ok {
+			topo := row.Net
+			topo.Seed = cfg.Seed
+			var err error
+			g, err = topology.Generate(topo)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: row %d topology: %w", i, err)
+			}
+			graphs[row.Net] = g
+			models[row.Net] = multicast.NewModel(g)
+		}
+		w, err := workload.NewRegionalWorld(g, workload.RegionalConfig{
+			NumSubscriptions: row.Subs,
+			Regionalism:      cfg.Regionalism,
+			Dist:             row.Dist,
+			Seed:             cfg.Seed + int64(i) + 1,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: row %d workload: %w", i, err)
+		}
+		m, err := matching.NewRTree(w)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: row %d matcher: %w", i, err)
+		}
+		events := w.Events(cfg.Events, cfg.Seed+int64(i)+1000)
+		b, err := sim.MeasureBaselines(models[row.Net], w, m, events)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: row %d baselines: %w", i, err)
+		}
+		out = append(out, TableRow{
+			Nodes:     g.NumNodes(),
+			Subs:      row.Subs,
+			Dist:      row.Dist,
+			Unicast:   b.Unicast,
+			Broadcast: b.Broadcast,
+			Ideal:     b.Ideal,
+		})
+	}
+	return out, nil
+}
+
+// BaselineResult reproduces the §5.2 absolute numbers for the one-mode
+// gaussian stock workload (paper: unicast 7139, broadcast 8536, ideal
+// 1763).
+type BaselineResult struct {
+	Baselines sim.Baselines
+	Nodes     int
+	Subs      int
+}
+
+// RunBaseline measures the §5.2 baseline on a fresh stock environment.
+func RunBaseline(cfg StockEnvConfig) (BaselineResult, error) {
+	env, err := NewStockEnv(cfg)
+	if err != nil {
+		return BaselineResult{}, err
+	}
+	return BaselineResult{
+		Baselines: env.Baselines,
+		Nodes:     env.World.Graph.NumNodes(),
+		Subs:      len(env.World.Subs),
+	}, nil
+}

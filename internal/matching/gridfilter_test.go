@@ -1,0 +1,100 @@
+package matching
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/space"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func TestGridFilterMatchesBrute(t *testing.T) {
+	w, evs := stockWorld(t, 600, 70)
+	grid, err := space.NewGrid(w.Axes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf, err := NewGridFilter(w, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brute := NewBrute(w)
+	nonEmpty := 0
+	for _, e := range evs {
+		got := gf.Match(e.Point)
+		want := brute.Match(e.Point)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("mismatch at %v: grid %v brute %v", e.Point, got, want)
+		}
+		if len(want) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 0 {
+		t.Fatal("workload degenerate")
+	}
+}
+
+func TestGridFilterOutsideGridFallback(t *testing.T) {
+	w, _ := stockWorld(t, 200, 71)
+	grid, err := space.NewGrid(w.Axes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf, err := NewGridFilter(w, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brute := NewBrute(w)
+	// A point far outside the grid; wildcard-ish subscriptions may still
+	// match and must be found by the fallback scan.
+	p := space.Point{-100, -100, -100, -100}
+	if !reflect.DeepEqual(gf.Match(p), brute.Match(p)) {
+		t.Error("fallback scan differs from oracle")
+	}
+}
+
+func TestGridFilterValidation(t *testing.T) {
+	w, _ := stockWorld(t, 50, 72)
+	grid, _ := space.NewGrid(w.Axes)
+	if _, err := NewGridFilter(nil, grid); err == nil {
+		t.Error("nil world accepted")
+	}
+	if _, err := NewGridFilter(w, nil); err == nil {
+		t.Error("nil grid accepted")
+	}
+	bad, _ := space.UniformGrid(2, 0, 1, 2)
+	if _, err := NewGridFilter(w, bad); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	if _, err := NewGridFilter(&workload.World{}, grid); err == nil {
+		t.Error("empty world accepted")
+	}
+}
+
+func BenchmarkGridFilterMatch(b *testing.B) {
+	cfg := topology.Eval600
+	cfg.Seed = 46
+	g, err := topology.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := workload.NewStockWorld(g, workload.StockConfig{NumSubscriptions: 5000, PubModes: 1, Seed: 47})
+	if err != nil {
+		b.Fatal(err)
+	}
+	grid, err := space.NewGrid(w.Axes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gf, err := NewGridFilter(w, grid)
+	if err != nil {
+		b.Fatal(err)
+	}
+	evs := w.Events(512, 48)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = gf.Match(evs[i%len(evs)].Point)
+	}
+}

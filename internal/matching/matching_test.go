@@ -1,0 +1,278 @@
+package matching
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/noloss"
+	"repro/internal/space"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func stockWorld(t *testing.T, subs int, seed int64) (*workload.World, []workload.Event) {
+	t.Helper()
+	cfg := topology.Eval600
+	cfg.Seed = seed
+	g, err := topology.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.NewStockWorld(g, workload.StockConfig{
+		NumSubscriptions: subs, PubModes: 1, Seed: seed + 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, w.Events(500, seed+2)
+}
+
+func TestRTreeMatchesBrute(t *testing.T) {
+	w, evs := stockWorld(t, 800, 40)
+	brute := NewBrute(w)
+	idx, err := NewRTree(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonEmpty := 0
+	for _, e := range evs {
+		got := idx.Match(e.Point)
+		want := brute.Match(e.Point)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("match mismatch for %v: rtree %v brute %v", e.Point, got, want)
+		}
+		if len(want) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 0 {
+		t.Fatal("no event matched any subscription; workload degenerate")
+	}
+}
+
+func TestNewRTreeEmptyWorld(t *testing.T) {
+	if _, err := NewRTree(nil); err == nil {
+		t.Error("nil world accepted")
+	}
+	if _, err := NewRTree(&workload.World{}); err == nil {
+		t.Error("empty world accepted")
+	}
+}
+
+func TestInterestedNodesDedup(t *testing.T) {
+	w, _ := stockWorld(t, 50, 41)
+	// Construct duplicate owners artificially.
+	owner := w.Subs[0].Owner
+	w.Subs[1].Owner = owner
+	nodes := InterestedNodes(w, []int{0, 1})
+	if len(nodes) != 1 || nodes[0] != owner {
+		t.Fatalf("InterestedNodes = %v", nodes)
+	}
+	if got := InterestedNodes(w, nil); len(got) != 0 {
+		t.Errorf("empty input gave %v", got)
+	}
+	// Sorted output.
+	nodes = InterestedNodes(w, []int{0, 1, 2, 3, 4})
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i] <= nodes[i-1] {
+			t.Fatal("InterestedNodes not strictly sorted")
+		}
+	}
+}
+
+func TestGridIndex(t *testing.T) {
+	w, evs := stockWorld(t, 300, 42)
+	grid, err := space.NewGrid(w.Axes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := cluster.BuildInput(w, grid, evs, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, err := (&cluster.KMeans{Variant: cluster.Forgy}).Cluster(in, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cluster.BuildResult(in, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gi, err := NewGridIndex(grid, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hits, misses := 0, 0
+	for _, e := range evs {
+		g, ok := gi.GroupFor(e.Point)
+		if !ok {
+			misses++
+			continue
+		}
+		hits++
+		if g < 0 || g >= len(res.Groups) {
+			t.Fatalf("group index %d out of range", g)
+		}
+		// The group must agree with the direct cell lookup.
+		cid, ok := grid.Locate(e.Point)
+		if !ok {
+			t.Fatal("GroupFor hit but Locate missed")
+		}
+		if res.CellGroup[cid] != g {
+			t.Fatal("GroupFor disagrees with CellGroup")
+		}
+	}
+	if hits == 0 {
+		t.Fatal("no event routed to any group")
+	}
+	_ = misses
+}
+
+func TestGridIndexNil(t *testing.T) {
+	if _, err := NewGridIndex(nil, nil); err == nil {
+		t.Error("nil args accepted")
+	}
+}
+
+// TestGridIndexCoversInterested: when an event routes to a group, every
+// interested subscriber must be inside that group (the framework
+// guarantee that makes grid multicast lossless on clustered cells).
+func TestGridIndexCoversInterested(t *testing.T) {
+	w, evs := stockWorld(t, 300, 43)
+	grid, err := space.NewGrid(w.Axes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := cluster.BuildInput(w, grid, evs, 0) // no budget: all cells clustered
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, err := cluster.MST{}.Cluster(in, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cluster.BuildResult(in, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gi, _ := NewGridIndex(grid, res)
+	brute := NewBrute(w)
+	for _, e := range evs {
+		g, ok := gi.GroupFor(e.Point)
+		if !ok {
+			continue
+		}
+		for _, si := range brute.Match(e.Point) {
+			idx, _ := w.SubscriberIndex(w.Subs[si].Owner)
+			if !res.Groups[g].Members.Test(idx) {
+				t.Fatalf("interested subscriber %d missing from routed group", idx)
+			}
+		}
+	}
+}
+
+func TestNoLossIndex(t *testing.T) {
+	w, evs := stockWorld(t, 400, 44)
+	res, err := noloss.Build(w, evs, noloss.Config{PoolSize: 600, Iterations: 4, Seeds: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := NewNoLossIndex(res, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Groups()) > 50 {
+		t.Fatalf("indexed %d groups", len(idx.Groups()))
+	}
+	routed := 0
+	for _, e := range evs {
+		g, ok := idx.GroupFor(e.Point)
+		if !ok {
+			continue
+		}
+		routed++
+		// Containment and maximal weight among containing groups.
+		if !idx.Groups()[g].Rect.Contains(e.Point) {
+			t.Fatal("routed group does not contain event")
+		}
+		for j := 0; j < g; j++ {
+			if idx.Groups()[j].Rect.Contains(e.Point) {
+				t.Fatal("a higher-weight containing group was skipped")
+			}
+		}
+	}
+	if routed == 0 {
+		t.Fatal("no event routed")
+	}
+}
+
+func TestNoLossIndexValidation(t *testing.T) {
+	if _, err := NewNoLossIndex(nil, 5); err == nil {
+		t.Error("nil result accepted")
+	}
+	w, evs := stockWorld(t, 50, 45)
+	res, err := noloss.Build(w, evs, noloss.Config{PoolSize: 20, Iterations: 1, Seeds: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewNoLossIndex(res, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	// k beyond the pool is clamped.
+	idx, err := NewNoLossIndex(res, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Groups()) != len(res.Groups) {
+		t.Error("clamp failed")
+	}
+}
+
+func BenchmarkRTreeMatch(b *testing.B) {
+	cfg := topology.Eval600
+	cfg.Seed = 46
+	g, err := topology.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := workload.NewStockWorld(g, workload.StockConfig{NumSubscriptions: 5000, PubModes: 1, Seed: 47})
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := NewRTree(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	evs := w.Events(512, 48)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = idx.Match(evs[i%len(evs)].Point)
+	}
+}
+
+func BenchmarkBruteMatch(b *testing.B) {
+	cfg := topology.Eval600
+	cfg.Seed = 46
+	g, err := topology.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := workload.NewStockWorld(g, workload.StockConfig{NumSubscriptions: 5000, PubModes: 1, Seed: 47})
+	if err != nil {
+		b.Fatal(err)
+	}
+	brute := NewBrute(w)
+	evs := w.Events(512, 48)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = brute.Match(evs[i%len(evs)].Point)
+	}
+}
+
+// newWorldGrid builds the world's suggested grid (test helper shared with
+// the cross-matcher tests).
+func newWorldGrid(w *workload.World) (*space.Grid, error) {
+	return space.NewGrid(w.Axes)
+}

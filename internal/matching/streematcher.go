@@ -1,0 +1,39 @@
+package matching
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/space"
+	"repro/internal/stree"
+	"repro/internal/workload"
+)
+
+// STree is the fourth exact matcher: the unbalanced split-tree index of
+// the paper's ref [1] (see package stree). Cheaper to build than the
+// R*-tree and competitive on skewed subscription populations.
+type STree struct {
+	w    *workload.World
+	tree *stree.Tree
+}
+
+// NewSTree builds the index over the world's subscriptions.
+func NewSTree(w *workload.World) (*STree, error) {
+	if w == nil || len(w.Subs) == 0 {
+		return nil, fmt.Errorf("matching: empty world")
+	}
+	t := stree.New(w.Dim)
+	for i, s := range w.Subs {
+		if err := t.Insert(s.Rect, i); err != nil {
+			return nil, fmt.Errorf("matching: indexing subscription %d: %w", i, err)
+		}
+	}
+	return &STree{w: w, tree: t}, nil
+}
+
+// Match implements SubscriptionMatcher.
+func (t *STree) Match(p space.Point) []int {
+	out := t.tree.SearchPoint(p)
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,86 @@
+package matching
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func TestSTreeMatchesBrute(t *testing.T) {
+	w, evs := stockWorld(t, 700, 75)
+	idx, err := NewSTree(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brute := NewBrute(w)
+	for _, e := range evs {
+		got := idx.Match(e.Point)
+		want := brute.Match(e.Point)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("mismatch at %v: stree %v brute %v", e.Point, got, want)
+		}
+	}
+}
+
+func TestSTreeValidation(t *testing.T) {
+	if _, err := NewSTree(nil); err == nil {
+		t.Error("nil world accepted")
+	}
+	if _, err := NewSTree(&workload.World{}); err == nil {
+		t.Error("empty world accepted")
+	}
+}
+
+// TestAllMatchersAgree cross-checks all four exact matchers on one stream.
+func TestAllMatchersAgree(t *testing.T) {
+	w, evs := stockWorld(t, 500, 76)
+	rt, err := NewRTree(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewSTree(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := newWorldGrid(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf, err := NewGridFilter(w, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brute := NewBrute(w)
+	for _, e := range evs {
+		want := brute.Match(e.Point)
+		for name, m := range map[string]SubscriptionMatcher{"rtree": rt, "stree": st, "gridfilter": gf} {
+			if got := m.Match(e.Point); !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s disagrees at %v: %v vs %v", name, e.Point, got, want)
+			}
+		}
+	}
+}
+
+func BenchmarkSTreeMatch(b *testing.B) {
+	cfg := topology.Eval600
+	cfg.Seed = 46
+	g, err := topology.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := workload.NewStockWorld(g, workload.StockConfig{NumSubscriptions: 5000, PubModes: 1, Seed: 47})
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := NewSTree(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	evs := w.Events(512, 48)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = idx.Match(evs[i%len(evs)].Point)
+	}
+}

@@ -1,0 +1,142 @@
+package routing
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// UnionFind is a disjoint-set forest with union by rank and path halving.
+// It backs Kruskal's algorithm here and the MST clustering algorithm in the
+// cluster package (which stops Kruskal at K components, per the paper §4.4).
+type UnionFind struct {
+	parent []int
+	rank   []uint8
+	count  int
+}
+
+// NewUnionFind creates n singleton components.
+func NewUnionFind(n int) *UnionFind {
+	if n < 0 {
+		panic(fmt.Sprintf("routing: negative union-find size %d", n))
+	}
+	uf := &UnionFind{parent: make([]int, n), rank: make([]uint8, n), count: n}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+// Find returns the representative of x's component.
+func (uf *UnionFind) Find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+// Union merges the components of x and y, reporting whether a merge
+// happened (false when they were already joined).
+func (uf *UnionFind) Union(x, y int) bool {
+	rx, ry := uf.Find(x), uf.Find(y)
+	if rx == ry {
+		return false
+	}
+	if uf.rank[rx] < uf.rank[ry] {
+		rx, ry = ry, rx
+	}
+	uf.parent[ry] = rx
+	if uf.rank[rx] == uf.rank[ry] {
+		uf.rank[rx]++
+	}
+	uf.count--
+	return true
+}
+
+// Components returns the current number of disjoint components.
+func (uf *UnionFind) Components() int { return uf.count }
+
+// Same reports whether x and y are in one component.
+func (uf *UnionFind) Same(x, y int) bool { return uf.Find(x) == uf.Find(y) }
+
+// KruskalMST returns a minimum spanning forest of g as edges plus total
+// cost. For a connected graph this is the MST.
+func KruskalMST(g *topology.Graph) ([]topology.Edge, float64) {
+	edges := make([]topology.Edge, len(g.Edges()))
+	copy(edges, g.Edges())
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Cost != edges[j].Cost {
+			return edges[i].Cost < edges[j].Cost
+		}
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	uf := NewUnionFind(g.NumNodes())
+	var out []topology.Edge
+	total := 0.0
+	for _, e := range edges {
+		if uf.Union(int(e.U), int(e.V)) {
+			out = append(out, e)
+			total += e.Cost
+		}
+	}
+	return out, total
+}
+
+// OverlayMST computes a minimum spanning tree over the metric closure of
+// the given member nodes: the complete graph whose edge weights are
+// shortest-path (unicast) distances. This is the application-level
+// multicast overlay of the paper (§5.1): group members forward messages to
+// each other along this tree via unicast.
+//
+// It returns the total overlay cost and the tree edges (pairs of member
+// indices into the members slice). Prim's algorithm in O(k²) using the
+// all-pairs matrix. Panics if any pair of members is disconnected.
+func OverlayMST(ap *AllPairs, members []topology.NodeID) (float64, [][2]int) {
+	k := len(members)
+	if k == 0 {
+		return 0, nil
+	}
+	inTree := make([]bool, k)
+	best := make([]float64, k)
+	bestFrom := make([]int, k)
+	for i := range best {
+		best[i] = math.Inf(1)
+		bestFrom[i] = -1
+	}
+	inTree[0] = true
+	for j := 1; j < k; j++ {
+		best[j] = ap.Dist[members[0]][members[j]]
+		bestFrom[j] = 0
+	}
+	total := 0.0
+	edges := make([][2]int, 0, k-1)
+	for added := 1; added < k; added++ {
+		pick := -1
+		for j := 0; j < k; j++ {
+			if !inTree[j] && (pick == -1 || best[j] < best[pick]) {
+				pick = j
+			}
+		}
+		if math.IsInf(best[pick], 1) {
+			panic("routing: OverlayMST over disconnected members")
+		}
+		inTree[pick] = true
+		total += best[pick]
+		edges = append(edges, [2]int{bestFrom[pick], pick})
+		for j := 0; j < k; j++ {
+			if !inTree[j] {
+				if d := ap.Dist[members[pick]][members[j]]; d < best[j] {
+					best[j] = d
+					bestFrom[j] = pick
+				}
+			}
+		}
+	}
+	return total, edges
+}

@@ -1,0 +1,93 @@
+package rtree
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/space"
+)
+
+// FuzzTreeOps derives a deterministic op sequence from the fuzz input and
+// checks the tree against a linear-scan oracle plus structural invariants.
+func FuzzTreeOps(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0})
+	f.Add([]byte{255, 0, 255, 0, 128, 64, 32, 16, 8, 4, 2, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 512 {
+			t.Skip()
+		}
+		tr := New(2)
+		var oracle bruteIndex
+		type item struct {
+			rect space.Rect
+			id   int
+		}
+		var live []item
+		next := 0
+		// Consume 5 bytes per op: opcode + 4 coordinate bytes.
+		for i := 0; i+5 <= len(data); i += 5 {
+			op := data[i]
+			c := func(j int) float64 { return float64(data[i+1+j]) / 8 }
+			switch {
+			case op%3 != 0 || len(live) == 0: // insert
+				rect := space.Rect{
+					space.Span(c(0), c(0)+c(1)+0.125),
+					space.Span(c(2), c(2)+c(3)+0.125),
+				}
+				if err := tr.Insert(rect, next); err != nil {
+					t.Fatalf("insert: %v", err)
+				}
+				oracle.insert(rect, next)
+				live = append(live, item{rect, next})
+				next++
+			default: // delete
+				k := int(data[i+1]) % len(live)
+				it := live[k]
+				if !tr.Delete(it.rect, it.id) {
+					t.Fatal("delete of live item failed")
+				}
+				oracle.remove(it.rect, it.id)
+				live = append(live[:k], live[k+1:]...)
+			}
+		}
+		if tr.Len() != len(live) {
+			t.Fatalf("Len %d, want %d", tr.Len(), len(live))
+		}
+		if err := tr.checkInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		// Probe a grid of points against the oracle.
+		for x := 0.0; x <= 32; x += 7.5 {
+			for y := 0.0; y <= 32; y += 7.5 {
+				p := space.Point{x, y}
+				got := tr.SearchPoint(p)
+				want := oracle.searchPoint(p)
+				if len(got) != len(want) {
+					t.Fatalf("point %v: %d vs %d hits", p, len(got), len(want))
+				}
+			}
+		}
+	})
+}
+
+// FuzzClampRect checks that clamping preserves containment for finite
+// query points.
+func FuzzClampRect(f *testing.F) {
+	f.Add(0.0, 1.0, 0.5)
+	f.Add(math.Inf(-1), 5.0, -100.0)
+	f.Add(2.0, math.Inf(1), 1e17)
+	f.Fuzz(func(t *testing.T, lo, hi, x float64) {
+		if math.IsNaN(lo) || math.IsNaN(hi) || math.IsNaN(x) {
+			t.Skip()
+		}
+		if math.Abs(x) >= maxCoord {
+			t.Skip()
+		}
+		r := space.Rect{{Lo: lo, Hi: hi}}
+		c := clampRect(r)
+		if r.Contains(space.Point{x}) != c.Contains(space.Point{x}) {
+			t.Fatalf("clamp changed containment of %v in %v → %v", x, r, c)
+		}
+	})
+}

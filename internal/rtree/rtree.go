@@ -1,0 +1,576 @@
+// Package rtree implements an R*-tree (Beckmann, Kriegel, Schneider,
+// Seeger, SIGMOD 1990 — the paper's ref [5]) over axis-aligned half-open
+// rectangles. The pub-sub matching problem reduces to point-stabbing
+// queries: given an event ω, find all subscription rectangles containing
+// it. The tree supports insertion with forced reinsertion, the R* split
+// heuristic, deletion with tree condensation, and point/rect queries.
+//
+// Rectangles may have infinite sides (wildcard predicates); they are
+// clamped to ±maxCoord internally, which preserves all containment
+// relations for queries with coordinates inside (-maxCoord, maxCoord].
+package rtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/space"
+)
+
+const (
+	maxEntries    = 16                     // M
+	minEntries    = 6                      // m ≈ 40% of M
+	reinsertCount = 5                      // p ≈ 30% of M, entries re-inserted on first overflow
+	maxCoord      = math.MaxFloat64 / 1e16 // clamp for infinite rectangle sides
+)
+
+type entry struct {
+	rect  space.Rect // clamped MBR
+	child *node      // nil at leaves
+	data  int        // user id, valid at leaves
+}
+
+type node struct {
+	leaf    bool
+	level   int // 0 at leaves
+	entries []entry
+	parent  *node // nil at the root
+}
+
+// Tree is an R*-tree mapping rectangles to integer ids. The zero value is
+// not usable; call New.
+type Tree struct {
+	dim  int
+	root *node
+	size int
+}
+
+// New creates an empty tree over dim-dimensional rectangles.
+func New(dim int) *Tree {
+	if dim <= 0 {
+		panic(fmt.Sprintf("rtree: dimension %d", dim))
+	}
+	return &Tree{dim: dim, root: &node{leaf: true}}
+}
+
+// Len returns the number of stored rectangles.
+func (t *Tree) Len() int { return t.size }
+
+// Dim returns the tree's dimensionality.
+func (t *Tree) Dim() int { return t.dim }
+
+// clampRect copies r with infinite sides clamped to ±maxCoord.
+func clampRect(r space.Rect) space.Rect {
+	out := make(space.Rect, len(r))
+	for i, iv := range r {
+		lo, hi := iv.Lo, iv.Hi
+		if lo < -maxCoord {
+			lo = -maxCoord
+		}
+		if hi > maxCoord {
+			hi = maxCoord
+		}
+		out[i] = space.Interval{Lo: lo, Hi: hi}
+	}
+	return out
+}
+
+// Insert adds a rectangle with the given id. Empty rectangles are rejected.
+func (t *Tree) Insert(r space.Rect, id int) error {
+	if r.Dim() != t.dim {
+		return fmt.Errorf("rtree: rect dim %d, tree dim %d", r.Dim(), t.dim)
+	}
+	if r.Empty() {
+		return fmt.Errorf("rtree: empty rectangle %v", r)
+	}
+	reinserted := make(map[int]bool)
+	t.insert(entry{rect: clampRect(r), data: id}, 0, reinserted)
+	t.size++
+	return nil
+}
+
+// insert places e at the given level (0 = leaf).
+func (t *Tree) insert(e entry, level int, reinserted map[int]bool) {
+	n := t.chooseSubtree(e.rect, level)
+	if e.child != nil {
+		e.child.parent = n
+	}
+	n.entries = append(n.entries, e)
+	if len(n.entries) > maxEntries {
+		t.overflow(n, reinserted)
+	} else {
+		t.adjustUp(n)
+	}
+}
+
+// adjustUp recomputes MBRs from n to the root via parent pointers.
+func (t *Tree) adjustUp(n *node) {
+	for child := n; child.parent != nil; child = child.parent {
+		p := child.parent
+		for j := range p.entries {
+			if p.entries[j].child == child {
+				p.entries[j].rect = mbrOf(child.entries)
+				break
+			}
+		}
+	}
+}
+
+// chooseSubtree descends from the root to the node at the target level that
+// should receive a rectangle, using the R* criteria.
+func (t *Tree) chooseSubtree(r space.Rect, level int) *node {
+	n := t.root
+	for n.level > level {
+		childrenAreLeaves := n.level == 1
+		best := -1
+		var bestOverlap, bestEnl, bestArea float64
+		for i := range n.entries {
+			enl := enlargement(n.entries[i].rect, r)
+			area := areaOf(n.entries[i].rect)
+			var overlap float64
+			if childrenAreLeaves {
+				overlap = overlapEnlargement(n.entries, i, r)
+			}
+			better := false
+			switch {
+			case best == -1:
+				better = true
+			case childrenAreLeaves && overlap != bestOverlap:
+				better = overlap < bestOverlap
+			case enl != bestEnl:
+				better = enl < bestEnl
+			default:
+				better = area < bestArea
+			}
+			if better {
+				best, bestOverlap, bestEnl, bestArea = i, overlap, enl, area
+			}
+		}
+		n = n.entries[best].child
+	}
+	return n
+}
+
+// overflow handles a node with M+1 entries: forced reinsertion on the first
+// overflow at each level per insertion, split otherwise.
+func (t *Tree) overflow(n *node, reinserted map[int]bool) {
+	if n != t.root && !reinserted[n.level] {
+		reinserted[n.level] = true
+		t.reinsert(n, reinserted)
+		return
+	}
+	t.split(n, reinserted)
+}
+
+// reinsert removes the p entries whose centers lie farthest from the node
+// MBR center and re-inserts them (close reinsert: nearest first).
+func (t *Tree) reinsert(n *node, reinserted map[int]bool) {
+	center := rectCenter(mbrOf(n.entries))
+	type distEntry struct {
+		e entry
+		d float64
+	}
+	des := make([]distEntry, len(n.entries))
+	for i, e := range n.entries {
+		c := rectCenter(e.rect)
+		d := 0.0
+		for k := range c {
+			dd := c[k] - center[k]
+			d += dd * dd
+		}
+		des[i] = distEntry{e: e, d: d}
+	}
+	sort.SliceStable(des, func(i, j int) bool { return des[i].d < des[j].d })
+	keep := len(des) - reinsertCount
+	n.entries = n.entries[:0]
+	for i := 0; i < keep; i++ {
+		n.entries = append(n.entries, des[i].e)
+	}
+	t.adjustUp(n)
+	level := n.level
+	for i := keep; i < len(des); i++ {
+		t.insert(des[i].e, level, reinserted)
+	}
+}
+
+// split performs the R* topological split of an overfull node.
+func (t *Tree) split(n *node, reinserted map[int]bool) {
+	groupA, groupB := chooseSplit(n.entries, t.dim)
+
+	if n == t.root {
+		left := &node{leaf: n.leaf, level: n.level, entries: groupA}
+		right := &node{leaf: n.leaf, level: n.level, entries: groupB}
+		adoptChildren(left)
+		adoptChildren(right)
+		t.root = &node{
+			leaf:  false,
+			level: n.level + 1,
+			entries: []entry{
+				{rect: mbrOf(left.entries), child: left},
+				{rect: mbrOf(right.entries), child: right},
+			},
+		}
+		left.parent = t.root
+		right.parent = t.root
+		return
+	}
+
+	parent := n.parent
+	sibling := &node{leaf: n.leaf, level: n.level, entries: groupB, parent: parent}
+	n.entries = groupA
+	adoptChildren(n)
+	adoptChildren(sibling)
+	for j := range parent.entries {
+		if parent.entries[j].child == n {
+			parent.entries[j].rect = mbrOf(n.entries)
+		}
+	}
+	parent.entries = append(parent.entries, entry{rect: mbrOf(sibling.entries), child: sibling})
+	if len(parent.entries) > maxEntries {
+		t.overflow(parent, reinserted)
+	} else {
+		t.adjustUp(parent)
+	}
+}
+
+// adoptChildren points n's children back at n after a split moved them.
+func adoptChildren(n *node) {
+	if n.leaf {
+		return
+	}
+	for i := range n.entries {
+		n.entries[i].child.parent = n
+	}
+}
+
+// chooseSplit implements the R* split: pick the axis minimising the margin
+// sum over all valid distributions, then the distribution with minimal
+// overlap (ties by area).
+func chooseSplit(entries []entry, dim int) (a, b []entry) {
+	type dist struct {
+		left, right []entry
+		overlap     float64
+		area        float64
+	}
+	bestAxis := -1
+	var bestMargin float64
+	var bestDists []dist
+
+	for axis := 0; axis < dim; axis++ {
+		for _, byHi := range []bool{false, true} {
+			es := make([]entry, len(entries))
+			copy(es, entries)
+			ax := axis
+			hi := byHi
+			sort.SliceStable(es, func(i, j int) bool {
+				if hi {
+					return es[i].rect[ax].Hi < es[j].rect[ax].Hi
+				}
+				return es[i].rect[ax].Lo < es[j].rect[ax].Lo
+			})
+			margin := 0.0
+			var dists []dist
+			for k := minEntries; k <= len(es)-minEntries; k++ {
+				left := append([]entry(nil), es[:k]...)
+				right := append([]entry(nil), es[k:]...)
+				lm, rm := mbrOf(left), mbrOf(right)
+				margin += marginOf(lm) + marginOf(rm)
+				dists = append(dists, dist{
+					left: left, right: right,
+					overlap: intersectArea(lm, rm),
+					area:    areaOf(lm) + areaOf(rm),
+				})
+			}
+			if bestAxis == -1 || margin < bestMargin {
+				bestAxis, bestMargin, bestDists = axis, margin, dists
+			}
+		}
+	}
+
+	best := 0
+	for i := 1; i < len(bestDists); i++ {
+		d, bd := bestDists[i], bestDists[best]
+		if d.overlap < bd.overlap || (d.overlap == bd.overlap && d.area < bd.area) {
+			best = i
+		}
+	}
+	return bestDists[best].left, bestDists[best].right
+}
+
+// SearchPoint returns the ids of all rectangles containing p, in
+// unspecified order.
+func (t *Tree) SearchPoint(p space.Point) []int {
+	if len(p) != t.dim {
+		panic(fmt.Sprintf("rtree: point dim %d, tree dim %d", len(p), t.dim))
+	}
+	var out []int
+	t.searchPoint(t.root, p, &out)
+	return out
+}
+
+func (t *Tree) searchPoint(n *node, p space.Point, out *[]int) {
+	for i := range n.entries {
+		if !n.entries[i].rect.Contains(p) {
+			continue
+		}
+		if n.leaf {
+			*out = append(*out, n.entries[i].data)
+		} else {
+			t.searchPoint(n.entries[i].child, p, out)
+		}
+	}
+}
+
+// SearchRect returns the ids of all rectangles intersecting q.
+func (t *Tree) SearchRect(q space.Rect) []int {
+	if q.Dim() != t.dim {
+		panic(fmt.Sprintf("rtree: rect dim %d, tree dim %d", q.Dim(), t.dim))
+	}
+	cq := clampRect(q)
+	var out []int
+	t.searchRect(t.root, cq, &out)
+	return out
+}
+
+func (t *Tree) searchRect(n *node, q space.Rect, out *[]int) {
+	for i := range n.entries {
+		if !n.entries[i].rect.Intersects(q) {
+			continue
+		}
+		if n.leaf {
+			*out = append(*out, n.entries[i].data)
+		} else {
+			t.searchRect(n.entries[i].child, q, out)
+		}
+	}
+}
+
+// Delete removes one rectangle previously inserted with Insert(r, id),
+// matching both the rectangle and the id. It reports whether an entry was
+// removed.
+func (t *Tree) Delete(r space.Rect, id int) bool {
+	if r.Dim() != t.dim {
+		return false
+	}
+	cr := clampRect(r)
+	leaf, idx := t.findLeaf(t.root, cr, id)
+	if leaf == nil {
+		return false
+	}
+	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
+	t.size--
+	t.condense(leaf)
+	// Shrink the root while it is a non-leaf with a single child.
+	for !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+		t.root.parent = nil
+	}
+	if len(t.root.entries) == 0 {
+		t.root = &node{leaf: true}
+	}
+	return true
+}
+
+func (t *Tree) findLeaf(n *node, r space.Rect, id int) (*node, int) {
+	for i := range n.entries {
+		e := n.entries[i]
+		if n.leaf {
+			if e.data == id && e.rect.Equal(r) {
+				return n, i
+			}
+		} else if e.rect.Intersects(r) {
+			if leaf, idx := t.findLeaf(e.child, r, id); leaf != nil {
+				return leaf, idx
+			}
+		}
+	}
+	return nil, -1
+}
+
+// condense walks from the shrunken leaf to the root, removing underfull
+// nodes and collecting their entries for re-insertion at the right level.
+func (t *Tree) condense(leaf *node) {
+	type orphan struct {
+		e     entry
+		level int
+	}
+	var orphans []orphan
+	for n := leaf; n.parent != nil; {
+		parent := n.parent
+		if len(n.entries) < minEntries {
+			for j := range parent.entries {
+				if parent.entries[j].child == n {
+					parent.entries = append(parent.entries[:j], parent.entries[j+1:]...)
+					break
+				}
+			}
+			for _, e := range n.entries {
+				orphans = append(orphans, orphan{e: e, level: n.level})
+			}
+		} else {
+			for j := range parent.entries {
+				if parent.entries[j].child == n {
+					parent.entries[j].rect = mbrOf(n.entries)
+					break
+				}
+			}
+		}
+		n = parent
+	}
+	for _, o := range orphans {
+		reinserted := make(map[int]bool)
+		t.insert(o.e, o.level, reinserted)
+	}
+}
+
+// --- geometry helpers (all on clamped, finite rects) ---
+
+func mbrOf(es []entry) space.Rect {
+	if len(es) == 0 {
+		return nil
+	}
+	out := es[0].rect.Clone()
+	for _, e := range es[1:] {
+		for d := range out {
+			if e.rect[d].Lo < out[d].Lo {
+				out[d].Lo = e.rect[d].Lo
+			}
+			if e.rect[d].Hi > out[d].Hi {
+				out[d].Hi = e.rect[d].Hi
+			}
+		}
+	}
+	return out
+}
+
+func areaOf(r space.Rect) float64 {
+	a := 1.0
+	for _, iv := range r {
+		a *= iv.Hi - iv.Lo
+	}
+	return a
+}
+
+func marginOf(r space.Rect) float64 {
+	m := 0.0
+	for _, iv := range r {
+		m += iv.Hi - iv.Lo
+	}
+	return m
+}
+
+func intersectArea(a, b space.Rect) float64 {
+	v := 1.0
+	for d := range a {
+		lo := math.Max(a[d].Lo, b[d].Lo)
+		hi := math.Min(a[d].Hi, b[d].Hi)
+		if hi <= lo {
+			return 0
+		}
+		v *= hi - lo
+	}
+	return v
+}
+
+// enlargement is the area growth of r needed to cover q.
+func enlargement(r, q space.Rect) float64 {
+	grown := 1.0
+	for d := range r {
+		lo := math.Min(r[d].Lo, q[d].Lo)
+		hi := math.Max(r[d].Hi, q[d].Hi)
+		grown *= hi - lo
+	}
+	return grown - areaOf(r)
+}
+
+// overlapEnlargement is the growth in overlap between entry i and its
+// siblings if entry i absorbs q.
+func overlapEnlargement(es []entry, i int, q space.Rect) float64 {
+	grown := es[i].rect.Clone()
+	for d := range grown {
+		if q[d].Lo < grown[d].Lo {
+			grown[d].Lo = q[d].Lo
+		}
+		if q[d].Hi > grown[d].Hi {
+			grown[d].Hi = q[d].Hi
+		}
+	}
+	before, after := 0.0, 0.0
+	for j := range es {
+		if j == i {
+			continue
+		}
+		before += intersectArea(es[i].rect, es[j].rect)
+		after += intersectArea(grown, es[j].rect)
+	}
+	return after - before
+}
+
+func rectCenter(r space.Rect) []float64 {
+	c := make([]float64, len(r))
+	for d, iv := range r {
+		c[d] = (iv.Lo + iv.Hi) / 2
+	}
+	return c
+}
+
+// depth returns the height of the tree (for tests/diagnostics).
+func (t *Tree) depth() int {
+	d := 1
+	n := t.root
+	for !n.leaf {
+		n = n.entries[0].child
+		d++
+	}
+	return d
+}
+
+// checkInvariants validates structural invariants; used by tests.
+func (t *Tree) checkInvariants() error {
+	var walk func(n *node, isRoot bool) (int, error)
+	walk = func(n *node, isRoot bool) (int, error) {
+		if !isRoot && (len(n.entries) < minEntries || len(n.entries) > maxEntries) {
+			return 0, fmt.Errorf("rtree: node with %d entries", len(n.entries))
+		}
+		if len(n.entries) > maxEntries {
+			return 0, fmt.Errorf("rtree: overfull node with %d entries", len(n.entries))
+		}
+		if n.leaf {
+			if n.level != 0 {
+				return 0, fmt.Errorf("rtree: leaf at level %d", n.level)
+			}
+			return len(n.entries), nil
+		}
+		count := 0
+		for i := range n.entries {
+			child := n.entries[i].child
+			if child == nil {
+				return 0, fmt.Errorf("rtree: nil child in internal node")
+			}
+			if child.parent != n {
+				return 0, fmt.Errorf("rtree: broken parent pointer at level %d", n.level)
+			}
+			if child.level != n.level-1 {
+				return 0, fmt.Errorf("rtree: child level %d under level %d", child.level, n.level)
+			}
+			if !n.entries[i].rect.Equal(mbrOf(child.entries)) {
+				return 0, fmt.Errorf("rtree: stale MBR at level %d", n.level)
+			}
+			c, err := walk(child, false)
+			if err != nil {
+				return 0, err
+			}
+			count += c
+		}
+		return count, nil
+	}
+	count, err := walk(t.root, true)
+	if err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("rtree: size %d but %d entries reachable", t.size, count)
+	}
+	return nil
+}

@@ -1,0 +1,194 @@
+// Package sim replays event streams against a network, a subscription
+// population and a clustering solution, and accounts communication costs
+// exactly as the paper's experiments do (§3, §5.2):
+//
+//   - the unicast baseline pays one shortest path per *matching
+//     subscription* (no node deduplication — the paper's unicast numbers
+//     in Tables 1–2 only make sense under this accounting);
+//   - broadcast pays the publisher's full shortest-path tree;
+//   - ideal multicast pays the publisher's SPT pruned to the interested
+//     nodes — the normalisation ceiling;
+//   - a clustering solution pays the multicast cost of the routed group
+//     (network-supported dense mode or application-level overlay) plus
+//     per-node unicast for any interested node the group does not cover;
+//     events that no group covers fall back to per-node unicast.
+//
+// Improvement percentage normalises a solution between those poles:
+// 0% = unicast baseline, 100% = ideal multicast.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/matching"
+	"repro/internal/multicast"
+	"repro/internal/noloss"
+	"repro/internal/space"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Baselines are per-event average costs of the three reference schemes.
+type Baselines struct {
+	Unicast   float64
+	Broadcast float64
+	Ideal     float64
+}
+
+// MeasureBaselines replays events and accumulates the three reference
+// costs.
+func MeasureBaselines(m *multicast.Model, w *workload.World, sm matching.SubscriptionMatcher, events []workload.Event) (Baselines, error) {
+	if len(events) == 0 {
+		return Baselines{}, fmt.Errorf("sim: no events")
+	}
+	var b Baselines
+	for _, e := range events {
+		subs := sm.Match(e.Point)
+		nodes := matching.InterestedNodes(w, subs)
+		for _, si := range subs {
+			b.Unicast += m.Dist(e.Pub, w.Subs[si].Owner)
+		}
+		b.Broadcast += m.BroadcastCost(e.Pub)
+		b.Ideal += m.SPTCoverCost(e.Pub, nodes)
+	}
+	n := float64(len(events))
+	b.Unicast /= n
+	b.Broadcast /= n
+	b.Ideal /= n
+	return b, nil
+}
+
+// Costs are per-event average delivery costs of a clustering solution
+// under the two multicast frameworks.
+type Costs struct {
+	Network  float64 // network-supported dense-mode multicast
+	AppLevel float64 // application-level overlay multicast
+}
+
+// Options tune solution evaluation.
+type Options struct {
+	// Threshold is the Fig 5 optimisation: if the fraction of a routed
+	// group's members interested in the event is below Threshold, the
+	// event is unicast to the interested members instead of multicast to
+	// the group. 0 disables the optimisation (always multicast).
+	Threshold float64
+}
+
+// EvaluateGrid replays events against a grid-based clustering result.
+func EvaluateGrid(m *multicast.Model, w *workload.World, grid *space.Grid, res *cluster.Result, sm matching.SubscriptionMatcher, events []workload.Event, opts Options) (Costs, error) {
+	if len(events) == 0 {
+		return Costs{}, fmt.Errorf("sim: no events")
+	}
+	gi, err := matching.NewGridIndex(grid, res)
+	if err != nil {
+		return Costs{}, err
+	}
+	groupNodes := make([][]topology.NodeID, len(res.Groups))
+	overlays := make([]multicast.Overlay, len(res.Groups))
+	for i := range res.Groups {
+		groupNodes[i] = res.Groups[i].NodesOf(w)
+		overlays[i] = m.BuildOverlay(groupNodes[i])
+	}
+	memberOf := func(g int, n topology.NodeID) bool {
+		idx, ok := w.SubscriberIndex(n)
+		return ok && res.Groups[g].Members.Test(idx)
+	}
+
+	var c Costs
+	for _, e := range events {
+		nodes := matching.InterestedNodes(w, sm.Match(e.Point))
+		g, ok := gi.GroupFor(e.Point)
+		if ok && opts.Threshold > 0 && len(groupNodes[g]) > 0 {
+			interestedInGroup := 0
+			for _, n := range nodes {
+				if memberOf(g, n) {
+					interestedInGroup++
+				}
+			}
+			if float64(interestedInGroup)/float64(len(groupNodes[g])) < opts.Threshold {
+				ok = false // below threshold: unicast to interested only
+			}
+		}
+		if !ok {
+			u := unicastNodes(m, e.Pub, nodes)
+			c.Network += u
+			c.AppLevel += u
+			continue
+		}
+		c.Network += m.SPTCoverCost(e.Pub, groupNodes[g])
+		c.AppLevel += m.ALMCost(e.Pub, overlays[g])
+		// Grid groups cover every interested subscriber of a clustered
+		// cell by construction; no remainder unicast is needed.
+	}
+	n := float64(len(events))
+	c.Network /= n
+	c.AppLevel /= n
+	return c, nil
+}
+
+// EvaluateNoLoss replays events against the top-k groups of a No-Loss
+// result. Interested nodes outside the routed group are unicast.
+func EvaluateNoLoss(m *multicast.Model, w *workload.World, res *noloss.Result, k int, sm matching.SubscriptionMatcher, events []workload.Event) (Costs, error) {
+	if len(events) == 0 {
+		return Costs{}, fmt.Errorf("sim: no events")
+	}
+	idx, err := matching.NewNoLossIndex(res, k)
+	if err != nil {
+		return Costs{}, err
+	}
+	groups := idx.Groups()
+	groupNodes := make([][]topology.NodeID, len(groups))
+	overlays := make([]multicast.Overlay, len(groups))
+	for i := range groups {
+		groupNodes[i] = groups[i].NodesOf(w)
+		overlays[i] = m.BuildOverlay(groupNodes[i])
+	}
+
+	var c Costs
+	for _, e := range events {
+		nodes := matching.InterestedNodes(w, sm.Match(e.Point))
+		g, ok := idx.GroupFor(e.Point)
+		if !ok {
+			u := unicastNodes(m, e.Pub, nodes)
+			c.Network += u
+			c.AppLevel += u
+			continue
+		}
+		// Multicast to the group, unicast the uncovered remainder.
+		var rest []topology.NodeID
+		for _, n := range nodes {
+			si, ok := w.SubscriberIndex(n)
+			if !ok || !groups[g].Members.Test(si) {
+				rest = append(rest, n)
+			}
+		}
+		u := unicastNodes(m, e.Pub, rest)
+		c.Network += m.SPTCoverCost(e.Pub, groupNodes[g]) + u
+		c.AppLevel += m.ALMCost(e.Pub, overlays[g]) + u
+	}
+	n := float64(len(events))
+	c.Network /= n
+	c.AppLevel /= n
+	return c, nil
+}
+
+// unicastNodes is a per-node unicast (one copy per distinct node).
+func unicastNodes(m *multicast.Model, pub topology.NodeID, nodes []topology.NodeID) float64 {
+	c := 0.0
+	for _, n := range nodes {
+		c += m.Dist(pub, n)
+	}
+	return c
+}
+
+// Improvement converts a solution cost into the paper's improvement
+// percentage: 0 at the unicast baseline, 100 at ideal multicast. Returns 0
+// when the baseline equals the ideal (no headroom to improve).
+func Improvement(b Baselines, cost float64) float64 {
+	den := b.Unicast - b.Ideal
+	if den <= 0 {
+		return 0
+	}
+	return (b.Unicast - cost) / den * 100
+}

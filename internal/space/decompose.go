@@ -1,0 +1,105 @@
+package space
+
+import "fmt"
+
+// Predicate is one attribute's interest as a union of intervals — the
+// general range-based predicate of the paper's §1 ("each predicate …
+// composed of intervals in the underlying domain"). A predicate with no
+// intervals matches nothing.
+type Predicate []Interval
+
+// Matches reports whether x falls in any of the predicate's intervals.
+func (p Predicate) Matches(x float64) bool {
+	for _, iv := range p {
+		if iv.Contains(x) {
+			return true
+		}
+	}
+	return false
+}
+
+// Normalize sorts and merges overlapping or touching intervals (half-open
+// semantics make touching intervals mergeable exactly), dropping empties.
+func (p Predicate) Normalize() Predicate {
+	var ivs []Interval
+	for _, iv := range p {
+		if !iv.Empty() {
+			ivs = append(ivs, iv)
+		}
+	}
+	if len(ivs) == 0 {
+		return nil
+	}
+	// Insertion sort by Lo: predicates are tiny.
+	for i := 1; i < len(ivs); i++ {
+		for j := i; j > 0 && ivs[j].Lo < ivs[j-1].Lo; j-- {
+			ivs[j], ivs[j-1] = ivs[j-1], ivs[j]
+		}
+	}
+	out := Predicate{ivs[0]}
+	for _, iv := range ivs[1:] {
+		last := &out[len(out)-1]
+		if iv.Lo <= last.Hi { // overlap or exact touch: (a,b] ∪ (b,c] = (a,c]
+			if iv.Hi > last.Hi {
+				last.Hi = iv.Hi
+			}
+		} else {
+			out = append(out, iv)
+		}
+	}
+	return out
+}
+
+// Decompose expands a conjunction of multi-interval predicates (one per
+// dimension) into the equivalent union of aligned rectangles — the
+// decomposition the paper describes in §1: "By decomposing a subscription
+// with multiple such ranges into multiple subscriptions consisting of
+// single ranges we can see that it is sufficient only to consider
+// intervals, albeit at a cost of more subscriptions."
+//
+// Predicates are normalised first, so the returned rectangles are pairwise
+// disjoint and their union matches exactly the points matching every
+// predicate. An error is returned when any predicate is unsatisfiable or
+// the expansion would exceed maxRects.
+func Decompose(preds []Predicate, maxRects int) ([]Rect, error) {
+	if len(preds) == 0 {
+		return nil, fmt.Errorf("space: no predicates")
+	}
+	if maxRects <= 0 {
+		maxRects = 1 << 16
+	}
+	norm := make([]Predicate, len(preds))
+	total := 1
+	for d, p := range preds {
+		np := p.Normalize()
+		if len(np) == 0 {
+			return nil, fmt.Errorf("space: predicate %d matches nothing", d)
+		}
+		if total > maxRects/len(np) {
+			return nil, fmt.Errorf("space: decomposition exceeds %d rectangles", maxRects)
+		}
+		total *= len(np)
+		norm[d] = np
+	}
+	out := make([]Rect, 0, total)
+	idx := make([]int, len(norm))
+	for {
+		r := make(Rect, len(norm))
+		for d := range norm {
+			r[d] = norm[d][idx[d]]
+		}
+		out = append(out, r)
+		d := len(idx) - 1
+		for d >= 0 {
+			idx[d]++
+			if idx[d] < len(norm[d]) {
+				break
+			}
+			idx[d] = 0
+			d--
+		}
+		if d < 0 {
+			return out, nil
+		}
+	}
+}

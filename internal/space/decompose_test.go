@@ -1,0 +1,144 @@
+package space
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPredicateMatches(t *testing.T) {
+	p := Predicate{Span(0, 2), Span(5, 7)}
+	cases := []struct {
+		x    float64
+		want bool
+	}{
+		{1, true}, {2, true}, {3, false}, {5, false}, {5.5, true}, {7, true}, {8, false},
+	}
+	for _, c := range cases {
+		if got := p.Matches(c.x); got != c.want {
+			t.Errorf("Matches(%v) = %v", c.x, got)
+		}
+	}
+	if (Predicate{}).Matches(1) {
+		t.Error("empty predicate matched")
+	}
+}
+
+func TestNormalizeMerges(t *testing.T) {
+	p := Predicate{Span(5, 7), Span(0, 2), Span(2, 4), Span(6, 6.5), Span(9, 9)}
+	n := p.Normalize()
+	// (0,2] ∪ (2,4] merge to (0,4]; (5,7] absorbs (6,6.5]; (9,9] is empty.
+	if len(n) != 2 {
+		t.Fatalf("Normalize = %v", n)
+	}
+	if n[0] != Span(0, 4) || n[1] != Span(5, 7) {
+		t.Fatalf("Normalize = %v", n)
+	}
+	if got := (Predicate{Span(3, 3)}).Normalize(); got != nil {
+		t.Errorf("all-empty normalize = %v", got)
+	}
+}
+
+func TestNormalizeUnbounded(t *testing.T) {
+	p := Predicate{LeftOf(0), RightOf(10), Span(-5, 3)}
+	n := p.Normalize()
+	if len(n) != 2 {
+		t.Fatalf("Normalize = %v", n)
+	}
+	if n[0] != LeftOf(3) || n[1] != RightOf(10) {
+		t.Fatalf("Normalize = %v", n)
+	}
+}
+
+func TestDecomposeBasic(t *testing.T) {
+	// "blue chip" names {(0,1], (4,5]} × price (90,110] → 2 rectangles.
+	rects, err := Decompose([]Predicate{
+		{Span(0, 1), Span(4, 5)},
+		{Span(90, 110)},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rects) != 2 {
+		t.Fatalf("rects = %v", rects)
+	}
+	for _, r := range rects {
+		if r.Dim() != 2 {
+			t.Fatal("wrong dim")
+		}
+	}
+}
+
+func TestDecomposeErrors(t *testing.T) {
+	if _, err := Decompose(nil, 0); err == nil {
+		t.Error("no predicates accepted")
+	}
+	if _, err := Decompose([]Predicate{{Span(1, 1)}}, 0); err == nil {
+		t.Error("unsatisfiable predicate accepted")
+	}
+	big := Predicate{}
+	for i := 0; i < 100; i++ {
+		big = append(big, Span(float64(3*i), float64(3*i+1)))
+	}
+	if _, err := Decompose([]Predicate{big, big, big}, 1000); err == nil {
+		t.Error("oversized decomposition accepted")
+	}
+}
+
+func TestDecomposeDisjointAndEquivalent(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	law := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		dims := 1 + rr.Intn(3)
+		preds := make([]Predicate, dims)
+		for d := range preds {
+			k := 1 + rr.Intn(3)
+			for i := 0; i < k; i++ {
+				lo := rr.Float64() * 20
+				preds[d] = append(preds[d], Span(lo, lo+rr.Float64()*5))
+			}
+		}
+		rects, err := Decompose(preds, 0)
+		if err != nil {
+			// Only acceptable when some predicate is empty — Span is never
+			// empty here (length > 0 w.p. 1).
+			return false
+		}
+		// Disjoint.
+		for i := range rects {
+			for j := i + 1; j < len(rects); j++ {
+				if rects[i].Intersects(rects[j]) {
+					return false
+				}
+			}
+		}
+		// Equivalent on random points.
+		for trial := 0; trial < 50; trial++ {
+			p := make(Point, dims)
+			for d := range p {
+				p[d] = r.Float64() * 25
+			}
+			inPred := true
+			for d := range preds {
+				if !preds[d].Matches(p[d]) {
+					inPred = false
+					break
+				}
+			}
+			inRects := false
+			for _, rc := range rects {
+				if rc.Contains(p) {
+					inRects = true
+					break
+				}
+			}
+			if inPred != inRects {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(law, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,104 @@
+package space
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzGridLocate checks, for arbitrary grid shapes and points, that Locate
+// and CellRect agree: a located point lies inside its cell's rectangle and
+// an unlocatable point lies outside the grid bounds.
+func FuzzGridLocate(f *testing.F) {
+	f.Add(0.0, 10.0, 5, 3.3, 7.7)
+	f.Add(-5.0, 5.0, 7, 0.0, -5.0)
+	f.Add(0.0, 1.0, 1, 0.5, 1.0)
+	f.Add(0.0, 20.0, 9, 20.0, 0.0001)
+	f.Fuzz(func(t *testing.T, lo, hi float64, cells int, x, y float64) {
+		if !(lo < hi) || math.IsNaN(lo) || math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+			t.Skip()
+		}
+		if cells < 1 || cells > 64 {
+			t.Skip()
+		}
+		if hi-lo < 1e-9 || hi-lo > 1e12 {
+			t.Skip()
+		}
+		if math.IsNaN(x) || math.IsNaN(y) {
+			t.Skip()
+		}
+		g, err := NewGrid([]Axis{{Lo: lo, Hi: hi, Cells: cells}, {Lo: lo, Hi: hi, Cells: cells}})
+		if err != nil {
+			t.Skip()
+		}
+		p := Point{x, y}
+		id, ok := g.Locate(p)
+		if !ok {
+			if g.Bounds().Contains(p) {
+				t.Fatalf("point %v inside bounds but not located", p)
+			}
+			return
+		}
+		if !g.CellRect(id).Contains(p) {
+			t.Fatalf("point %v located in cell %d whose rect %v excludes it", p, id, g.CellRect(id))
+		}
+	})
+}
+
+// FuzzIntervalAlgebra checks intersection laws for arbitrary endpoints.
+func FuzzIntervalAlgebra(f *testing.F) {
+	f.Add(0.0, 1.0, 0.5, 2.0, 0.7)
+	f.Add(-1.0, -1.0, 3.0, 3.0, 0.0)
+	f.Add(0.0, 5.0, 5.0, 9.0, 5.0)
+	f.Fuzz(func(t *testing.T, a, b, c, d, x float64) {
+		for _, v := range []float64{a, b, c, d, x} {
+			if math.IsNaN(v) {
+				t.Skip()
+			}
+		}
+		i1 := Interval{Lo: a, Hi: b}
+		i2 := Interval{Lo: c, Hi: d}
+		inter, ok := i1.Intersect(i2)
+		if ok != i1.Intersects(i2) {
+			t.Fatal("Intersect and Intersects disagree")
+		}
+		// Membership distributes over intersection.
+		want := i1.Contains(x) && i2.Contains(x)
+		got := ok && inter.Contains(x)
+		if want != got {
+			t.Fatalf("x=%v in %v∩%v: got %v want %v", x, i1, i2, got, want)
+		}
+		// Commutativity.
+		inter2, ok2 := i2.Intersect(i1)
+		if ok != ok2 || (ok && inter != inter2) {
+			t.Fatal("intersection not commutative")
+		}
+	})
+}
+
+// FuzzPredicateNormalize checks that normalisation preserves semantics.
+func FuzzPredicateNormalize(f *testing.F) {
+	f.Add(0.0, 2.0, 1.0, 3.0, 1.5)
+	f.Add(0.0, 1.0, 1.0, 2.0, 1.0)
+	f.Add(5.0, 4.0, 2.0, 2.0, 3.0)
+	f.Fuzz(func(t *testing.T, a, b, c, d, x float64) {
+		for _, v := range []float64{a, b, c, d, x} {
+			if math.IsNaN(v) {
+				t.Skip()
+			}
+		}
+		p := Predicate{{Lo: a, Hi: b}, {Lo: c, Hi: d}}
+		n := p.Normalize()
+		if p.Matches(x) != n.Matches(x) {
+			t.Fatalf("normalisation changed semantics at %v: %v vs %v", x, p, n)
+		}
+		// Normalised intervals are sorted, non-empty and disjoint.
+		for i, iv := range n {
+			if iv.Empty() {
+				t.Fatal("empty interval survived")
+			}
+			if i > 0 && n[i-1].Hi > iv.Lo {
+				t.Fatalf("overlap after normalise: %v", n)
+			}
+		}
+	})
+}

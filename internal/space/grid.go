@@ -1,0 +1,250 @@
+package space
+
+import (
+	"fmt"
+	"math"
+)
+
+// Axis describes one dimension of a regular grid: the covered range
+// (Lo, Hi] divided into Cells equal half-open cells.
+type Axis struct {
+	Lo, Hi float64
+	Cells  int
+}
+
+func (a Axis) width() float64 { return (a.Hi - a.Lo) / float64(a.Cells) }
+
+// Grid is a regular grid over a bounded box in Ω. Cell c in dimension d
+// covers (Lo + c·w, Lo + (c+1)·w]. Grid cells are identified by a single
+// linearised CellID in row-major order (dimension 0 slowest).
+//
+// The grid is the substrate of the paper's grid-based clustering framework
+// (§4.1): subscriptions are rasterised onto cells, cells carry membership
+// vectors, and clustering operates on (hyper-)cells.
+type Grid struct {
+	axes  []Axis
+	total int
+}
+
+// CellID identifies one grid cell; valid IDs are in [0, NumCells()).
+type CellID int
+
+// NewGrid builds a grid from per-dimension axes. Every axis must have a
+// positive, finite extent and at least one cell.
+func NewGrid(axes []Axis) (*Grid, error) {
+	if len(axes) == 0 {
+		return nil, fmt.Errorf("space: grid needs at least one axis")
+	}
+	total := 1
+	for d, a := range axes {
+		if a.Cells <= 0 {
+			return nil, fmt.Errorf("space: axis %d has %d cells", d, a.Cells)
+		}
+		if !(a.Lo < a.Hi) || math.IsInf(a.Lo, 0) || math.IsInf(a.Hi, 0) {
+			return nil, fmt.Errorf("space: axis %d has invalid range (%v, %v]", d, a.Lo, a.Hi)
+		}
+		if total > math.MaxInt32/a.Cells {
+			return nil, fmt.Errorf("space: grid too large (>%d cells)", math.MaxInt32)
+		}
+		total *= a.Cells
+	}
+	g := &Grid{axes: make([]Axis, len(axes)), total: total}
+	copy(g.axes, axes)
+	return g, nil
+}
+
+// UniformGrid builds a grid with the same axis repeated over dim dimensions.
+func UniformGrid(dim int, lo, hi float64, cells int) (*Grid, error) {
+	axes := make([]Axis, dim)
+	for i := range axes {
+		axes[i] = Axis{Lo: lo, Hi: hi, Cells: cells}
+	}
+	return NewGrid(axes)
+}
+
+// Dim returns the grid dimensionality.
+func (g *Grid) Dim() int { return len(g.axes) }
+
+// NumCells returns the total number of cells.
+func (g *Grid) NumCells() int { return g.total }
+
+// Axes returns a copy of the grid's axes.
+func (g *Grid) Axes() []Axis {
+	out := make([]Axis, len(g.axes))
+	copy(out, g.axes)
+	return out
+}
+
+// Bounds returns the grid's covering rectangle.
+func (g *Grid) Bounds() Rect {
+	r := make(Rect, len(g.axes))
+	for d, a := range g.axes {
+		r[d] = Interval{Lo: a.Lo, Hi: a.Hi}
+	}
+	return r
+}
+
+// axisIndex returns the cell index of x along axis d, or false when x lies
+// outside (Lo, Hi].
+func (g *Grid) axisIndex(d int, x float64) (int, bool) {
+	a := g.axes[d]
+	if x <= a.Lo || x > a.Hi {
+		return 0, false
+	}
+	w := a.width()
+	// Cell i covers (Lo + i·w, Lo + (i+1)·w]; the index of x is
+	// ceil((x-Lo)/w) - 1. Guard against float rounding at cell borders by
+	// correcting by one step when the closed/open checks disagree.
+	i := int(math.Ceil((x-a.Lo)/w)) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= a.Cells {
+		i = a.Cells - 1
+	}
+	if x <= a.Lo+float64(i)*w && i > 0 {
+		i--
+	} else if x > a.Lo+float64(i+1)*w && i < a.Cells-1 {
+		i++
+	}
+	return i, true
+}
+
+// Locate returns the cell containing point p, or ok=false when the point
+// falls outside the grid bounds (such events fall back to unicast in the
+// matcher).
+func (g *Grid) Locate(p Point) (CellID, bool) {
+	if len(p) != len(g.axes) {
+		panic(fmt.Sprintf("space: point dim %d vs grid dim %d", len(p), len(g.axes)))
+	}
+	id := 0
+	for d := range g.axes {
+		i, ok := g.axisIndex(d, p[d])
+		if !ok {
+			return 0, false
+		}
+		id = id*g.axes[d].Cells + i
+	}
+	return CellID(id), true
+}
+
+// Coords decomposes a CellID into per-dimension cell indices.
+func (g *Grid) Coords(id CellID) []int {
+	if id < 0 || int(id) >= g.total {
+		panic(fmt.Sprintf("space: cell id %d out of range [0,%d)", id, g.total))
+	}
+	out := make([]int, len(g.axes))
+	v := int(id)
+	for d := len(g.axes) - 1; d >= 0; d-- {
+		out[d] = v % g.axes[d].Cells
+		v /= g.axes[d].Cells
+	}
+	return out
+}
+
+// CellRect returns the rectangle covered by the cell. The first and last
+// cells along each axis snap exactly to the axis bounds, so the cells of an
+// axis tile (Lo, Hi] without float-rounding gaps at the ends.
+func (g *Grid) CellRect(id CellID) Rect {
+	coords := g.Coords(id)
+	r := make(Rect, len(g.axes))
+	for d, a := range g.axes {
+		w := a.width()
+		iv := Interval{Lo: a.Lo + float64(coords[d])*w, Hi: a.Lo + float64(coords[d]+1)*w}
+		if coords[d] == 0 {
+			iv.Lo = a.Lo
+		}
+		if coords[d] == a.Cells-1 {
+			iv.Hi = a.Hi
+		}
+		r[d] = iv
+	}
+	return r
+}
+
+// CellCenter returns the midpoint of the cell.
+func (g *Grid) CellCenter(id CellID) Point {
+	r := g.CellRect(id)
+	p := make(Point, len(r))
+	for d, iv := range r {
+		p[d] = (iv.Lo + iv.Hi) / 2
+	}
+	return p
+}
+
+// axisRange returns the closed range [first, last] of cell indices along
+// axis d whose cells intersect interval iv, or ok=false when none do.
+func (g *Grid) axisRange(d int, iv Interval) (first, last int, ok bool) {
+	a := g.axes[d]
+	clipped, nonEmpty := iv.Intersect(Interval{Lo: a.Lo, Hi: a.Hi})
+	if !nonEmpty {
+		return 0, 0, false
+	}
+	w := a.width()
+	// Cell i intersects (lo, hi] iff Lo + (i+1)·w > lo and Lo + i·w < hi.
+	first = int(math.Floor((clipped.Lo - a.Lo) / w))
+	if a.Lo+float64(first+1)*w <= clipped.Lo {
+		first++
+	}
+	last = int(math.Floor((clipped.Hi - a.Lo) / w))
+	if a.Lo+float64(last)*w >= clipped.Hi {
+		last--
+	}
+	if first < 0 {
+		first = 0
+	}
+	if last >= a.Cells {
+		last = a.Cells - 1
+	}
+	if first > last {
+		return 0, 0, false
+	}
+	return first, last, true
+}
+
+// ForEachCellIn calls fn with the id of every grid cell intersecting rect,
+// in increasing CellID order. Rasterising subscriptions onto the grid is the
+// first step of the clustering framework.
+func (g *Grid) ForEachCellIn(rect Rect, fn func(CellID)) {
+	if len(rect) != len(g.axes) {
+		panic(fmt.Sprintf("space: rect dim %d vs grid dim %d", len(rect), len(g.axes)))
+	}
+	firsts := make([]int, len(g.axes))
+	lasts := make([]int, len(g.axes))
+	for d := range g.axes {
+		f, l, ok := g.axisRange(d, rect[d])
+		if !ok {
+			return
+		}
+		firsts[d], lasts[d] = f, l
+	}
+	coords := make([]int, len(g.axes))
+	copy(coords, firsts)
+	for {
+		id := 0
+		for d := range g.axes {
+			id = id*g.axes[d].Cells + coords[d]
+		}
+		fn(CellID(id))
+		// Odometer increment, last dimension fastest.
+		d := len(coords) - 1
+		for d >= 0 {
+			coords[d]++
+			if coords[d] <= lasts[d] {
+				break
+			}
+			coords[d] = firsts[d]
+			d--
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+// CellsIn returns the ids of all cells intersecting rect.
+func (g *Grid) CellsIn(rect Rect) []CellID {
+	var out []CellID
+	g.ForEachCellIn(rect, func(id CellID) { out = append(out, id) })
+	return out
+}

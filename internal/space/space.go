@@ -1,0 +1,192 @@
+// Package space models the publication event space Ω of the ICDCS 2002
+// paper: events are points in R^N, subscriptions are axis-aligned rectangles
+// whose sides are half-open intervals (lo, hi], possibly unbounded. The
+// half-open convention is the paper's: it lets adjacent intervals tile the
+// line with no overlap and no gap.
+package space
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Interval is a half-open interval (Lo, Hi]. Lo may be -Inf and Hi may be
+// +Inf. An interval with Lo >= Hi is empty.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Full returns the unbounded interval (-Inf, +Inf].
+func Full() Interval {
+	return Interval{Lo: math.Inf(-1), Hi: math.Inf(+1)}
+}
+
+// LeftOf returns the left-unbounded interval (-Inf, hi].
+func LeftOf(hi float64) Interval { return Interval{Lo: math.Inf(-1), Hi: hi} }
+
+// RightOf returns the right-unbounded interval (lo, +Inf].
+func RightOf(lo float64) Interval { return Interval{Lo: lo, Hi: math.Inf(+1)} }
+
+// Span returns the interval (lo, hi].
+func Span(lo, hi float64) Interval { return Interval{Lo: lo, Hi: hi} }
+
+// Empty reports whether the interval contains no points.
+func (iv Interval) Empty() bool { return !(iv.Lo < iv.Hi) }
+
+// Contains reports whether x ∈ (Lo, Hi].
+func (iv Interval) Contains(x float64) bool { return x > iv.Lo && x <= iv.Hi }
+
+// Intersects reports whether iv ∩ o is non-empty.
+func (iv Interval) Intersects(o Interval) bool {
+	return math.Max(iv.Lo, o.Lo) < math.Min(iv.Hi, o.Hi)
+}
+
+// Intersect returns iv ∩ o and whether it is non-empty.
+func (iv Interval) Intersect(o Interval) (Interval, bool) {
+	out := Interval{Lo: math.Max(iv.Lo, o.Lo), Hi: math.Min(iv.Hi, o.Hi)}
+	return out, !out.Empty()
+}
+
+// Width returns Hi - Lo (possibly +Inf), or 0 for empty intervals.
+func (iv Interval) Width() float64 {
+	if iv.Empty() {
+		return 0
+	}
+	return iv.Hi - iv.Lo
+}
+
+// Bounded reports whether both endpoints are finite.
+func (iv Interval) Bounded() bool {
+	return !math.IsInf(iv.Lo, 0) && !math.IsInf(iv.Hi, 0)
+}
+
+// String renders the interval in the paper's (lo, hi] notation.
+func (iv Interval) String() string {
+	lo := "-inf"
+	if !math.IsInf(iv.Lo, -1) {
+		lo = fmt.Sprintf("%g", iv.Lo)
+	}
+	hi := "+inf"
+	if !math.IsInf(iv.Hi, +1) {
+		hi = fmt.Sprintf("%g", iv.Hi)
+	}
+	return fmt.Sprintf("(%s, %s]", lo, hi)
+}
+
+// Point is a published event: one coordinate per attribute dimension.
+type Point []float64
+
+// Rect is an axis-aligned rectangle, one half-open interval per dimension.
+// Subscriptions and multicast-group regions are Rects.
+type Rect []Interval
+
+// FullRect returns the rectangle covering all of R^dim.
+func FullRect(dim int) Rect {
+	r := make(Rect, dim)
+	for i := range r {
+		r[i] = Full()
+	}
+	return r
+}
+
+// Dim returns the dimensionality.
+func (r Rect) Dim() int { return len(r) }
+
+// Empty reports whether any side is empty.
+func (r Rect) Empty() bool {
+	for _, iv := range r {
+		if iv.Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports whether the point lies inside the rectangle. Dimensions
+// must match.
+func (r Rect) Contains(p Point) bool {
+	if len(r) != len(p) {
+		panic(fmt.Sprintf("space: rect dim %d vs point dim %d", len(r), len(p)))
+	}
+	for i, iv := range r {
+		if !iv.Contains(p[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether r ∩ o is non-empty.
+func (r Rect) Intersects(o Rect) bool {
+	if len(r) != len(o) {
+		panic(fmt.Sprintf("space: rect dims %d vs %d", len(r), len(o)))
+	}
+	for i, iv := range r {
+		if !iv.Intersects(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns r ∩ o and whether it is non-empty.
+func (r Rect) Intersect(o Rect) (Rect, bool) {
+	if len(r) != len(o) {
+		panic(fmt.Sprintf("space: rect dims %d vs %d", len(r), len(o)))
+	}
+	out := make(Rect, len(r))
+	for i := range r {
+		iv, ok := r[i].Intersect(o[i])
+		if !ok {
+			return nil, false
+		}
+		out[i] = iv
+	}
+	return out, true
+}
+
+// ContainsRect reports whether o ⊆ r.
+func (r Rect) ContainsRect(o Rect) bool {
+	if len(r) != len(o) {
+		panic(fmt.Sprintf("space: rect dims %d vs %d", len(r), len(o)))
+	}
+	for i := range r {
+		if o[i].Empty() {
+			continue
+		}
+		if !(o[i].Lo >= r[i].Lo && o[i].Hi <= r[i].Hi) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy.
+func (r Rect) Clone() Rect {
+	out := make(Rect, len(r))
+	copy(out, r)
+	return out
+}
+
+// Equal reports exact equality of all endpoints.
+func (r Rect) Equal(o Rect) bool {
+	if len(r) != len(o) {
+		return false
+	}
+	for i := range r {
+		if r[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the rectangle as a product of intervals.
+func (r Rect) String() string {
+	parts := make([]string, len(r))
+	for i, iv := range r {
+		parts[i] = iv.String()
+	}
+	return strings.Join(parts, " × ")
+}

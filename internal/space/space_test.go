@@ -1,0 +1,370 @@
+package space
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalContains(t *testing.T) {
+	iv := Span(2, 5)
+	cases := []struct {
+		x    float64
+		want bool
+	}{
+		{2, false}, // half-open on the left
+		{2.0001, true},
+		{5, true}, // closed on the right
+		{5.0001, false},
+		{1, false},
+		{3, true},
+	}
+	for _, c := range cases {
+		if got := iv.Contains(c.x); got != c.want {
+			t.Errorf("(2,5].Contains(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestUnboundedIntervals(t *testing.T) {
+	if !Full().Contains(1e300) || !Full().Contains(-1e300) {
+		t.Error("Full does not contain extremes")
+	}
+	if l := LeftOf(3); !l.Contains(-100) || !l.Contains(3) || l.Contains(3.1) {
+		t.Error("LeftOf(3) misbehaves")
+	}
+	if r := RightOf(3); r.Contains(3) || !r.Contains(3.1) || !r.Contains(1e9) {
+		t.Error("RightOf(3) misbehaves")
+	}
+	if Full().Empty() {
+		t.Error("Full is empty")
+	}
+	if !Full().Intersects(Span(0, 1)) {
+		t.Error("Full does not intersect finite span")
+	}
+}
+
+func TestIntervalEmpty(t *testing.T) {
+	if !Span(3, 3).Empty() {
+		t.Error("(3,3] not empty")
+	}
+	if !Span(5, 2).Empty() {
+		t.Error("(5,2] not empty")
+	}
+	if Span(2, 5).Empty() {
+		t.Error("(2,5] empty")
+	}
+	if Span(3, 3).Contains(3) {
+		t.Error("(3,3] contains 3")
+	}
+}
+
+func TestIntervalIntersect(t *testing.T) {
+	a, b := Span(0, 5), Span(3, 8)
+	got, ok := a.Intersect(b)
+	if !ok || got != Span(3, 5) {
+		t.Errorf("Intersect = %v, %v", got, ok)
+	}
+	// Touching at a point: (0,3] ∩ (3,8] is empty under half-open semantics.
+	if _, ok := Span(0, 3).Intersect(Span(3, 8)); ok {
+		t.Error("touching half-open intervals should not intersect")
+	}
+	if Span(0, 3).Intersects(Span(3, 8)) {
+		t.Error("Intersects disagrees with Intersect")
+	}
+	if _, ok := Span(0, 1).Intersect(Span(2, 3)); ok {
+		t.Error("disjoint intervals intersect")
+	}
+}
+
+func TestIntervalWidth(t *testing.T) {
+	if w := Span(2, 5).Width(); w != 3 {
+		t.Errorf("Width = %v", w)
+	}
+	if w := Span(5, 2).Width(); w != 0 {
+		t.Errorf("empty Width = %v", w)
+	}
+	if w := Full().Width(); !math.IsInf(w, 1) {
+		t.Errorf("Full Width = %v", w)
+	}
+	if Full().Bounded() || !Span(0, 1).Bounded() {
+		t.Error("Bounded wrong")
+	}
+}
+
+func TestIntervalString(t *testing.T) {
+	if s := Span(1, 2).String(); s != "(1, 2]" {
+		t.Errorf("String = %q", s)
+	}
+	if s := Full().String(); s != "(-inf, +inf]" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := Rect{Span(0, 10), Full(), LeftOf(5)}
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{5, 100, 4}, true},
+		{Point{0, 0, 0}, false}, // dim0 boundary excluded
+		{Point{10, 0, 5}, true}, // closed right ends
+		{Point{5, 0, 5.1}, false},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestRectDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Rect{Full()}.Contains(Point{1, 2})
+}
+
+func TestRectIntersect(t *testing.T) {
+	a := Rect{Span(0, 5), Span(0, 5)}
+	b := Rect{Span(3, 8), Span(-2, 2)}
+	got, ok := a.Intersect(b)
+	if !ok {
+		t.Fatal("expected intersection")
+	}
+	if !got.Equal(Rect{Span(3, 5), Span(0, 2)}) {
+		t.Errorf("Intersect = %v", got)
+	}
+	c := Rect{Span(6, 8), Span(0, 5)}
+	if _, ok := a.Intersect(c); ok {
+		t.Error("disjoint rects intersect")
+	}
+	if a.Intersects(c) {
+		t.Error("Intersects disagrees")
+	}
+}
+
+func TestRectContainsRect(t *testing.T) {
+	outer := Rect{Span(0, 10), Full()}
+	inner := Rect{Span(2, 5), Span(-1, 1)}
+	if !outer.ContainsRect(inner) {
+		t.Error("outer should contain inner")
+	}
+	if inner.ContainsRect(outer) {
+		t.Error("inner should not contain outer")
+	}
+}
+
+func TestRectCloneEqual(t *testing.T) {
+	a := Rect{Span(0, 1), Span(2, 3)}
+	c := a.Clone()
+	if !a.Equal(c) {
+		t.Error("clone not equal")
+	}
+	c[0] = Span(9, 10)
+	if a.Equal(c) {
+		t.Error("mutating clone affected equality")
+	}
+	if a.Equal(Rect{Span(0, 1)}) {
+		t.Error("different dims equal")
+	}
+}
+
+func TestFullRect(t *testing.T) {
+	r := FullRect(4)
+	if r.Dim() != 4 || r.Empty() {
+		t.Fatal("FullRect wrong")
+	}
+	if !r.Contains(Point{1e9, -1e9, 0, 42}) {
+		t.Error("FullRect does not contain point")
+	}
+}
+
+func TestGridBasics(t *testing.T) {
+	g, err := UniformGrid(2, 0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumCells() != 25 || g.Dim() != 2 {
+		t.Fatalf("NumCells=%d Dim=%d", g.NumCells(), g.Dim())
+	}
+	b := g.Bounds()
+	if !b.Equal(Rect{Span(0, 10), Span(0, 10)}) {
+		t.Errorf("Bounds = %v", b)
+	}
+}
+
+func TestGridInvalid(t *testing.T) {
+	if _, err := NewGrid(nil); err == nil {
+		t.Error("nil axes accepted")
+	}
+	if _, err := NewGrid([]Axis{{Lo: 0, Hi: 10, Cells: 0}}); err == nil {
+		t.Error("zero cells accepted")
+	}
+	if _, err := NewGrid([]Axis{{Lo: 5, Hi: 5, Cells: 2}}); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := NewGrid([]Axis{{Lo: 0, Hi: math.Inf(1), Cells: 2}}); err == nil {
+		t.Error("infinite range accepted")
+	}
+	huge := make([]Axis, 8)
+	for i := range huge {
+		huge[i] = Axis{Lo: 0, Hi: 1, Cells: 1000}
+	}
+	if _, err := NewGrid(huge); err == nil {
+		t.Error("overflowing grid accepted")
+	}
+}
+
+func TestGridLocate(t *testing.T) {
+	g, _ := UniformGrid(1, 0, 10, 5) // cells (0,2], (2,4], ...
+	cases := []struct {
+		x    float64
+		want int
+		ok   bool
+	}{
+		{0, 0, false}, // on open lower bound: outside
+		{0.5, 0, true},
+		{2, 0, true}, // boundary belongs to the left cell
+		{2.1, 1, true},
+		{10, 4, true},
+		{10.1, 0, false},
+		{-1, 0, false},
+	}
+	for _, c := range cases {
+		id, ok := g.Locate(Point{c.x})
+		if ok != c.ok || (ok && int(id) != c.want) {
+			t.Errorf("Locate(%v) = %d,%v want %d,%v", c.x, id, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestGridLocateMultiDim(t *testing.T) {
+	g, _ := NewGrid([]Axis{{Lo: 0, Hi: 4, Cells: 2}, {Lo: 0, Hi: 9, Cells: 3}})
+	id, ok := g.Locate(Point{3, 7})
+	if !ok {
+		t.Fatal("Locate failed")
+	}
+	// dim0 index 1, dim1 index 2 → 1*3+2 = 5
+	if id != 5 {
+		t.Errorf("id = %d, want 5", id)
+	}
+	coords := g.Coords(id)
+	if coords[0] != 1 || coords[1] != 2 {
+		t.Errorf("Coords = %v", coords)
+	}
+}
+
+func TestGridCellRectRoundTrip(t *testing.T) {
+	g, _ := NewGrid([]Axis{{Lo: 0, Hi: 20, Cells: 7}, {Lo: -5, Hi: 5, Cells: 3}})
+	for id := CellID(0); int(id) < g.NumCells(); id++ {
+		c := g.CellCenter(id)
+		got, ok := g.Locate(c)
+		if !ok || got != id {
+			t.Fatalf("center of cell %d located at %d (ok=%v)", id, got, ok)
+		}
+		if !g.CellRect(id).Contains(c) {
+			t.Fatalf("cell %d rect does not contain its center", id)
+		}
+	}
+}
+
+func TestGridCoordsPanics(t *testing.T) {
+	g, _ := UniformGrid(1, 0, 1, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	g.Coords(2)
+}
+
+func TestCellsInMatchesBruteForce(t *testing.T) {
+	g, _ := NewGrid([]Axis{{Lo: 0, Hi: 10, Cells: 5}, {Lo: 0, Hi: 10, Cells: 4}})
+	rects := []Rect{
+		{Span(1, 3), Span(2, 9)},
+		{Span(0, 10), Span(0, 10)},
+		{Span(-5, 0.1), Span(9.9, 30)},
+		{LeftOf(4), RightOf(6)},
+		{Full(), Full()},
+		{Span(2, 2), Span(0, 10)},         // empty in dim0
+		{Span(11, 12), Span(0, 10)},       // outside
+		{Span(2, 2.0000001), Span(0, 10)}, // sliver
+	}
+	for _, r := range rects {
+		got := map[CellID]bool{}
+		for _, id := range g.CellsIn(r) {
+			got[id] = true
+		}
+		for id := CellID(0); int(id) < g.NumCells(); id++ {
+			want := g.CellRect(id).Intersects(r)
+			if got[id] != want {
+				t.Errorf("rect %v cell %d: got %v want %v (cell rect %v)", r, id, got[id], want, g.CellRect(id))
+			}
+		}
+	}
+}
+
+func TestQuickLocateConsistentWithCellRect(t *testing.T) {
+	g, _ := NewGrid([]Axis{{Lo: 0, Hi: 20, Cells: 9}, {Lo: 0, Hi: 20, Cells: 6}})
+	law := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := Point{r.Float64()*24 - 2, r.Float64()*24 - 2}
+		id, ok := g.Locate(p)
+		if !ok {
+			// Must genuinely be outside bounds.
+			return !g.Bounds().Contains(p)
+		}
+		return g.CellRect(id).Contains(p)
+	}
+	if err := quick.Check(law, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCellsInContainsLocate(t *testing.T) {
+	g, _ := NewGrid([]Axis{{Lo: 0, Hi: 20, Cells: 10}})
+	law := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		lo := r.Float64() * 20
+		hi := lo + r.Float64()*10
+		rect := Rect{Span(lo, hi)}
+		p := Point{lo + (hi-lo)*r.Float64()}
+		if !rect.Contains(p) {
+			return true // point landed on open edge; nothing to check
+		}
+		id, ok := g.Locate(p)
+		if !ok {
+			return true // outside grid
+		}
+		for _, c := range g.CellsIn(rect) {
+			if c == id {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(law, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIntersectionCommutes(t *testing.T) {
+	law := func(a0, a1, b0, b1 float64) bool {
+		a := Span(math.Min(a0, a1), math.Max(a0, a1))
+		b := Span(math.Min(b0, b1), math.Max(b0, b1))
+		x, okx := a.Intersect(b)
+		y, oky := b.Intersect(a)
+		if okx != oky {
+			return false
+		}
+		return !okx || x == y
+	}
+	if err := quick.Check(law, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

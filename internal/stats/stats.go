@@ -1,0 +1,270 @@
+// Package stats provides the random variates used by the ICDCS 2002 workload
+// models: Zipf-like popularity laws, Pareto interval lengths, (truncated)
+// Gaussians and Gaussian mixtures, and weighted categorical draws. Everything
+// is driven by an explicit *rand.Rand so experiments are reproducible from a
+// single seed.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// NewRand returns a seeded random source. Experiments derive all their
+// stochastic choices from one of these so a (seed, config) pair fully
+// identifies a run.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Gaussian samples a normal variate with the given mean and standard
+// deviation. Sigma must be non-negative.
+func Gaussian(r *rand.Rand, mu, sigma float64) float64 {
+	if sigma < 0 {
+		panic(fmt.Sprintf("stats: negative sigma %v", sigma))
+	}
+	return mu + sigma*r.NormFloat64()
+}
+
+// TruncGaussian samples a normal variate conditioned on lying inside
+// [lo, hi] by rejection, falling back to clamping after a bounded number of
+// attempts (the workload tails are mild, so the fallback is rare).
+func TruncGaussian(r *rand.Rand, mu, sigma, lo, hi float64) float64 {
+	if lo > hi {
+		panic(fmt.Sprintf("stats: empty truncation interval [%v, %v]", lo, hi))
+	}
+	for i := 0; i < 64; i++ {
+		x := Gaussian(r, mu, sigma)
+		if x >= lo && x <= hi {
+			return x
+		}
+	}
+	return math.Min(hi, math.Max(lo, Gaussian(r, mu, sigma)))
+}
+
+// Pareto samples a Pareto variate with scale c > 0 and shape alpha > 0:
+// P(X > x) = (c/x)^alpha for x >= c. The paper draws subscription interval
+// lengths from a "Pareto-like distribution with a given mean"; Pareto with
+// (c, alpha) = (4, 1) is its §5.1 parameterisation.
+func Pareto(r *rand.Rand, c, alpha float64) float64 {
+	if c <= 0 || alpha <= 0 {
+		panic(fmt.Sprintf("stats: invalid Pareto parameters c=%v alpha=%v", c, alpha))
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return c / math.Pow(u, 1/alpha)
+}
+
+// BoundedPareto samples Pareto(c, alpha) clamped to at most hi. Shape-1
+// Pareto has infinite mean, so the workload clamps lengths at the domain
+// width exactly as an interval wider than the domain would behave.
+func BoundedPareto(r *rand.Rand, c, alpha, hi float64) float64 {
+	return math.Min(hi, Pareto(r, c, alpha))
+}
+
+// Zipf draws ranks in [0, n) with probability proportional to
+// 1/(rank+1)^s. It precomputes the CDF once, so repeated draws are a binary
+// search. The paper uses "Zipf-like" laws for subscription placement across
+// stubs and nodes and for interest-interval lengths.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds a Zipf distribution over n ranks with exponent s > 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic(fmt.Sprintf("stats: Zipf needs n > 0, got %d", n))
+	}
+	if s <= 0 {
+		panic(fmt.Sprintf("stats: Zipf needs s > 0, got %v", s))
+	}
+	cdf := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{cdf: cdf}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Sample draws a rank in [0, N()).
+func (z *Zipf) Sample(r *rand.Rand) int {
+	u := r.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// Prob returns the probability of rank i.
+func (z *Zipf) Prob(i int) float64 {
+	if i < 0 || i >= len(z.cdf) {
+		panic(fmt.Sprintf("stats: Zipf rank %d out of range", i))
+	}
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}
+
+// Categorical draws indices with fixed non-negative weights.
+type Categorical struct {
+	cdf []float64
+}
+
+// NewCategorical builds a categorical distribution from weights. At least
+// one weight must be positive.
+func NewCategorical(weights []float64) *Categorical {
+	if len(weights) == 0 {
+		panic("stats: empty categorical")
+	}
+	cdf := make([]float64, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic(fmt.Sprintf("stats: invalid weight %v at %d", w, i))
+		}
+		total += w
+		cdf[i] = total
+	}
+	if total == 0 {
+		panic("stats: all categorical weights zero")
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	cdf[len(cdf)-1] = 1
+	return &Categorical{cdf: cdf}
+}
+
+// Sample draws an index.
+func (c *Categorical) Sample(r *rand.Rand) int {
+	return sort.SearchFloat64s(c.cdf, r.Float64())
+}
+
+// N returns the number of categories.
+func (c *Categorical) N() int { return len(c.cdf) }
+
+// GaussianComponent is one mode of a one-dimensional mixture.
+type GaussianComponent struct {
+	Weight float64
+	Mu     float64
+	Sigma  float64
+}
+
+// Mixture1D is a weighted mixture of one-dimensional Gaussians; the §5.1
+// publication models compose one of these per dimension.
+type Mixture1D struct {
+	comps []GaussianComponent
+	pick  *Categorical
+}
+
+// NewMixture1D builds a mixture from components with positive weights.
+func NewMixture1D(comps []GaussianComponent) *Mixture1D {
+	if len(comps) == 0 {
+		panic("stats: empty mixture")
+	}
+	ws := make([]float64, len(comps))
+	for i, c := range comps {
+		ws[i] = c.Weight
+	}
+	cs := make([]GaussianComponent, len(comps))
+	copy(cs, comps)
+	return &Mixture1D{comps: cs, pick: NewCategorical(ws)}
+}
+
+// Sample draws a variate from the mixture.
+func (m *Mixture1D) Sample(r *rand.Rand) float64 {
+	c := m.comps[m.pick.Sample(r)]
+	return Gaussian(r, c.Mu, c.Sigma)
+}
+
+// Modes returns the number of components.
+func (m *Mixture1D) Modes() int { return len(m.comps) }
+
+// NormalCDF is the cumulative distribution function of N(mu, sigma) at x.
+// A zero sigma degenerates to a step at mu.
+func NormalCDF(x, mu, sigma float64) float64 {
+	if sigma == 0 {
+		if x < mu {
+			return 0
+		}
+		return 1
+	}
+	return 0.5 * (1 + math.Erf((x-mu)/(sigma*math.Sqrt2)))
+}
+
+// CDF evaluates the mixture's cumulative distribution function at x
+// (weights are renormalised by construction).
+func (m *Mixture1D) CDF(x float64) float64 {
+	total, wsum := 0.0, 0.0
+	for _, c := range m.comps {
+		total += c.Weight * NormalCDF(x, c.Mu, c.Sigma)
+		wsum += c.Weight
+	}
+	return total / wsum
+}
+
+// ProbInterval returns P(lo < X ≤ hi) under the mixture.
+func (m *Mixture1D) ProbInterval(lo, hi float64) float64 {
+	if !(lo < hi) {
+		return 0
+	}
+	p := m.CDF(hi) - m.CDF(lo)
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// UniformInt returns an integer uniform on [lo, hi] inclusive.
+func UniformInt(r *rand.Rand, lo, hi int) int {
+	if lo > hi {
+		panic(fmt.Sprintf("stats: UniformInt empty range [%d, %d]", lo, hi))
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Bernoulli returns true with probability p.
+func Bernoulli(r *rand.Rand, p float64) bool {
+	return r.Float64() < p
+}
+
+// Clamp limits x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	return math.Min(hi, math.Max(lo, x))
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}

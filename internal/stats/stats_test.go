@@ -1,0 +1,391 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGaussianMoments(t *testing.T) {
+	r := NewRand(42)
+	const n = 50000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = Gaussian(r, 9, 2)
+	}
+	if m := Mean(xs); math.Abs(m-9) > 0.05 {
+		t.Errorf("mean = %v, want ≈9", m)
+	}
+	if s := StdDev(xs); math.Abs(s-2) > 0.05 {
+		t.Errorf("stddev = %v, want ≈2", s)
+	}
+}
+
+func TestGaussianNegativeSigmaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Gaussian(NewRand(1), 0, -1)
+}
+
+func TestTruncGaussianInRange(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		x := TruncGaussian(r, 10, 5, 0, 20)
+		if x < 0 || x > 20 {
+			t.Fatalf("TruncGaussian out of range: %v", x)
+		}
+	}
+	// Extreme truncation still terminates and clamps.
+	x := TruncGaussian(r, 1000, 0.001, 0, 20)
+	if x < 0 || x > 20 {
+		t.Fatalf("clamped TruncGaussian out of range: %v", x)
+	}
+}
+
+func TestTruncGaussianEmptyIntervalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	TruncGaussian(NewRand(1), 0, 1, 5, 4)
+}
+
+func TestParetoSupport(t *testing.T) {
+	r := NewRand(3)
+	for i := 0; i < 10000; i++ {
+		x := Pareto(r, 4, 1)
+		if x < 4 {
+			t.Fatalf("Pareto(4,1) below scale: %v", x)
+		}
+	}
+}
+
+func TestParetoMedian(t *testing.T) {
+	// Median of Pareto(c, alpha) is c * 2^(1/alpha).
+	r := NewRand(11)
+	const n = 40000
+	below := 0
+	want := 4 * math.Pow(2, 1.0/1.5)
+	for i := 0; i < n; i++ {
+		if Pareto(r, 4, 1.5) < want {
+			below++
+		}
+	}
+	frac := float64(below) / n
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Errorf("P(X < median) = %v, want ≈0.5", frac)
+	}
+}
+
+func TestBoundedPareto(t *testing.T) {
+	r := NewRand(5)
+	for i := 0; i < 1000; i++ {
+		x := BoundedPareto(r, 4, 1, 20)
+		if x < 4 || x > 20 {
+			t.Fatalf("BoundedPareto out of [4,20]: %v", x)
+		}
+	}
+}
+
+func TestParetoInvalidParamsPanics(t *testing.T) {
+	for _, c := range []struct{ c, a float64 }{{0, 1}, {1, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Pareto(%v,%v): no panic", c.c, c.a)
+				}
+			}()
+			Pareto(NewRand(1), c.c, c.a)
+		}()
+	}
+}
+
+func TestZipfProbsSumToOne(t *testing.T) {
+	z := NewZipf(50, 1.0)
+	sum := 0.0
+	for i := 0; i < z.N(); i++ {
+		sum += z.Prob(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probs sum to %v", sum)
+	}
+}
+
+func TestZipfMonotone(t *testing.T) {
+	z := NewZipf(20, 0.8)
+	for i := 1; i < z.N(); i++ {
+		if z.Prob(i) > z.Prob(i-1)+1e-12 {
+			t.Errorf("Zipf prob not monotone at %d: %v > %v", i, z.Prob(i), z.Prob(i-1))
+		}
+	}
+}
+
+func TestZipfEmpirical(t *testing.T) {
+	z := NewZipf(10, 1.0)
+	r := NewRand(99)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Sample(r)]++
+	}
+	for i := range counts {
+		got := float64(counts[i]) / n
+		if math.Abs(got-z.Prob(i)) > 0.01 {
+			t.Errorf("rank %d: empirical %v vs analytic %v", i, got, z.Prob(i))
+		}
+	}
+}
+
+func TestZipfInvalid(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewZipf(0, 1) },
+		func() { NewZipf(5, 0) },
+		func() { NewZipf(5, 1).Prob(5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCategoricalEmpirical(t *testing.T) {
+	c := NewCategorical([]float64{0.4, 0.4, 0.2})
+	r := NewRand(17)
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[c.Sample(r)]++
+	}
+	wants := []float64{0.4, 0.4, 0.2}
+	for i, w := range wants {
+		got := float64(counts[i]) / n
+		if math.Abs(got-w) > 0.01 {
+			t.Errorf("category %d: %v, want ≈%v", i, got, w)
+		}
+	}
+}
+
+func TestCategoricalZeroWeightNeverDrawn(t *testing.T) {
+	c := NewCategorical([]float64{1, 0, 1})
+	r := NewRand(23)
+	for i := 0; i < 10000; i++ {
+		if c.Sample(r) == 1 {
+			t.Fatal("zero-weight category drawn")
+		}
+	}
+}
+
+func TestCategoricalInvalid(t *testing.T) {
+	for _, ws := range [][]float64{nil, {}, {0, 0}, {-1, 2}, {math.NaN()}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("weights %v: no panic", ws)
+				}
+			}()
+			NewCategorical(ws)
+		}()
+	}
+}
+
+func TestMixture1D(t *testing.T) {
+	m := NewMixture1D([]GaussianComponent{
+		{Weight: 0.5, Mu: 4, Sigma: 0.5},
+		{Weight: 0.5, Mu: 16, Sigma: 0.5},
+	})
+	if m.Modes() != 2 {
+		t.Fatalf("Modes = %d", m.Modes())
+	}
+	r := NewRand(31)
+	lo, hi := 0, 0
+	const n = 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		x := m.Sample(r)
+		sum += x
+		if x < 10 {
+			lo++
+		} else {
+			hi++
+		}
+	}
+	if math.Abs(float64(lo)/n-0.5) > 0.02 {
+		t.Errorf("mode balance off: %d vs %d", lo, hi)
+	}
+	if mean := sum / n; math.Abs(mean-10) > 0.1 {
+		t.Errorf("mixture mean %v, want ≈10", mean)
+	}
+}
+
+func TestUniformInt(t *testing.T) {
+	r := NewRand(1)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		x := UniformInt(r, 3, 7)
+		if x < 3 || x > 7 {
+			t.Fatalf("UniformInt out of range: %d", x)
+		}
+		seen[x] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("not all values seen: %v", seen)
+	}
+	if UniformInt(r, 4, 4) != 4 {
+		t.Error("degenerate range wrong")
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	r := NewRand(2)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if Bernoulli(r, 0.3) {
+			hits++
+		}
+	}
+	if got := float64(hits) / n; math.Abs(got-0.3) > 0.01 {
+		t.Errorf("Bernoulli(0.3) rate %v", got)
+	}
+	if Bernoulli(r, 0) {
+		t.Error("Bernoulli(0) true")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ x, lo, hi, want float64 }{
+		{5, 0, 10, 5}, {-1, 0, 10, 0}, {11, 0, 10, 10}, {0, 0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.x, c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%v,%v,%v) = %v, want %v", c.x, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Error("StdDev single != 0")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v", m)
+	}
+	if s := StdDev(xs); math.Abs(s-2) > 1e-12 {
+		t.Errorf("StdDev = %v", s)
+	}
+}
+
+func TestQuickZipfSampleInRange(t *testing.T) {
+	law := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		z := NewZipf(n, 1.1)
+		r := NewRand(seed)
+		for i := 0; i < 50; i++ {
+			if s := z.Sample(r); s < 0 || s >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(law, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCategoricalSampleInRange(t *testing.T) {
+	law := func(seed int64, k uint8) bool {
+		n := int(k%10) + 1
+		ws := make([]float64, n)
+		r := NewRand(seed)
+		for i := range ws {
+			ws[i] = r.Float64() + 0.01
+		}
+		c := NewCategorical(ws)
+		for i := 0; i < 50; i++ {
+			if s := c.Sample(r); s < 0 || s >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(law, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReproducibility(t *testing.T) {
+	a, b := NewRand(1234), NewRand(1234)
+	z := NewZipf(100, 1)
+	for i := 0; i < 100; i++ {
+		if z.Sample(a) != z.Sample(b) {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	if got := NormalCDF(0, 0, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Φ(0) = %v", got)
+	}
+	if got := NormalCDF(1.96, 0, 1); math.Abs(got-0.975) > 0.001 {
+		t.Errorf("Φ(1.96) = %v", got)
+	}
+	if NormalCDF(-1e9, 5, 2) > 1e-12 || NormalCDF(1e9, 5, 2) < 1-1e-12 {
+		t.Error("CDF tails wrong")
+	}
+	// Degenerate sigma: step function at mu.
+	if NormalCDF(4.9, 5, 0) != 0 || NormalCDF(5, 5, 0) != 1 {
+		t.Error("degenerate CDF wrong")
+	}
+}
+
+func TestMixtureCDFMatchesEmpirical(t *testing.T) {
+	m := NewMixture1D([]GaussianComponent{
+		{Weight: 0.3, Mu: 4, Sigma: 2},
+		{Weight: 0.7, Mu: 16, Sigma: 1},
+	})
+	r := NewRand(77)
+	const n = 60000
+	for _, x := range []float64{2, 4, 8, 15, 16, 18} {
+		below := 0
+		r2 := NewRand(77)
+		_ = r
+		for i := 0; i < n; i++ {
+			if m.Sample(r2) <= x {
+				below++
+			}
+		}
+		got := float64(below) / n
+		want := m.CDF(x)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("CDF(%v): empirical %v analytic %v", x, got, want)
+		}
+	}
+}
+
+func TestProbInterval(t *testing.T) {
+	m := NewMixture1D([]GaussianComponent{{Weight: 1, Mu: 0, Sigma: 1}})
+	if got := m.ProbInterval(-1, 1); math.Abs(got-0.6827) > 0.001 {
+		t.Errorf("P(-1,1] = %v", got)
+	}
+	if m.ProbInterval(3, 3) != 0 || m.ProbInterval(5, 2) != 0 {
+		t.Error("empty interval probability non-zero")
+	}
+	total := m.ProbInterval(math.Inf(-1), math.Inf(1))
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("P(full) = %v", total)
+	}
+}

@@ -1,0 +1,293 @@
+// Package stree implements an unbalanced spatial index for axis-aligned
+// rectangles in the spirit of the paper's alternative matching substrate
+// (ref [1]: Aggarwal, Wolf, Yu, Epelman, "Using Unbalanced Trees for
+// Indexing Multidimensional Objects", KAIS 1999): a binary tree whose
+// internal nodes split the space with a single-dimension cut and which
+// deliberately tolerates imbalance when the data is skewed — pub-sub
+// subscription populations are heavily skewed by design.
+//
+// Each internal node carries a cut (dimension, value). A rectangle routes
+// left when it lies entirely in the half-space x_dim ≤ value, right when
+// entirely in x_dim > value, and is pinned to the node's straddle list when
+// the cut passes through it. A point-stabbing query therefore descends a
+// single root-to-leaf path, testing only the straddle lists along the way
+// plus one leaf bucket.
+//
+// Compared to the R*-tree (package rtree) this index is cheaper to build
+// and has no re-balancing machinery; queries degrade gracefully with
+// wildcard-heavy workloads because fully unbounded rectangles straddle the
+// root. The matching package exposes both behind one interface so they can
+// be compared like-for-like (see BenchmarkRTreeMatch/BenchmarkSTreeMatch).
+package stree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/space"
+)
+
+// leafCapacity is the bucket size above which a leaf is split.
+const leafCapacity = 16
+
+// item is one stored rectangle.
+type item struct {
+	rect space.Rect
+	id   int
+}
+
+type node struct {
+	// Internal nodes: cut plane and children.
+	dim   int
+	value float64
+	left  *node
+	right *node
+	// Straddlers (internal) or bucket contents (leaf).
+	items []item
+	leaf  bool
+}
+
+// Tree is the unbalanced rectangle index. Create with New.
+type Tree struct {
+	dim  int
+	root *node
+	size int
+}
+
+// New creates an empty index over dim-dimensional rectangles.
+func New(dim int) *Tree {
+	if dim <= 0 {
+		panic(fmt.Sprintf("stree: dimension %d", dim))
+	}
+	return &Tree{dim: dim, root: &node{leaf: true}}
+}
+
+// Len returns the number of stored rectangles.
+func (t *Tree) Len() int { return t.size }
+
+// Dim returns the index dimensionality.
+func (t *Tree) Dim() int { return t.dim }
+
+// Insert adds a rectangle under the given id.
+func (t *Tree) Insert(r space.Rect, id int) error {
+	if r.Dim() != t.dim {
+		return fmt.Errorf("stree: rect dim %d, tree dim %d", r.Dim(), t.dim)
+	}
+	if r.Empty() {
+		return fmt.Errorf("stree: empty rectangle %v", r)
+	}
+	t.insert(t.root, item{rect: r.Clone(), id: id})
+	t.size++
+	return nil
+}
+
+func (t *Tree) insert(n *node, it item) {
+	for !n.leaf {
+		switch side(it.rect, n.dim, n.value) {
+		case -1:
+			n = n.left
+		case +1:
+			n = n.right
+		default:
+			n.items = append(n.items, it)
+			return
+		}
+	}
+	n.items = append(n.items, it)
+	if len(n.items) > leafCapacity {
+		t.split(n)
+	}
+}
+
+// side reports where a rectangle lies relative to the cut x_dim = value:
+// -1 entirely in (−inf, value], +1 entirely in (value, +inf], 0 straddling.
+func side(r space.Rect, dim int, value float64) int {
+	if r[dim].Hi <= value {
+		return -1
+	}
+	if r[dim].Lo >= value {
+		return +1
+	}
+	return 0
+}
+
+// split converts a leaf into an internal node, choosing the cut that
+// minimises straddlers while keeping both sides non-empty; if no such cut
+// exists (all rectangles overlap a common slab in every dimension) the
+// leaf simply grows.
+func (t *Tree) split(n *node) {
+	bestDim, bestVal, bestScore := -1, 0.0, math.Inf(1)
+	for d := 0; d < t.dim; d++ {
+		// Candidate cuts: the finite endpoints of stored rectangles.
+		var cands []float64
+		for _, it := range n.items {
+			if !math.IsInf(it.rect[d].Lo, 0) {
+				cands = append(cands, it.rect[d].Lo)
+			}
+			if !math.IsInf(it.rect[d].Hi, 0) {
+				cands = append(cands, it.rect[d].Hi)
+			}
+		}
+		sort.Float64s(cands)
+		cands = dedupe(cands)
+		for _, v := range cands {
+			left, right, straddle := 0, 0, 0
+			for _, it := range n.items {
+				switch side(it.rect, d, v) {
+				case -1:
+					left++
+				case +1:
+					right++
+				default:
+					straddle++
+				}
+			}
+			if left == 0 || right == 0 {
+				continue
+			}
+			// Prefer few straddlers, then balance.
+			score := float64(straddle)*float64(len(n.items)) + math.Abs(float64(left-right))
+			if score < bestScore {
+				bestDim, bestVal, bestScore = d, v, score
+			}
+		}
+	}
+	if bestDim < 0 {
+		return // unsplittable bucket; stays an oversized leaf
+	}
+	items := n.items
+	n.leaf = false
+	n.dim = bestDim
+	n.value = bestVal
+	n.left = &node{leaf: true}
+	n.right = &node{leaf: true}
+	n.items = nil
+	for _, it := range items {
+		switch side(it.rect, bestDim, bestVal) {
+		case -1:
+			n.left.items = append(n.left.items, it)
+		case +1:
+			n.right.items = append(n.right.items, it)
+		default:
+			n.items = append(n.items, it)
+		}
+	}
+	// Children may still exceed capacity; recurse.
+	if len(n.left.items) > leafCapacity {
+		t.split(n.left)
+	}
+	if len(n.right.items) > leafCapacity {
+		t.split(n.right)
+	}
+}
+
+func dedupe(xs []float64) []float64 {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// SearchPoint returns the ids of all rectangles containing p.
+func (t *Tree) SearchPoint(p space.Point) []int {
+	if len(p) != t.dim {
+		panic(fmt.Sprintf("stree: point dim %d, tree dim %d", len(p), t.dim))
+	}
+	var out []int
+	n := t.root
+	for n != nil {
+		for _, it := range n.items {
+			if it.rect.Contains(p) {
+				out = append(out, it.id)
+			}
+		}
+		if n.leaf {
+			break
+		}
+		// The point x_dim ≤ value ⟺ it can only hit left-side rectangles.
+		if p[n.dim] <= n.value {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return out
+}
+
+// SearchRect returns the ids of all rectangles intersecting q.
+func (t *Tree) SearchRect(q space.Rect) []int {
+	if q.Dim() != t.dim {
+		panic(fmt.Sprintf("stree: rect dim %d, tree dim %d", q.Dim(), t.dim))
+	}
+	var out []int
+	var walk func(n *node)
+	walk = func(n *node) {
+		for _, it := range n.items {
+			if it.rect.Intersects(q) {
+				out = append(out, it.id)
+			}
+		}
+		if n.leaf {
+			return
+		}
+		if q[n.dim].Lo < n.value {
+			walk(n.left)
+		}
+		if q[n.dim].Hi > n.value {
+			walk(n.right)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// Delete removes one rectangle previously inserted as (r, id); it reports
+// whether an entry was removed. Deletion never restructures the tree
+// (unbalanced by design); buckets shrink in place.
+func (t *Tree) Delete(r space.Rect, id int) bool {
+	if r.Dim() != t.dim {
+		return false
+	}
+	n := t.root
+	for n != nil {
+		for i, it := range n.items {
+			if it.id == id && it.rect.Equal(r) {
+				n.items = append(n.items[:i], n.items[i+1:]...)
+				t.size--
+				return true
+			}
+		}
+		if n.leaf {
+			return false
+		}
+		switch side(r, n.dim, n.value) {
+		case -1:
+			n = n.left
+		case +1:
+			n = n.right
+		default:
+			return false // would have been in this straddle list
+		}
+	}
+	return false
+}
+
+// Depth returns the height of the tree (diagnostics).
+func (t *Tree) Depth() int {
+	var walk func(n *node) int
+	walk = func(n *node) int {
+		if n == nil || n.leaf {
+			return 1
+		}
+		l, r := walk(n.left), walk(n.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return walk(t.root)
+}

@@ -1,0 +1,284 @@
+package stree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/space"
+)
+
+type oracle struct {
+	rects []space.Rect
+	ids   []int
+}
+
+func (o *oracle) insert(r space.Rect, id int) {
+	o.rects = append(o.rects, r.Clone())
+	o.ids = append(o.ids, id)
+}
+
+func (o *oracle) remove(r space.Rect, id int) bool {
+	for i := range o.ids {
+		if o.ids[i] == id && o.rects[i].Equal(r) {
+			o.rects = append(o.rects[:i], o.rects[i+1:]...)
+			o.ids = append(o.ids[:i], o.ids[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (o *oracle) searchPoint(p space.Point) []int {
+	var out []int
+	for i, r := range o.rects {
+		if r.Contains(p) {
+			out = append(out, o.ids[i])
+		}
+	}
+	return out
+}
+
+func (o *oracle) searchRect(q space.Rect) []int {
+	var out []int
+	for i, r := range o.rects {
+		if r.Intersects(q) {
+			out = append(out, o.ids[i])
+		}
+	}
+	return out
+}
+
+func randRect(r *rand.Rand, dim int) space.Rect {
+	rect := make(space.Rect, dim)
+	for d := range rect {
+		switch r.Intn(10) {
+		case 0:
+			rect[d] = space.Full()
+		case 1:
+			rect[d] = space.LeftOf(r.Float64() * 20)
+		case 2:
+			rect[d] = space.RightOf(r.Float64() * 20)
+		default:
+			lo := r.Float64() * 20
+			rect[d] = space.Span(lo, lo+r.Float64()*6+0.01)
+		}
+	}
+	return rect
+}
+
+func randPoint(r *rand.Rand, dim int) space.Point {
+	p := make(space.Point, dim)
+	for d := range p {
+		p[d] = r.Float64()*24 - 2
+	}
+	return p
+}
+
+func sameIDs(t *testing.T, got, want []int, ctx string) {
+	t.Helper()
+	g := append([]int(nil), got...)
+	w := append([]int(nil), want...)
+	sort.Ints(g)
+	sort.Ints(w)
+	if len(g) != len(w) {
+		t.Fatalf("%s: got %v want %v", ctx, g, w)
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("%s: got %v want %v", ctx, g, w)
+		}
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(0)
+}
+
+func TestInsertErrors(t *testing.T) {
+	tr := New(2)
+	if err := tr.Insert(space.Rect{space.Full()}, 1); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	if err := tr.Insert(space.Rect{space.Span(1, 1), space.Full()}, 1); err == nil {
+		t.Error("empty rect accepted")
+	}
+}
+
+func TestHalfOpenSemantics(t *testing.T) {
+	tr := New(1)
+	tr.Insert(space.Rect{space.Span(0, 5)}, 1)
+	if len(tr.SearchPoint(space.Point{0})) != 0 {
+		t.Error("lower boundary included")
+	}
+	if len(tr.SearchPoint(space.Point{5})) != 1 {
+		t.Error("upper boundary excluded")
+	}
+}
+
+func TestBoundaryRoutingAgainstCuts(t *testing.T) {
+	// Force splits, then query exactly on a cut value: the half-open
+	// convention (x ≤ value goes left) must agree with Contains.
+	tr := New(1)
+	var o oracle
+	for i := 0; i < 100; i++ {
+		r := space.Rect{space.Span(float64(i%10), float64(i%10)+1)}
+		tr.Insert(r, i)
+		o.insert(r, i)
+	}
+	for v := 0.0; v <= 11; v++ {
+		p := space.Point{v}
+		sameIDs(t, tr.SearchPoint(p), o.searchPoint(p), "integer boundary")
+	}
+}
+
+func TestMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	tr := New(3)
+	var o oracle
+	for i := 0; i < 1000; i++ {
+		rect := randRect(r, 3)
+		if err := tr.Insert(rect, i); err != nil {
+			t.Fatal(err)
+		}
+		o.insert(rect, i)
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Depth() < 3 {
+		t.Errorf("tree unexpectedly flat: depth %d", tr.Depth())
+	}
+	for q := 0; q < 400; q++ {
+		p := randPoint(r, 3)
+		sameIDs(t, tr.SearchPoint(p), o.searchPoint(p), "point")
+	}
+	for q := 0; q < 150; q++ {
+		rect := randRect(r, 3)
+		sameIDs(t, tr.SearchRect(rect), o.searchRect(rect), "rect")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	tr := New(2)
+	var o oracle
+	rects := make([]space.Rect, 300)
+	for i := range rects {
+		rects[i] = randRect(r, 2)
+		tr.Insert(rects[i], i)
+		o.insert(rects[i], i)
+	}
+	for _, i := range r.Perm(300)[:150] {
+		if !tr.Delete(rects[i], i) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+		o.remove(rects[i], i)
+		if tr.Delete(rects[i], i) {
+			t.Fatalf("double delete(%d) succeeded", i)
+		}
+	}
+	if tr.Len() != 150 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for q := 0; q < 200; q++ {
+		p := randPoint(r, 2)
+		sameIDs(t, tr.SearchPoint(p), o.searchPoint(p), "point after delete")
+	}
+}
+
+func TestDeleteWrongTarget(t *testing.T) {
+	tr := New(1)
+	tr.Insert(space.Rect{space.Span(0, 5)}, 1)
+	if tr.Delete(space.Rect{space.Span(0, 6)}, 1) {
+		t.Error("wrong rect deleted")
+	}
+	if tr.Delete(space.Rect{space.Span(0, 5)}, 2) {
+		t.Error("wrong id deleted")
+	}
+}
+
+func TestWildcardHeavyWorkload(t *testing.T) {
+	// All-wildcard rectangles pin to the root; the index must stay correct
+	// (if degenerate).
+	tr := New(2)
+	var o oracle
+	for i := 0; i < 100; i++ {
+		r := space.FullRect(2)
+		tr.Insert(r, i)
+		o.insert(r, i)
+	}
+	p := space.Point{3, 4}
+	sameIDs(t, tr.SearchPoint(p), o.searchPoint(p), "wildcards")
+}
+
+func TestQuickAgainstOracle(t *testing.T) {
+	law := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := New(2)
+		var o oracle
+		live := map[int]space.Rect{}
+		next := 0
+		for op := 0; op < 250; op++ {
+			if len(live) == 0 || r.Intn(3) > 0 {
+				rect := randRect(r, 2)
+				tr.Insert(rect, next)
+				o.insert(rect, next)
+				live[next] = rect
+				next++
+			} else {
+				var victim int
+				for id := range live {
+					victim = id
+					break
+				}
+				if !tr.Delete(live[victim], victim) {
+					return false
+				}
+				o.remove(live[victim], victim)
+				delete(live, victim)
+			}
+		}
+		for q := 0; q < 30; q++ {
+			p := randPoint(r, 2)
+			got := tr.SearchPoint(p)
+			want := o.searchPoint(p)
+			sort.Ints(got)
+			sort.Ints(want)
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return tr.Len() == len(live)
+	}
+	if err := quick.Check(law, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSearchPoint(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	tr := New(4)
+	for i := 0; i < 5000; i++ {
+		tr.Insert(randRect(r, 4), i)
+	}
+	pts := make([]space.Point, 256)
+	for i := range pts {
+		pts[i] = randPoint(r, 4)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.SearchPoint(pts[i%len(pts)])
+	}
+}

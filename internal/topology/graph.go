@@ -1,0 +1,200 @@
+// Package topology provides the network substrate of the ICDCS 2002
+// experiments: an undirected weighted graph type and a GT-ITM-style
+// transit–stub random topology generator (Zegura, Calvert, Bhattacharjee,
+// "How to Model an Internetwork", INFOCOM 1996 — the paper's ref [20]).
+package topology
+
+import (
+	"fmt"
+	"math"
+)
+
+// NodeID indexes a node in a Graph; valid ids are [0, NumNodes()).
+type NodeID int
+
+// Kind distinguishes transit (backbone) nodes from stub (edge) nodes.
+type Kind uint8
+
+// Node kinds.
+const (
+	Transit Kind = iota
+	StubNode
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Transit:
+		return "transit"
+	case StubNode:
+		return "stub"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Node is one vertex of the topology with its hierarchical coordinates.
+type Node struct {
+	ID    NodeID
+	Kind  Kind
+	Block int     // transit block (domain) index
+	Stub  int     // global stub index, -1 for transit nodes
+	X, Y  float64 // planar position used to derive edge costs
+}
+
+// Halfedge is one directed half of an undirected edge.
+type Halfedge struct {
+	To   NodeID
+	Cost float64
+}
+
+// Edge is an undirected weighted edge.
+type Edge struct {
+	U, V NodeID
+	Cost float64
+}
+
+// Stub groups the member nodes of one stub network.
+type Stub struct {
+	Index   int      // global stub index
+	Block   int      // owning transit block
+	Gateway NodeID   // transit node this stub hangs off
+	Nodes   []NodeID // member (stub) nodes
+}
+
+// Graph is an undirected weighted graph with transit–stub annotations. Use
+// NewGraph and AddEdge to build one, or Generate for a random transit–stub
+// topology.
+type Graph struct {
+	nodes []Node
+	adj   [][]Halfedge
+	edges []Edge
+	stubs []Stub
+	// blocks[b] lists the transit nodes of block b.
+	blocks [][]NodeID
+}
+
+// NewGraph creates a graph with n isolated nodes of unspecified kind.
+func NewGraph(n int) *Graph {
+	g := &Graph{
+		nodes: make([]Node, n),
+		adj:   make([][]Halfedge, n),
+	}
+	for i := range g.nodes {
+		g.nodes[i] = Node{ID: NodeID(i), Stub: -1}
+	}
+	return g
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Node returns the node record for id.
+func (g *Graph) Node(id NodeID) Node {
+	return g.nodes[id]
+}
+
+// SetNode overwrites the node record (the ID field is forced to id).
+func (g *Graph) SetNode(id NodeID, n Node) {
+	n.ID = id
+	g.nodes[id] = n
+}
+
+// AddEdge inserts an undirected edge. Self loops, duplicate edges, and
+// non-positive costs are rejected.
+func (g *Graph) AddEdge(u, v NodeID, cost float64) error {
+	if u == v {
+		return fmt.Errorf("topology: self loop at %d", u)
+	}
+	if u < 0 || int(u) >= len(g.nodes) || v < 0 || int(v) >= len(g.nodes) {
+		return fmt.Errorf("topology: edge (%d,%d) out of range", u, v)
+	}
+	if cost <= 0 || math.IsNaN(cost) || math.IsInf(cost, 0) {
+		return fmt.Errorf("topology: invalid edge cost %v", cost)
+	}
+	for _, h := range g.adj[u] {
+		if h.To == v {
+			return fmt.Errorf("topology: duplicate edge (%d,%d)", u, v)
+		}
+	}
+	g.adj[u] = append(g.adj[u], Halfedge{To: v, Cost: cost})
+	g.adj[v] = append(g.adj[v], Halfedge{To: u, Cost: cost})
+	g.edges = append(g.edges, Edge{U: u, V: v, Cost: cost})
+	return nil
+}
+
+// HasEdge reports whether an undirected edge (u, v) exists.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	for _, h := range g.adj[u] {
+		if h.To == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Neighbors returns the adjacency list of u. The returned slice must not be
+// modified.
+func (g *Graph) Neighbors(u NodeID) []Halfedge { return g.adj[u] }
+
+// Edges returns all undirected edges. The returned slice must not be
+// modified.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Stubs returns the stub networks. Empty for hand-built graphs.
+func (g *Graph) Stubs() []Stub { return g.stubs }
+
+// NumStubs returns the number of stub networks.
+func (g *Graph) NumStubs() int { return len(g.stubs) }
+
+// Blocks returns, per transit block, the list of transit node ids.
+func (g *Graph) Blocks() [][]NodeID { return g.blocks }
+
+// NumBlocks returns the number of transit blocks.
+func (g *Graph) NumBlocks() int { return len(g.blocks) }
+
+// StubOf returns the stub record containing node id, or ok=false for
+// transit nodes.
+func (g *Graph) StubOf(id NodeID) (Stub, bool) {
+	s := g.nodes[id].Stub
+	if s < 0 || s >= len(g.stubs) {
+		return Stub{}, false
+	}
+	return g.stubs[s], true
+}
+
+// Connected reports whether the graph is connected (true for the empty
+// graph and singletons).
+func (g *Graph) Connected() bool {
+	n := len(g.nodes)
+	if n <= 1 {
+		return true
+	}
+	seen := make([]bool, n)
+	stack := []NodeID{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, h := range g.adj[u] {
+			if !seen[h.To] {
+				seen[h.To] = true
+				count++
+				stack = append(stack, h.To)
+			}
+		}
+	}
+	return count == n
+}
+
+// TotalEdgeCost returns the sum of all edge costs.
+func (g *Graph) TotalEdgeCost() float64 {
+	t := 0.0
+	for _, e := range g.edges {
+		t += e.Cost
+	}
+	return t
+}

@@ -1,0 +1,176 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteText serialises the graph in a line-oriented format that
+// round-trips through ReadText:
+//
+//	# comments and blank lines are ignored
+//	node <id> <transit|stub> <block> <stub> <x> <y>
+//	edge <u> <v> <cost>
+//	stub <index> <block> <gateway> <node> <node> ...
+//
+// Node lines must precede the edge and stub lines that reference them;
+// WriteText emits them in that order.
+func WriteText(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# transit-stub topology: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
+	for i := 0; i < g.NumNodes(); i++ {
+		n := g.Node(NodeID(i))
+		fmt.Fprintf(bw, "node %d %s %d %d %g %g\n", n.ID, n.Kind, n.Block, n.Stub, n.X, n.Y)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "edge %d %d %g\n", e.U, e.V, e.Cost)
+	}
+	for _, s := range g.Stubs() {
+		fmt.Fprintf(bw, "stub %d %d %d", s.Index, s.Block, s.Gateway)
+		for _, n := range s.Nodes {
+			fmt.Fprintf(bw, " %d", n)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the WriteText format back into a Graph.
+func ReadText(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+
+	type nodeLine struct {
+		n Node
+	}
+	var nodes []nodeLine
+	type edgeLine struct {
+		u, v NodeID
+		cost float64
+	}
+	var edges []edgeLine
+	var stubs []Stub
+	blocks := map[int][]NodeID{}
+
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "node":
+			if len(fields) != 7 {
+				return nil, fmt.Errorf("topology: line %d: node needs 6 fields", lineNo)
+			}
+			var n Node
+			var kind string
+			if _, err := fmt.Sscanf(strings.Join(fields[1:], " "), "%d %s %d %d %g %g",
+				&n.ID, &kind, &n.Block, &n.Stub, &n.X, &n.Y); err != nil {
+				return nil, fmt.Errorf("topology: line %d: %v", lineNo, err)
+			}
+			switch kind {
+			case "transit":
+				n.Kind = Transit
+			case "stub":
+				n.Kind = StubNode
+			default:
+				return nil, fmt.Errorf("topology: line %d: unknown kind %q", lineNo, kind)
+			}
+			nodes = append(nodes, nodeLine{n: n})
+			if n.Kind == Transit {
+				blocks[n.Block] = append(blocks[n.Block], n.ID)
+			}
+		case "edge":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("topology: line %d: edge needs 3 fields", lineNo)
+			}
+			var e edgeLine
+			if _, err := fmt.Sscanf(strings.Join(fields[1:], " "), "%d %d %g", &e.u, &e.v, &e.cost); err != nil {
+				return nil, fmt.Errorf("topology: line %d: %v", lineNo, err)
+			}
+			edges = append(edges, e)
+		case "stub":
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("topology: line %d: stub needs ≥3 fields", lineNo)
+			}
+			var s Stub
+			if _, err := fmt.Sscanf(strings.Join(fields[1:4], " "), "%d %d %d", &s.Index, &s.Block, &s.Gateway); err != nil {
+				return nil, fmt.Errorf("topology: line %d: %v", lineNo, err)
+			}
+			for _, f := range fields[4:] {
+				var id NodeID
+				if _, err := fmt.Sscanf(f, "%d", &id); err != nil {
+					return nil, fmt.Errorf("topology: line %d: %v", lineNo, err)
+				}
+				s.Nodes = append(s.Nodes, id)
+			}
+			stubs = append(stubs, s)
+		default:
+			return nil, fmt.Errorf("topology: line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("topology: %w", err)
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("topology: no nodes")
+	}
+
+	g := NewGraph(len(nodes))
+	for _, nl := range nodes {
+		if nl.n.ID < 0 || int(nl.n.ID) >= len(nodes) {
+			return nil, fmt.Errorf("topology: node id %d out of range", nl.n.ID)
+		}
+		g.SetNode(nl.n.ID, nl.n)
+	}
+	for _, e := range edges {
+		if err := g.AddEdge(e.u, e.v, e.cost); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(stubs, func(i, j int) bool { return stubs[i].Index < stubs[j].Index })
+	g.stubs = stubs
+	nb := 0
+	for b := range blocks {
+		if b+1 > nb {
+			nb = b + 1
+		}
+	}
+	g.blocks = make([][]NodeID, nb)
+	for b, ids := range blocks {
+		g.blocks[b] = ids
+	}
+	return g, nil
+}
+
+// WriteDOT emits the graph in Graphviz DOT format for visualisation:
+// transit nodes are boxes, stub nodes are points colored by block, edge
+// lengths reflect costs.
+func WriteDOT(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "graph topology {")
+	fmt.Fprintln(bw, "  layout=neato; overlap=false; splines=true;")
+	colors := []string{"steelblue", "darkorange", "seagreen", "orchid", "firebrick", "goldenrod"}
+	for i := 0; i < g.NumNodes(); i++ {
+		n := g.Node(NodeID(i))
+		color := colors[n.Block%len(colors)]
+		if n.Kind == Transit {
+			fmt.Fprintf(bw, "  n%d [shape=box, style=filled, fillcolor=%q, label=\"T%d\", pos=\"%.1f,%.1f\"];\n",
+				n.ID, color, n.ID, n.X, n.Y)
+		} else {
+			fmt.Fprintf(bw, "  n%d [shape=point, color=%q, pos=\"%.1f,%.1f\"];\n",
+				n.ID, color, n.X, n.Y)
+		}
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "  n%d -- n%d [len=%.2f];\n", e.U, e.V, e.Cost)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

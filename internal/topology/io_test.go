@@ -1,0 +1,117 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	cfg := Eval600
+	cfg.Seed = 44
+	g, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteText(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("sizes differ: %d/%d vs %d/%d",
+			got.NumNodes(), got.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		a, b := g.Node(NodeID(i)), got.Node(NodeID(i))
+		if a != b {
+			t.Fatalf("node %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	for i, e := range g.Edges() {
+		if got.Edges()[i] != e {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+	if got.NumStubs() != g.NumStubs() || got.NumBlocks() != g.NumBlocks() {
+		t.Fatalf("structure differs: stubs %d/%d blocks %d/%d",
+			got.NumStubs(), g.NumStubs(), got.NumBlocks(), g.NumBlocks())
+	}
+	for i, s := range g.Stubs() {
+		gs := got.Stubs()[i]
+		if gs.Index != s.Index || gs.Block != s.Block || gs.Gateway != s.Gateway || len(gs.Nodes) != len(s.Nodes) {
+			t.Fatalf("stub %d differs: %+v vs %+v", i, s, gs)
+		}
+	}
+	if !got.Connected() {
+		t.Fatal("round-tripped graph disconnected")
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"bogus 1 2 3",
+		"node 0 transit 0 -1",                 // short node line
+		"node 0 martian 0 -1 1 2",             // bad kind
+		"node 0 transit 0 -1 1 2\nedge 0 5 1", // edge out of range
+		"node 5 transit 0 -1 1 2",             // id out of range
+		"node 0 transit 0 -1 1 2\nedge 0",     // short edge
+		"node 0 transit 0 -1 1 2\nstub 0 0",   // short stub
+	}
+	for i, in := range cases {
+		if _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted: %q", i, in)
+		}
+	}
+}
+
+func TestReadTextIgnoresComments(t *testing.T) {
+	in := `
+# a comment
+node 0 transit 0 -1 0 0
+
+node 1 stub 0 0 1 1
+edge 0 1 2.5
+stub 0 0 0 1
+`
+	g, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 1 || g.NumStubs() != 1 {
+		t.Fatalf("parsed %d/%d/%d", g.NumNodes(), g.NumEdges(), g.NumStubs())
+	}
+	if g.Edges()[0].Cost != 2.5 {
+		t.Fatal("cost lost")
+	}
+	s, ok := g.StubOf(1)
+	if !ok || s.Gateway != 0 {
+		t.Fatal("stub record lost")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	cfg := Net100
+	cfg.Seed = 45
+	g, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteDOT(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "graph topology {") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Fatal("not a DOT graph")
+	}
+	if strings.Count(out, "--") != g.NumEdges() {
+		t.Fatalf("edge lines %d != %d", strings.Count(out, "--"), g.NumEdges())
+	}
+	if !strings.Contains(out, "shape=box") || !strings.Contains(out, "shape=point") {
+		t.Fatal("node kinds not distinguished")
+	}
+}

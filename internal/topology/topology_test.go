@@ -1,0 +1,291 @@
+package topology
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGraphEmpty(t *testing.T) {
+	g := NewGraph(3)
+	if g.NumNodes() != 3 || g.NumEdges() != 0 {
+		t.Fatalf("nodes=%d edges=%d", g.NumNodes(), g.NumEdges())
+	}
+	if g.Connected() {
+		t.Error("3 isolated nodes reported connected")
+	}
+	if !NewGraph(0).Connected() || !NewGraph(1).Connected() {
+		t.Error("trivial graphs should be connected")
+	}
+}
+
+func TestAddEdge(t *testing.T) {
+	g := NewGraph(3)
+	if err := g.AddEdge(0, 1, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("edge not symmetric")
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("phantom edge")
+	}
+	if len(g.Neighbors(0)) != 1 || g.Neighbors(0)[0].To != 1 || g.Neighbors(0)[0].Cost != 2.5 {
+		t.Errorf("Neighbors(0) = %v", g.Neighbors(0))
+	}
+	if g.TotalEdgeCost() != 2.5 {
+		t.Errorf("TotalEdgeCost = %v", g.TotalEdgeCost())
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := NewGraph(3)
+	if err := g.AddEdge(0, 0, 1); err == nil {
+		t.Error("self loop accepted")
+	}
+	if err := g.AddEdge(0, 5, 1); err == nil {
+		t.Error("out-of-range accepted")
+	}
+	if err := g.AddEdge(0, 1, 0); err == nil {
+		t.Error("zero cost accepted")
+	}
+	if err := g.AddEdge(0, 1, math.NaN()); err == nil {
+		t.Error("NaN cost accepted")
+	}
+	if err := g.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 0, 2); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+}
+
+func TestConnected(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 3, 1)
+	if g.Connected() {
+		t.Error("two components reported connected")
+	}
+	g.AddEdge(1, 2, 1)
+	if !g.Connected() {
+		t.Error("path graph reported disconnected")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{TransitBlocks: 0, TransitPerBlock: 1, NodesPerStub: 1},
+		{TransitBlocks: 1, TransitPerBlock: 0, NodesPerStub: 1},
+		{TransitBlocks: 1, TransitPerBlock: 1, StubsPerTransit: -1, NodesPerStub: 1},
+		{TransitBlocks: 1, TransitPerBlock: 1, StubsPerTransit: 2, NodesPerStub: 0},
+		{TransitBlocks: 1, TransitPerBlock: 1, StubsPerTransit: 1, NodesPerStub: 1, ExtraEdgeProb: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestPresetNodeCounts(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want int
+	}{
+		{"Net100", Net100, 100},   // 4 + 4·3·8
+		{"Net300", Net300, 305},   // 5 + 5·3·20
+		{"Net600", Net600, 604},   // 4 + 4·3·50
+		{"Eval600", Eval600, 615}, // 15 + 15·2·20
+	}
+	for _, c := range cases {
+		if got := c.cfg.TotalNodes(); got != c.want {
+			t.Errorf("%s.TotalNodes() = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	cfg := Eval600
+	cfg.Seed = 7
+	g, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != cfg.TotalNodes() {
+		t.Fatalf("NumNodes = %d, want %d", g.NumNodes(), cfg.TotalNodes())
+	}
+	if !g.Connected() {
+		t.Fatal("generated graph disconnected")
+	}
+	if g.NumBlocks() != 3 {
+		t.Fatalf("NumBlocks = %d", g.NumBlocks())
+	}
+	if g.NumStubs() != 3*5*2 {
+		t.Fatalf("NumStubs = %d, want 30", g.NumStubs())
+	}
+
+	transit, stub := 0, 0
+	for i := 0; i < g.NumNodes(); i++ {
+		n := g.Node(NodeID(i))
+		switch n.Kind {
+		case Transit:
+			transit++
+			if n.Stub != -1 {
+				t.Errorf("transit node %d has stub %d", i, n.Stub)
+			}
+		case StubNode:
+			stub++
+			s, ok := g.StubOf(n.ID)
+			if !ok {
+				t.Fatalf("stub node %d has no stub record", i)
+			}
+			if s.Block != n.Block {
+				t.Errorf("node %d block %d vs stub block %d", i, n.Block, s.Block)
+			}
+			found := false
+			for _, m := range s.Nodes {
+				if m == n.ID {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("node %d missing from its stub member list", i)
+			}
+		}
+	}
+	if transit != 15 || stub != 600 {
+		t.Fatalf("transit=%d stub=%d, want 15/600", transit, stub)
+	}
+
+	// Every stub's gateway must be a transit node in the same block and
+	// adjacent to some stub member.
+	for _, s := range g.Stubs() {
+		gw := g.Node(s.Gateway)
+		if gw.Kind != Transit || gw.Block != s.Block {
+			t.Errorf("stub %d gateway invalid: %+v", s.Index, gw)
+		}
+		linked := false
+		for _, m := range s.Nodes {
+			if g.HasEdge(s.Gateway, m) {
+				linked = true
+			}
+		}
+		if !linked {
+			t.Errorf("stub %d not linked to gateway", s.Index)
+		}
+		if len(s.Nodes) != 20 {
+			t.Errorf("stub %d has %d nodes", s.Index, len(s.Nodes))
+		}
+	}
+}
+
+func TestStubOfTransit(t *testing.T) {
+	cfg := Net100
+	cfg.Seed = 1
+	g, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		n := g.Node(NodeID(i))
+		if n.Kind == Transit {
+			if _, ok := g.StubOf(n.ID); ok {
+				t.Fatalf("transit node %d reports a stub", i)
+			}
+			return
+		}
+	}
+	t.Fatal("no transit node found")
+}
+
+func TestGenerateReproducible(t *testing.T) {
+	cfg := Net100
+	cfg.Seed = 42
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("edge counts differ: %d vs %d", a.NumEdges(), b.NumEdges())
+	}
+	for i, e := range a.Edges() {
+		if b.Edges()[i] != e {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, e, b.Edges()[i])
+		}
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	cfg := Net100
+	cfg.Seed = 1
+	a, _ := Generate(cfg)
+	cfg.Seed = 2
+	b, _ := Generate(cfg)
+	same := a.NumEdges() == b.NumEdges()
+	if same {
+		for i, e := range a.Edges() {
+			if b.Edges()[i] != e {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical topologies")
+	}
+}
+
+func TestEdgeCostLocality(t *testing.T) {
+	cfg := Eval600
+	cfg.Seed = 5
+	g, _ := Generate(cfg)
+	var intraStub, interBlock []float64
+	for _, e := range g.Edges() {
+		u, v := g.Node(e.U), g.Node(e.V)
+		switch {
+		case u.Kind == StubNode && v.Kind == StubNode && u.Stub == v.Stub:
+			intraStub = append(intraStub, e.Cost)
+		case u.Kind == Transit && v.Kind == Transit && u.Block != v.Block:
+			interBlock = append(interBlock, e.Cost)
+		}
+	}
+	if len(intraStub) == 0 || len(interBlock) == 0 {
+		t.Fatal("missing edge classes")
+	}
+	mean := func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	if mean(interBlock) < 4*mean(intraStub) {
+		t.Errorf("inter-block edges (%v) not ≫ intra-stub edges (%v)", mean(interBlock), mean(intraStub))
+	}
+}
+
+func TestQuickGenerateAlwaysConnected(t *testing.T) {
+	law := func(seed int64, tb, tpb, spt, nps uint8) bool {
+		cfg := Config{
+			TransitBlocks:   int(tb%3) + 1,
+			TransitPerBlock: int(tpb%4) + 1,
+			StubsPerTransit: int(spt % 3),
+			NodesPerStub:    int(nps%6) + 1,
+			Seed:            seed,
+		}
+		g, err := Generate(cfg)
+		if err != nil {
+			return false
+		}
+		return g.Connected() && g.NumNodes() == cfg.TotalNodes()
+	}
+	if err := quick.Check(law, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,229 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/stats"
+)
+
+// Config parameterises the transit–stub generator the way the paper's
+// tables do: a number of transit blocks, transit nodes per block, stubs per
+// transit node, and nodes per stub. Edge costs are derived from planar node
+// positions, so intra-stub links are cheap, intra-block transit links are
+// moderate, and inter-block links are expensive — the locality structure
+// that makes regional multicast pay off.
+type Config struct {
+	TransitBlocks   int // number of transit domains (≥1)
+	TransitPerBlock int // transit nodes in each block (≥1)
+	StubsPerTransit int // stub networks hanging off each transit node (≥0)
+	NodesPerStub    int // nodes in each stub network (≥1)
+
+	// ExtraEdgeProb adds redundant intra-group edges beyond the random
+	// spanning tree that guarantees connectivity, per candidate pair.
+	// Defaults to 0.15 when zero-valued via Generate.
+	ExtraEdgeProb float64
+
+	// CostScale multiplies all Euclidean edge costs. Defaults to 1.
+	CostScale float64
+
+	// LastMileFactor additionally multiplies the cost of every edge
+	// touching a stub (client) node — intra-stub links and stub→transit
+	// gateway links. The paper's §6 extension 2: last-mile links are the
+	// slowest and most congested, so they deserve higher costs. Defaults
+	// to 1 (no penalty).
+	LastMileFactor float64
+
+	Seed int64
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.TransitBlocks < 1:
+		return fmt.Errorf("topology: TransitBlocks = %d, need ≥1", c.TransitBlocks)
+	case c.TransitPerBlock < 1:
+		return fmt.Errorf("topology: TransitPerBlock = %d, need ≥1", c.TransitPerBlock)
+	case c.StubsPerTransit < 0:
+		return fmt.Errorf("topology: StubsPerTransit = %d, need ≥0", c.StubsPerTransit)
+	case c.StubsPerTransit > 0 && c.NodesPerStub < 1:
+		return fmt.Errorf("topology: NodesPerStub = %d, need ≥1", c.NodesPerStub)
+	case c.ExtraEdgeProb < 0 || c.ExtraEdgeProb > 1:
+		return fmt.Errorf("topology: ExtraEdgeProb = %v, need [0,1]", c.ExtraEdgeProb)
+	case c.LastMileFactor < 0:
+		return fmt.Errorf("topology: LastMileFactor = %v, need ≥ 0", c.LastMileFactor)
+	}
+	return nil
+}
+
+// TotalNodes returns the node count the configuration will produce.
+func (c Config) TotalNodes() int {
+	return c.TransitBlocks * c.TransitPerBlock * (1 + c.StubsPerTransit*c.NodesPerStub)
+}
+
+// Paper network presets. Table 1/2 networks use a single transit block; the
+// §5.1 evaluation network uses three.
+var (
+	// Net100 reproduces the paper's "100 node" network: 1 transit block,
+	// 4 transit nodes, 3 stubs per transit node, 8 nodes per stub.
+	Net100 = Config{TransitBlocks: 1, TransitPerBlock: 4, StubsPerTransit: 3, NodesPerStub: 8}
+	// Net300 reproduces the "300 node" network: 5 transit nodes, 3 stubs
+	// each, 20 nodes per stub.
+	Net300 = Config{TransitBlocks: 1, TransitPerBlock: 5, StubsPerTransit: 3, NodesPerStub: 20}
+	// Net600 reproduces the "600 node" network of Tables 1–2: 4 transit
+	// nodes, 3 stubs each, 50 nodes per stub.
+	Net600 = Config{TransitBlocks: 1, TransitPerBlock: 4, StubsPerTransit: 3, NodesPerStub: 50}
+	// Eval600 reproduces the §5.1 evaluation network: 3 transit blocks ×
+	// 5 transit nodes × 2 stubs × 20 nodes.
+	Eval600 = Config{TransitBlocks: 3, TransitPerBlock: 5, StubsPerTransit: 2, NodesPerStub: 20}
+)
+
+// Geometry constants for node placement. Blocks sit on a coarse ring so
+// inter-block distances dominate; stubs cluster tightly around their
+// gateway transit node.
+const (
+	blockRingRadius = 60.0
+	blockSpread     = 18.0
+	stubOffset      = 7.0
+	stubSpread      = 2.5
+	minEdgeCost     = 1.0
+)
+
+// Generate builds a random transit–stub topology. The result is always
+// connected.
+func Generate(cfg Config) (*Graph, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ExtraEdgeProb == 0 {
+		cfg.ExtraEdgeProb = 0.15
+	}
+	if cfg.CostScale == 0 {
+		cfg.CostScale = 1
+	}
+	if cfg.LastMileFactor == 0 {
+		cfg.LastMileFactor = 1
+	}
+	r := stats.NewRand(cfg.Seed)
+
+	g := NewGraph(cfg.TotalNodes())
+	g.blocks = make([][]NodeID, cfg.TransitBlocks)
+
+	next := NodeID(0)
+	alloc := func() NodeID {
+		id := next
+		next++
+		return id
+	}
+
+	// Transit backbone: place each block's transit nodes around the block
+	// center, connect them with a random tree plus extra edges.
+	for b := 0; b < cfg.TransitBlocks; b++ {
+		angle := 2 * math.Pi * float64(b) / float64(cfg.TransitBlocks)
+		cx := blockRingRadius * math.Cos(angle)
+		cy := blockRingRadius * math.Sin(angle)
+		ids := make([]NodeID, cfg.TransitPerBlock)
+		for i := range ids {
+			id := alloc()
+			ids[i] = id
+			g.SetNode(id, Node{
+				Kind:  Transit,
+				Block: b,
+				Stub:  -1,
+				X:     cx + (r.Float64()*2-1)*blockSpread,
+				Y:     cy + (r.Float64()*2-1)*blockSpread,
+			})
+		}
+		g.blocks[b] = ids
+		connectGroup(g, r, ids, cfg)
+	}
+
+	// Inter-block edges: a ring over blocks (tree + closure) through random
+	// transit representatives, so the backbone is connected.
+	if cfg.TransitBlocks > 1 {
+		for b := 0; b < cfg.TransitBlocks; b++ {
+			nb := (b + 1) % cfg.TransitBlocks
+			u := g.blocks[b][r.Intn(len(g.blocks[b]))]
+			v := g.blocks[nb][r.Intn(len(g.blocks[nb]))]
+			if !g.HasEdge(u, v) {
+				mustAddEdge(g, u, v, cfg)
+			}
+		}
+	}
+
+	// Stubs: each transit node sponsors StubsPerTransit stubs of
+	// NodesPerStub nodes placed around it.
+	stubIdx := 0
+	for b := 0; b < cfg.TransitBlocks; b++ {
+		for _, t := range g.blocks[b] {
+			tn := g.Node(t)
+			for s := 0; s < cfg.StubsPerTransit; s++ {
+				angle := 2 * math.Pi * (float64(s) + r.Float64()*0.5) / float64(cfg.StubsPerTransit)
+				sx := tn.X + stubOffset*math.Cos(angle)
+				sy := tn.Y + stubOffset*math.Sin(angle)
+				ids := make([]NodeID, cfg.NodesPerStub)
+				for i := range ids {
+					id := alloc()
+					ids[i] = id
+					g.SetNode(id, Node{
+						Kind:  StubNode,
+						Block: b,
+						Stub:  stubIdx,
+						X:     sx + (r.Float64()*2-1)*stubSpread,
+						Y:     sy + (r.Float64()*2-1)*stubSpread,
+					})
+				}
+				connectGroup(g, r, ids, cfg)
+				// Gateway link from the stub into its transit node.
+				gw := ids[r.Intn(len(ids))]
+				mustAddEdge(g, t, gw, cfg)
+				g.stubs = append(g.stubs, Stub{
+					Index:   stubIdx,
+					Block:   b,
+					Gateway: t,
+					Nodes:   ids,
+				})
+				stubIdx++
+			}
+		}
+	}
+
+	if !g.Connected() {
+		// Cannot happen by construction; guard anyway.
+		return nil, fmt.Errorf("topology: generated graph is disconnected")
+	}
+	return g, nil
+}
+
+// connectGroup wires the ids into a connected random subgraph: a random
+// spanning tree (each node links to a uniformly chosen predecessor) plus
+// extra edges with probability cfg.ExtraEdgeProb.
+func connectGroup(g *Graph, r *rand.Rand, ids []NodeID, cfg Config) {
+	for i := 1; i < len(ids); i++ {
+		j := r.Intn(i)
+		mustAddEdge(g, ids[i], ids[j], cfg)
+	}
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			if !g.HasEdge(ids[i], ids[j]) && r.Float64() < cfg.ExtraEdgeProb {
+				mustAddEdge(g, ids[i], ids[j], cfg)
+			}
+		}
+	}
+}
+
+// mustAddEdge adds an edge with Euclidean cost (last-mile edges scaled by
+// the configured factor); construction call sites guarantee validity.
+func mustAddEdge(g *Graph, u, v NodeID, cfg Config) {
+	a, b := g.Node(u), g.Node(v)
+	d := math.Hypot(a.X-b.X, a.Y-b.Y) * cfg.CostScale
+	if d < minEdgeCost {
+		d = minEdgeCost
+	}
+	if a.Kind == StubNode || b.Kind == StubNode {
+		d *= cfg.LastMileFactor
+	}
+	if err := g.AddEdge(u, v, d); err != nil {
+		panic(fmt.Sprintf("topology: internal edge error: %v", err))
+	}
+}

@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/space"
+	"repro/internal/topology"
+)
+
+// NewCustomWorld builds a World from explicit subscriptions instead of a
+// generator — the entry point for library users bringing their own
+// workload. All subscription rectangles must match the axes' dimensionality
+// and owners must be nodes of the graph.
+//
+// The event source defaults to uniform points over the axes' bounds
+// published from uniformly chosen stub nodes (or any node when the graph
+// has no stub annotations); use SetEventSource to replace it.
+func NewCustomWorld(g *topology.Graph, axes []space.Axis, subs []Subscription) (*World, error) {
+	if g == nil {
+		return nil, fmt.Errorf("workload: nil graph")
+	}
+	if len(axes) == 0 {
+		return nil, fmt.Errorf("workload: no axes")
+	}
+	if len(subs) == 0 {
+		return nil, fmt.Errorf("workload: no subscriptions")
+	}
+	if _, err := space.NewGrid(axes); err != nil {
+		return nil, fmt.Errorf("workload: invalid axes: %w", err)
+	}
+	w := &World{
+		Graph: g,
+		Dim:   len(axes),
+		Axes:  append([]space.Axis(nil), axes...),
+		Subs:  append([]Subscription(nil), subs...),
+	}
+	for i, s := range w.Subs {
+		if s.Rect.Dim() != w.Dim {
+			return nil, fmt.Errorf("workload: subscription %d has dim %d, want %d", i, s.Rect.Dim(), w.Dim)
+		}
+		if s.Rect.Empty() {
+			return nil, fmt.Errorf("workload: subscription %d has an empty rectangle", i)
+		}
+		if s.Owner < 0 || int(s.Owner) >= g.NumNodes() {
+			return nil, fmt.Errorf("workload: subscription %d owner %d out of range", i, s.Owner)
+		}
+	}
+	w.finish()
+
+	hosts := stubNodes(g)
+	if len(hosts) == 0 {
+		hosts = make([]topology.NodeID, g.NumNodes())
+		for i := range hosts {
+			hosts[i] = topology.NodeID(i)
+		}
+	}
+	axesCopy := w.Axes
+	w.genEvent = func(r *rand.Rand) Event {
+		p := make(space.Point, len(axesCopy))
+		for d, a := range axesCopy {
+			p[d] = a.Lo + r.Float64()*(a.Hi-a.Lo)
+		}
+		return Event{Pub: hosts[r.Intn(len(hosts))], Point: p}
+	}
+	return w, nil
+}
+
+// SetEventSource replaces the world's publication process. The function is
+// called once per generated event with the stream's random source.
+func (w *World) SetEventSource(fn func(r *rand.Rand) Event) {
+	if fn == nil {
+		panic("workload: nil event source")
+	}
+	w.genEvent = fn
+}

@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/space"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+func customAxes() []space.Axis {
+	return []space.Axis{
+		{Lo: 0, Hi: 10, Cells: 10},
+		{Lo: 0, Hi: 10, Cells: 10},
+	}
+}
+
+func TestNewCustomWorldValidation(t *testing.T) {
+	g := testGraph(t, topology.Net100, 30)
+	subs := []Subscription{{Owner: 4, Rect: space.FullRect(2)}}
+	if _, err := NewCustomWorld(nil, customAxes(), subs); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := NewCustomWorld(g, nil, subs); err == nil {
+		t.Error("nil axes accepted")
+	}
+	if _, err := NewCustomWorld(g, customAxes(), nil); err == nil {
+		t.Error("empty subs accepted")
+	}
+	if _, err := NewCustomWorld(g, []space.Axis{{Lo: 0, Hi: 0, Cells: 1}}, subs); err == nil {
+		t.Error("invalid axes accepted")
+	}
+	bad := []Subscription{{Owner: 4, Rect: space.FullRect(3)}}
+	if _, err := NewCustomWorld(g, customAxes(), bad); err == nil {
+		t.Error("dim-mismatched subscription accepted")
+	}
+	empty := []Subscription{{Owner: 4, Rect: space.Rect{space.Span(1, 1), space.Full()}}}
+	if _, err := NewCustomWorld(g, customAxes(), empty); err == nil {
+		t.Error("empty-rect subscription accepted")
+	}
+	oob := []Subscription{{Owner: -1, Rect: space.FullRect(2)}}
+	if _, err := NewCustomWorld(g, customAxes(), oob); err == nil {
+		t.Error("out-of-range owner accepted")
+	}
+}
+
+func TestNewCustomWorldBasics(t *testing.T) {
+	g := testGraph(t, topology.Net100, 31)
+	subs := []Subscription{
+		{Owner: 10, Rect: space.Rect{space.Span(0, 5), space.Full()}},
+		{Owner: 20, Rect: space.Rect{space.Span(5, 10), space.LeftOf(3)}},
+		{Owner: 10, Rect: space.FullRect(2)},
+	}
+	w, err := NewCustomWorld(g, customAxes(), subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Dim != 2 || len(w.Subs) != 3 {
+		t.Fatalf("dim=%d subs=%d", w.Dim, len(w.Subs))
+	}
+	if w.NumSubscribers() != 2 {
+		t.Fatalf("NumSubscribers = %d", w.NumSubscribers())
+	}
+	// Caller slices are copied.
+	subs[0].Owner = 99
+	if w.Subs[0].Owner != 10 {
+		t.Error("world aliases caller subscriptions")
+	}
+	// Custom worlds have no closed-form publication model.
+	if _, ok := w.AnalyticCellProb(space.FullRect(2)); ok {
+		t.Error("custom world claims analytic probabilities")
+	}
+	// Default event source: uniform over axes bounds, stub publishers.
+	evs := w.Events(500, 32)
+	for _, e := range evs {
+		if g.Node(e.Pub).Kind != topology.StubNode {
+			t.Fatal("default publisher not a stub node")
+		}
+		for d, a := range customAxes() {
+			if e.Point[d] < a.Lo || e.Point[d] > a.Hi {
+				t.Fatalf("default event outside axes: %v", e.Point)
+			}
+		}
+	}
+}
+
+func TestSetEventSource(t *testing.T) {
+	g := testGraph(t, topology.Net100, 33)
+	w, err := NewCustomWorld(g, customAxes(), []Subscription{{Owner: 9, Rect: space.FullRect(2)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetEventSource(func(r *rand.Rand) Event {
+		return Event{Pub: 9, Point: space.Point{1, 2}}
+	})
+	for _, e := range w.Events(5, 34) {
+		if e.Pub != 9 || e.Point[0] != 1 || e.Point[1] != 2 {
+			t.Fatalf("custom source ignored: %+v", e)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil source did not panic")
+		}
+	}()
+	w.SetEventSource(nil)
+}
+
+func TestRegionalAnalyticCellProb(t *testing.T) {
+	g := testGraph(t, topology.Net100, 35)
+	for _, dist := range []PrefDist{Uniform, Gaussian} {
+		w, err := NewRegionalWorld(g, RegionalConfig{
+			NumSubscriptions: 50, Regionalism: 0.4, Dist: dist, Seed: 36,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Probability of everything is 1.
+		full := space.FullRect(4)
+		p, ok := w.AnalyticCellProb(full)
+		if !ok {
+			t.Fatal("regional world lacks analytic probabilities")
+		}
+		if math.Abs(p-1) > 1e-9 {
+			t.Fatalf("%s: P(Ω) = %v", dist, p)
+		}
+		// Empirical check against a large sample on a coarse box.
+		box := space.Rect{space.Span(-0.5, 2.5), space.Span(5, 15), space.Full(), space.Full()}
+		want, _ := w.AnalyticCellProb(box)
+		evs := w.Events(40000, 37)
+		in := 0
+		for _, e := range evs {
+			if box.Contains(e.Point) {
+				in++
+			}
+		}
+		got := float64(in) / float64(len(evs))
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("%s: empirical %v vs analytic %v", dist, got, want)
+		}
+	}
+}
+
+func TestStockAnalyticCellProb(t *testing.T) {
+	g := testGraph(t, topology.Eval600, 38)
+	w, err := NewStockWorld(g, StockConfig{NumSubscriptions: 50, PubModes: 4, Seed: 39})
+	if err != nil {
+		t.Fatal(err)
+	}
+	box := space.Rect{space.LeftOf(1.5), space.Span(6, 14), space.Full(), space.RightOf(9)}
+	want, ok := w.AnalyticCellProb(box)
+	if !ok {
+		t.Fatal("stock world lacks analytic probabilities")
+	}
+	evs := w.Events(40000, 40)
+	in := 0
+	for _, e := range evs {
+		if box.Contains(e.Point) {
+			in++
+		}
+	}
+	got := float64(in) / float64(len(evs))
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("empirical %v vs analytic %v", got, want)
+	}
+	// Grid-cell probabilities over the world grid sum to ≈ grid coverage.
+	grid, err := space.NewGrid(w.Axes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for id := space.CellID(0); int(id) < grid.NumCells(); id++ {
+		p, _ := w.AnalyticCellProb(grid.CellRect(id))
+		sum += p
+	}
+	cover, _ := w.AnalyticCellProb(grid.Bounds())
+	if math.Abs(sum-cover) > 1e-6 {
+		t.Errorf("cell sum %v != bounds mass %v", sum, cover)
+	}
+	_ = stats.NormalCDF // keep import for clarity of intent
+}

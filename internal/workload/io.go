@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/space"
+	"repro/internal/topology"
+)
+
+// This file implements trace persistence: subscriptions and event streams
+// round-trip through a line-oriented text format, so externally collected
+// workloads (the paper's §6 extension 3: "evaluation of the algorithms
+// with real-world data would be helpful") can be fed to the library, and
+// generated workloads can be archived for exact reproduction.
+//
+// Format (one record per line, # comments ignored):
+//
+//	sub <owner> <lo:hi> <lo:hi> ...     one interval per dimension
+//	event <publisher> <x> <x> ...       one coordinate per dimension
+//
+// Interval ends may be "-inf"/"+inf" for unbounded sides.
+
+// WriteSubscriptions serialises subscriptions.
+func WriteSubscriptions(w io.Writer, subs []Subscription) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range subs {
+		fmt.Fprintf(bw, "sub %d", s.Owner)
+		for _, iv := range s.Rect {
+			fmt.Fprintf(bw, " %s:%s", fmtEnd(iv.Lo), fmtEnd(iv.Hi))
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// ReadSubscriptions parses subscriptions written by WriteSubscriptions.
+// All records must share one dimensionality.
+func ReadSubscriptions(r io.Reader) ([]Subscription, error) {
+	var out []Subscription
+	dim := -1
+	if err := scanLines(r, "sub", func(lineNo int, fields []string) error {
+		if len(fields) < 2 {
+			return fmt.Errorf("workload: line %d: sub needs owner and intervals", lineNo)
+		}
+		owner, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return fmt.Errorf("workload: line %d: owner: %v", lineNo, err)
+		}
+		rect := make(space.Rect, 0, len(fields)-1)
+		for _, f := range fields[1:] {
+			parts := strings.SplitN(f, ":", 2)
+			if len(parts) != 2 {
+				return fmt.Errorf("workload: line %d: bad interval %q", lineNo, f)
+			}
+			lo, err := parseEnd(parts[0], -1)
+			if err != nil {
+				return fmt.Errorf("workload: line %d: %v", lineNo, err)
+			}
+			hi, err := parseEnd(parts[1], +1)
+			if err != nil {
+				return fmt.Errorf("workload: line %d: %v", lineNo, err)
+			}
+			rect = append(rect, space.Interval{Lo: lo, Hi: hi})
+		}
+		if rect.Empty() {
+			return fmt.Errorf("workload: line %d: empty rectangle", lineNo)
+		}
+		if dim == -1 {
+			dim = rect.Dim()
+		} else if rect.Dim() != dim {
+			return fmt.Errorf("workload: line %d: dim %d, want %d", lineNo, rect.Dim(), dim)
+		}
+		out = append(out, Subscription{Owner: topology.NodeID(owner), Rect: rect})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("workload: no subscriptions in trace")
+	}
+	return out, nil
+}
+
+// WriteEvents serialises an event stream.
+func WriteEvents(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range events {
+		fmt.Fprintf(bw, "event %d", e.Pub)
+		for _, x := range e.Point {
+			fmt.Fprintf(bw, " %s", strconv.FormatFloat(x, 'g', -1, 64))
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// ReadEvents parses an event stream written by WriteEvents.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	var out []Event
+	dim := -1
+	if err := scanLines(r, "event", func(lineNo int, fields []string) error {
+		if len(fields) < 2 {
+			return fmt.Errorf("workload: line %d: event needs publisher and coordinates", lineNo)
+		}
+		pub, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return fmt.Errorf("workload: line %d: publisher: %v", lineNo, err)
+		}
+		p := make(space.Point, 0, len(fields)-1)
+		for _, f := range fields[1:] {
+			x, err := strconv.ParseFloat(f, 64)
+			if err != nil || math.IsNaN(x) {
+				return fmt.Errorf("workload: line %d: coordinate %q", lineNo, f)
+			}
+			p = append(p, x)
+		}
+		if dim == -1 {
+			dim = len(p)
+		} else if len(p) != dim {
+			return fmt.Errorf("workload: line %d: dim %d, want %d", lineNo, len(p), dim)
+		}
+		out = append(out, Event{Pub: topology.NodeID(pub), Point: p})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("workload: no events in trace")
+	}
+	return out, nil
+}
+
+// scanLines drives a record parser over the trace format.
+func scanLines(r io.Reader, record string, fn func(lineNo int, fields []string) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] != record {
+			return fmt.Errorf("workload: line %d: expected %q record, got %q", lineNo, record, fields[0])
+		}
+		if err := fn(lineNo, fields[1:]); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("workload: %w", err)
+	}
+	return nil
+}
+
+func fmtEnd(x float64) string {
+	switch {
+	case math.IsInf(x, -1):
+		return "-inf"
+	case math.IsInf(x, +1):
+		return "+inf"
+	default:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	}
+}
+
+func parseEnd(s string, side int) (float64, error) {
+	switch s {
+	case "-inf":
+		return math.Inf(-1), nil
+	case "+inf", "inf":
+		return math.Inf(+1), nil
+	}
+	x, err := strconv.ParseFloat(s, 64)
+	if err != nil || math.IsNaN(x) {
+		return 0, fmt.Errorf("bad interval end %q", s)
+	}
+	_ = side
+	return x, nil
+}

@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestSubscriptionTraceRoundTrip(t *testing.T) {
+	g := testGraph(t, topology.Eval600, 50)
+	w, err := NewStockWorld(g, StockConfig{NumSubscriptions: 200, PubModes: 1, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteSubscriptions(&sb, w.Subs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSubscriptions(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(w.Subs) {
+		t.Fatalf("count %d, want %d", len(got), len(w.Subs))
+	}
+	for i := range got {
+		if got[i].Owner != w.Subs[i].Owner || !got[i].Rect.Equal(w.Subs[i].Rect) {
+			t.Fatalf("subscription %d differs:\n%v\n%v", i, got[i], w.Subs[i])
+		}
+	}
+	// Round-tripped subscriptions build a working custom world.
+	w2, err := NewCustomWorld(g, w.Axes, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.NumSubscribers() != w.NumSubscribers() {
+		t.Fatal("subscriber set changed through trace")
+	}
+}
+
+func TestEventTraceRoundTrip(t *testing.T) {
+	g := testGraph(t, topology.Eval600, 52)
+	w, err := NewStockWorld(g, StockConfig{NumSubscriptions: 50, PubModes: 4, Seed: 53})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := w.Events(300, 54)
+	var sb strings.Builder
+	if err := WriteEvents(&sb, evs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEvents(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(evs) {
+		t.Fatalf("count %d, want %d", len(got), len(evs))
+	}
+	for i := range got {
+		if got[i].Pub != evs[i].Pub || !pointEq(got[i].Point, evs[i].Point) {
+			t.Fatalf("event %d differs: %+v vs %+v", i, got[i], evs[i])
+		}
+	}
+}
+
+func TestTraceUnboundedIntervals(t *testing.T) {
+	in := "sub 7 -inf:+inf 3:+inf -inf:5 1:2\n"
+	subs, err := ReadSubscriptions(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := subs[0].Rect
+	if r[0].Bounded() || r[1].Bounded() || r[2].Bounded() || !r[3].Bounded() {
+		t.Fatalf("boundedness wrong: %v", r)
+	}
+	var sb strings.Builder
+	if err := WriteSubscriptions(&sb, subs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "-inf:+inf") {
+		t.Fatalf("unbounded ends not preserved: %q", sb.String())
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	badSubs := []string{
+		"",                         // no records
+		"event 0 1 2",              // wrong record type
+		"sub 7",                    // no intervals
+		"sub x 0:1",                // bad owner
+		"sub 1 0-1",                // bad interval syntax
+		"sub 1 nan:1",              // bad number
+		"sub 1 5:5",                // empty rect
+		"sub 1 0:1\nsub 2 0:1 0:1", // dim mismatch
+	}
+	for i, in := range badSubs {
+		if _, err := ReadSubscriptions(strings.NewReader(in)); err == nil {
+			t.Errorf("sub case %d accepted: %q", i, in)
+		}
+	}
+	badEvents := []string{
+		"",
+		"sub 1 0:1",
+		"event 1",
+		"event x 1",
+		"event 1 nan",
+		"event 1 1\nevent 2 1 2",
+	}
+	for i, in := range badEvents {
+		if _, err := ReadEvents(strings.NewReader(in)); err == nil {
+			t.Errorf("event case %d accepted: %q", i, in)
+		}
+	}
+}
+
+func TestTraceCommentsIgnored(t *testing.T) {
+	in := "# header\n\nsub 3 0:1 2:3\n# trailing\n"
+	subs, err := ReadSubscriptions(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 1 || subs[0].Owner != 3 {
+		t.Fatalf("parsed %v", subs)
+	}
+}

@@ -1,0 +1,223 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/space"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// PrefDist selects the §3 preference/publication distribution family.
+type PrefDist uint8
+
+// Preference distribution families (the Dist'n column of Tables 1–2).
+const (
+	Uniform PrefDist = iota
+	Gaussian
+)
+
+func (d PrefDist) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case Gaussian:
+		return "gaussian"
+	default:
+		return fmt.Sprintf("PrefDist(%d)", uint8(d))
+	}
+}
+
+// RegionalConfig parameterises the §3 model behind Tables 1 and 2. Events
+// live in 4 dimensions: dimension 0 is the regional attribute (the stub id
+// of the publishing node) and dimensions 1–3 take values in [0, 20].
+type RegionalConfig struct {
+	NumSubscriptions int
+	// Regionalism is the probability that a subscription pins the regional
+	// attribute to the subscriber's own stub (0.4 in Table 1, 0 in Table 2);
+	// otherwise the attribute is a wildcard.
+	Regionalism float64
+	Dist        PrefDist
+	Seed        int64
+}
+
+// attrDomain is the value range of the non-regional attributes.
+const (
+	attrLo = 0.0
+	attrHi = 20.0
+)
+
+// Per-attribute gaussian preference parameters from the §3 table rows
+// (attributes 2, 3 and 4 of the event tuple).
+type gaussPref struct {
+	q1, q2, q3       float64 // wildcard, left-ended, right-ended
+	mu1, s1, mu2, s2 float64 // one-ended endpoint laws
+	mu3, s3          float64 // two-ended center law
+	// paretoC is the scale of the Pareto(c, 1) interval-length law. The §3
+	// table labels this column "mean"; §5.1 gives the same attributes
+	// (c, α) = (4, 1) explicitly, so the value is read as the Pareto scale
+	// — the only reading that reproduces the paper's gaussian ≥ uniform
+	// cost ordering in Tables 1–2.
+	paretoC float64
+}
+
+var gaussPrefs = [3]gaussPref{
+	{q1: 0.10, q2: 0, q3: 0, mu1: 8, s1: 2, mu2: 10, s2: 2, mu3: 9, s3: 6, paretoC: 1},
+	{q1: 0.15, q2: 0.1, q3: 0.1, mu1: 8, s1: 1, mu2: 10, s2: 1, mu3: 9, s3: 2, paretoC: 4},
+	{q1: 0.35, q2: 0.1, q3: 0.1, mu1: 8, s1: 1, mu2: 10, s2: 1, mu3: 9, s3: 2, paretoC: 4},
+}
+
+// Probability that attribute 2 is specified in the uniform model; later
+// attributes decay by uniformSpecDecay (0.98 · 0.78^i in the paper).
+const (
+	uniformSpecBase  = 0.98
+	uniformSpecDecay = 0.78
+)
+
+// NewRegionalWorld builds a §3-model world on the given network.
+func NewRegionalWorld(g *topology.Graph, cfg RegionalConfig) (*World, error) {
+	if err := validateCommon(g, cfg.NumSubscriptions); err != nil {
+		return nil, err
+	}
+	if cfg.Regionalism < 0 || cfg.Regionalism > 1 {
+		return nil, fmt.Errorf("workload: Regionalism = %v, need [0,1]", cfg.Regionalism)
+	}
+	if cfg.Dist != Uniform && cfg.Dist != Gaussian {
+		return nil, fmt.Errorf("workload: unknown PrefDist %d", cfg.Dist)
+	}
+	if g.NumStubs() == 0 {
+		return nil, fmt.Errorf("workload: regional model needs stub networks")
+	}
+
+	r := stats.NewRand(cfg.Seed)
+	hosts := stubNodes(g)
+
+	w := &World{
+		Graph: g,
+		Dim:   4,
+		Axes: []space.Axis{
+			{Lo: -0.5, Hi: float64(g.NumStubs()) - 0.5, Cells: g.NumStubs()},
+			{Lo: attrLo, Hi: attrHi, Cells: 10},
+			{Lo: attrLo, Hi: attrHi, Cells: 10},
+			{Lo: attrLo, Hi: attrHi, Cells: 10},
+		},
+	}
+
+	w.Subs = make([]Subscription, cfg.NumSubscriptions)
+	for i := range w.Subs {
+		owner := hosts[r.Intn(len(hosts))]
+		rect := make(space.Rect, 4)
+		// Regional attribute: pin to the owner's stub or wildcard.
+		if stats.Bernoulli(r, cfg.Regionalism) {
+			stub := float64(g.Node(owner).Stub)
+			rect[0] = space.Span(stub-0.5, stub+0.5)
+		} else {
+			rect[0] = space.Full()
+		}
+		for d := 0; d < 3; d++ {
+			switch cfg.Dist {
+			case Uniform:
+				rect[d+1] = uniformPref(r, d)
+			case Gaussian:
+				rect[d+1] = gaussianPref(r, gaussPrefs[d])
+			}
+		}
+		w.Subs[i] = Subscription{Owner: owner, Rect: rect}
+	}
+	w.finish()
+
+	dist := cfg.Dist
+	w.genEvent = func(r *rand.Rand) Event {
+		pub := hosts[r.Intn(len(hosts))]
+		p := make(space.Point, 4)
+		p[0] = float64(g.Node(pub).Stub)
+		for d := 0; d < 3; d++ {
+			switch dist {
+			case Uniform:
+				p[d+1] = attrLo + r.Float64()*(attrHi-attrLo)
+			case Gaussian:
+				// Publications peak where two-ended subscription interest
+				// peaks (the paper's "peaks follow peaks" assumption).
+				gp := gaussPrefs[d]
+				p[d+1] = stats.TruncGaussian(r, gp.mu3, gp.s3, attrLo, attrHi)
+			}
+		}
+		return Event{Pub: pub, Point: p}
+	}
+
+	// Analytic publication probability: dimension 0 is the publisher's
+	// stub id (publishers uniform over stub nodes, so each stub weighs by
+	// its node count); dimensions 1–3 are independent uniform or truncated
+	// gaussian marginals — a product form.
+	stubWeight := make([]float64, g.NumStubs())
+	for _, s := range g.Stubs() {
+		stubWeight[s.Index] = float64(len(s.Nodes)) / float64(len(hosts))
+	}
+	w.cellProb = func(rect space.Rect) float64 {
+		p := 0.0
+		for id, wt := range stubWeight {
+			if rect[0].Contains(float64(id)) {
+				p += wt
+			}
+		}
+		if p == 0 {
+			return 0
+		}
+		for d := 0; d < 3; d++ {
+			iv, ok := rect[d+1].Intersect(space.Span(attrLo, attrHi))
+			if !ok {
+				return 0
+			}
+			switch dist {
+			case Uniform:
+				p *= iv.Width() / (attrHi - attrLo)
+			case Gaussian:
+				gp := gaussPrefs[d]
+				norm := stats.NormalCDF(attrHi, gp.mu3, gp.s3) - stats.NormalCDF(attrLo, gp.mu3, gp.s3)
+				p *= (stats.NormalCDF(iv.Hi, gp.mu3, gp.s3) - stats.NormalCDF(iv.Lo, gp.mu3, gp.s3)) / norm
+			}
+		}
+		return p
+	}
+	return w, nil
+}
+
+// uniformPref draws attribute d's preference in the uniform model: a
+// wildcard with the complement of the specification probability, otherwise
+// the sorted span of two uniform draws.
+func uniformPref(r *rand.Rand, d int) space.Interval {
+	spec := uniformSpecBase
+	for i := 0; i < d; i++ {
+		spec *= uniformSpecDecay
+	}
+	if !stats.Bernoulli(r, spec) {
+		return space.Full()
+	}
+	a := attrLo + r.Float64()*(attrHi-attrLo)
+	b := attrLo + r.Float64()*(attrHi-attrLo)
+	if a > b {
+		a, b = b, a
+	}
+	return space.Span(a, b)
+}
+
+// gaussianPref draws attribute preferences in the gaussian model: wildcard
+// with q1, left-ended with q2, right-ended with q3, else a bounded interval
+// with gaussian center and Pareto(c, 1) length clamped to the domain width
+// (a wider interval behaves identically within the domain).
+func gaussianPref(r *rand.Rand, gp gaussPref) space.Interval {
+	u := r.Float64()
+	switch {
+	case u < gp.q1:
+		return space.Full()
+	case u < gp.q1+gp.q2:
+		return space.LeftOf(stats.Gaussian(r, gp.mu1, gp.s1))
+	case u < gp.q1+gp.q2+gp.q3:
+		return space.RightOf(stats.Gaussian(r, gp.mu2, gp.s2))
+	default:
+		center := stats.Gaussian(r, gp.mu3, gp.s3)
+		length := stats.BoundedPareto(r, gp.paretoC, 1, attrHi-attrLo)
+		return space.Span(center-length/2, center+length/2)
+	}
+}

@@ -1,0 +1,250 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/space"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// StockConfig parameterises the §5.1 stock-ticker evaluation model.
+// Subscriptions are {bst, name, quote, volume} tuples; publications are
+// points from a mixture of multivariate normals with PubModes peaks.
+type StockConfig struct {
+	NumSubscriptions int
+
+	// BlockSplit is the share of subscriptions per transit block; the
+	// paper's breakdown is {0.4, 0.3, 0.3}. Defaults to an even split when
+	// nil. Length must equal the graph's block count when set.
+	BlockSplit []float64
+
+	// StubZipf and NodeZipf are the exponents of the Zipf-like placement
+	// laws across a block's stubs and a stub's nodes. Both default to 1.
+	StubZipf, NodeZipf float64
+
+	// NameMeans gives each transit block's stock-name interest center; the
+	// paper uses {3, 10, 17}. Defaults to evenly spaced means when nil.
+	NameMeans []float64
+
+	// PubModes selects the publication mixture: 1, 4 or 9 peaks.
+	PubModes int
+
+	Seed int64
+}
+
+// The bst attribute codes buy/sell/transaction as 0/1/2 with the paper's
+// probabilities.
+var bstWeights = []float64{0.4, 0.4, 0.2}
+
+// Parametric interval laws for quote and volume (§5.1 table).
+type stockPref struct {
+	q0, q1, q2       float64 // wildcard, right-unbounded, left-unbounded
+	mu1, s1, mu2, s2 float64
+	mu3, s3          float64
+	paretoC, paretoA float64
+}
+
+var (
+	quotePref  = stockPref{q0: 0.15, q1: 0.1, q2: 0.1, mu1: 9, s1: 1, mu2: 9, s2: 1, mu3: 9, s3: 2, paretoC: 4, paretoA: 1}
+	volumePref = stockPref{q0: 0.35, q1: 0.1, q2: 0.1, mu1: 9, s1: 1, mu2: 9, s2: 1, mu3: 9, s3: 2, paretoC: 4, paretoA: 1}
+)
+
+const (
+	nameSigma     = 4.0 // σ of the name interval center around the block mean
+	nameLenRanks  = 8   // name interval length ~ Zipf over {1..8}
+	nameLenZipf   = 1.0
+	stockLenClamp = 24.0 // bounded-Pareto clamp ≈ grid width
+)
+
+// NewStockWorld builds a §5.1-model world on the given network (normally
+// topology.Eval600).
+func NewStockWorld(g *topology.Graph, cfg StockConfig) (*World, error) {
+	if err := validateCommon(g, cfg.NumSubscriptions); err != nil {
+		return nil, err
+	}
+	if g.NumBlocks() == 0 || g.NumStubs() == 0 {
+		return nil, fmt.Errorf("workload: stock model needs transit blocks and stubs")
+	}
+	switch cfg.PubModes {
+	case 1, 4, 9:
+	default:
+		return nil, fmt.Errorf("workload: PubModes = %d, need 1, 4 or 9", cfg.PubModes)
+	}
+	nb := g.NumBlocks()
+	if cfg.BlockSplit == nil {
+		cfg.BlockSplit = make([]float64, nb)
+		for i := range cfg.BlockSplit {
+			cfg.BlockSplit[i] = 1 / float64(nb)
+		}
+	}
+	if len(cfg.BlockSplit) != nb {
+		return nil, fmt.Errorf("workload: BlockSplit has %d entries for %d blocks", len(cfg.BlockSplit), nb)
+	}
+	if cfg.StubZipf == 0 {
+		cfg.StubZipf = 1
+	}
+	if cfg.NodeZipf == 0 {
+		cfg.NodeZipf = 1
+	}
+	if cfg.NameMeans == nil {
+		cfg.NameMeans = make([]float64, nb)
+		for i := range cfg.NameMeans {
+			// Evenly spaced over (0, 20); for 3 blocks: 3.33, 10, 16.67 —
+			// essentially the paper's {3, 10, 17}.
+			cfg.NameMeans[i] = 20 * (float64(i) + 0.5) / float64(nb)
+		}
+	}
+	if len(cfg.NameMeans) != nb {
+		return nil, fmt.Errorf("workload: NameMeans has %d entries for %d blocks", len(cfg.NameMeans), nb)
+	}
+
+	r := stats.NewRand(cfg.Seed)
+
+	// Placement machinery: block → (Zipf over its stubs) → (Zipf over the
+	// stub's nodes). Stub popularity order is randomised once per block so
+	// the "popular stub" is not always the structurally first one.
+	blockPick := stats.NewCategorical(cfg.BlockSplit)
+	stubsOf := make([][]topology.Stub, nb)
+	for _, s := range g.Stubs() {
+		stubsOf[s.Block] = append(stubsOf[s.Block], s)
+	}
+	for b := range stubsOf {
+		if len(stubsOf[b]) == 0 {
+			return nil, fmt.Errorf("workload: block %d has no stubs", b)
+		}
+		r.Shuffle(len(stubsOf[b]), func(i, j int) {
+			stubsOf[b][i], stubsOf[b][j] = stubsOf[b][j], stubsOf[b][i]
+		})
+	}
+	stubZipf := make([]*stats.Zipf, nb)
+	for b := range stubZipf {
+		stubZipf[b] = stats.NewZipf(len(stubsOf[b]), cfg.StubZipf)
+	}
+
+	w := &World{
+		Graph: g,
+		Dim:   4,
+		// Axes cover ≳99% of each publication marginal (bst ~ N(1,1), the
+		// rest within roughly N(9..10, ≤6)); cells align with the bst
+		// categories and unit-ish attribute granularity.
+		Axes: []space.Axis{
+			{Lo: -2.5, Hi: 4.5, Cells: 7}, // bst
+			{Lo: -6, Hi: 26, Cells: 32},   // name
+			{Lo: -6, Hi: 26, Cells: 16},   // quote
+			{Lo: -6, Hi: 26, Cells: 16},   // volume
+		},
+	}
+
+	nameLen := stats.NewZipf(nameLenRanks, nameLenZipf)
+	bstPick := stats.NewCategorical(bstWeights)
+
+	w.Subs = make([]Subscription, cfg.NumSubscriptions)
+	for i := range w.Subs {
+		b := blockPick.Sample(r)
+		stub := stubsOf[b][stubZipf[b].Sample(r)]
+		nodeZipf := stats.NewZipf(len(stub.Nodes), cfg.NodeZipf)
+		owner := stub.Nodes[nodeZipf.Sample(r)]
+
+		rect := make(space.Rect, 4)
+		bst := float64(bstPick.Sample(r))
+		rect[0] = space.Span(bst-0.5, bst+0.5)
+
+		center := stats.Gaussian(r, cfg.NameMeans[b], nameSigma)
+		length := float64(nameLen.Sample(r) + 1)
+		rect[1] = space.Span(center-length/2, center+length/2)
+
+		rect[2] = stockInterval(r, quotePref)
+		rect[3] = stockInterval(r, volumePref)
+		w.Subs[i] = Subscription{Owner: owner, Rect: rect}
+	}
+	w.finish()
+
+	hosts := stubNodes(g)
+	mix := newPubMixture(cfg.PubModes)
+	w.genEvent = func(r *rand.Rand) Event {
+		pub := hosts[r.Intn(len(hosts))]
+		p := make(space.Point, 4)
+		for d := range p {
+			p[d] = mix[d].Sample(r)
+		}
+		return Event{Pub: pub, Point: p}
+	}
+	// The publication model is a product of per-dimension mixtures, so the
+	// probability of any rectangle factors exactly.
+	w.cellProb = func(r space.Rect) float64 {
+		p := 1.0
+		for d := range r {
+			p *= mix[d].ProbInterval(r[d].Lo, r[d].Hi)
+			if p == 0 {
+				return 0
+			}
+		}
+		return p
+	}
+	return w, nil
+}
+
+// stockInterval draws one quote/volume preference from the §5.1 parametric
+// law: wildcard with q0, right-unbounded (n, +inf) with q1, left-unbounded
+// (-inf, n] with q2, otherwise a bounded interval with gaussian center and
+// Pareto(c, α) length.
+func stockInterval(r *rand.Rand, p stockPref) space.Interval {
+	u := r.Float64()
+	switch {
+	case u < p.q0:
+		return space.Full()
+	case u < p.q0+p.q1:
+		return space.RightOf(stats.Gaussian(r, p.mu1, p.s1))
+	case u < p.q0+p.q1+p.q2:
+		return space.LeftOf(stats.Gaussian(r, p.mu2, p.s2))
+	default:
+		center := stats.Gaussian(r, p.mu3, p.s3)
+		length := stats.BoundedPareto(r, p.paretoC, p.paretoA, stockLenClamp)
+		return space.Span(center-length/2, center+length/2)
+	}
+}
+
+// newPubMixture builds the per-dimension publication mixtures of §5.1.
+//
+// The paper's 9-mode table contains a typo (it specifies "third" and
+// "fourth" dimensions twice while stating dims 1 and 4 are unchanged); we
+// read the two 3-way mixtures as dimensions 2 and 3, the only
+// interpretation that yields 3×3 = 9 modes.
+func newPubMixture(modes int) [4]*stats.Mixture1D {
+	one := func(mu, sigma float64) *stats.Mixture1D {
+		return stats.NewMixture1D([]stats.GaussianComponent{{Weight: 1, Mu: mu, Sigma: sigma}})
+	}
+	var m [4]*stats.Mixture1D
+	m[0] = one(1, 1)
+	m[3] = one(9, 6)
+	switch modes {
+	case 1:
+		m[1] = one(10, 6)
+		m[2] = one(9, 2)
+	case 4:
+		m[1] = stats.NewMixture1D([]stats.GaussianComponent{
+			{Weight: 0.5, Mu: 12, Sigma: 3},
+			{Weight: 0.5, Mu: 6, Sigma: 2},
+		})
+		m[2] = stats.NewMixture1D([]stats.GaussianComponent{
+			{Weight: 0.5, Mu: 4, Sigma: 2},
+			{Weight: 0.5, Mu: 16, Sigma: 2},
+		})
+	case 9:
+		m[1] = stats.NewMixture1D([]stats.GaussianComponent{
+			{Weight: 0.3, Mu: 4, Sigma: 3},
+			{Weight: 0.4, Mu: 11, Sigma: 3},
+			{Weight: 0.3, Mu: 18, Sigma: 3},
+		})
+		m[2] = stats.NewMixture1D([]stats.GaussianComponent{
+			{Weight: 0.3, Mu: 4, Sigma: 3},
+			{Weight: 0.4, Mu: 9, Sigma: 3},
+			{Weight: 0.3, Mu: 16, Sigma: 3},
+		})
+	default:
+		panic(fmt.Sprintf("workload: bad mode count %d", modes))
+	}
+	return m
+}

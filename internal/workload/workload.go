@@ -1,0 +1,132 @@
+// Package workload generates the paper's two simulation workloads:
+//
+//   - the §3 "regionalism" model behind Tables 1 and 2: four attributes,
+//     the first tied to the publisher's stub network, the rest drawn from
+//     either uniform or gaussian preference tables;
+//   - the §5.1 stock-ticker model behind Figures 7–11: {bst, name, quote,
+//     volume} subscriptions placed over transit blocks and stubs by
+//     Zipf-like laws, and publications from 1-, 4- or 9-mode multivariate
+//     normal mixtures.
+//
+// A World couples a network with its subscription population and an event
+// source, and is the single input every experiment consumes.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/space"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// Subscription is one interest rectangle owned by a network node.
+type Subscription struct {
+	Owner topology.NodeID
+	Rect  space.Rect
+}
+
+// Event is one publication: a point in the event space originating at a
+// publisher node.
+type Event struct {
+	Pub   topology.NodeID
+	Point space.Point
+}
+
+// World is a complete experimental universe: the network, the subscription
+// population, the suggested clustering grid, and the publication process.
+type World struct {
+	Graph *topology.Graph
+	Dim   int
+	Subs  []Subscription
+
+	// SubscriberNodes lists, in increasing id order, the distinct nodes
+	// holding at least one subscription. Membership vectors are indexed by
+	// position in this slice.
+	SubscriberNodes []topology.NodeID
+
+	// Axes is the grid specification suited to this workload's event
+	// distribution (used by the grid-based clustering framework).
+	Axes []space.Axis
+
+	subIndex map[topology.NodeID]int
+	genEvent func(r *rand.Rand) Event
+	// cellProb, when non-nil, evaluates the publication probability of a
+	// rectangle in closed form (set by generators whose publication model
+	// is product-form).
+	cellProb func(space.Rect) float64
+}
+
+// AnalyticCellProb evaluates the publication probability of a rectangle in
+// closed form when the workload's publication model supports it (the §3
+// and §5.1 generators do; custom worlds may not).
+func (w *World) AnalyticCellProb(r space.Rect) (float64, bool) {
+	if w.cellProb == nil {
+		return 0, false
+	}
+	return w.cellProb(r), true
+}
+
+// NumSubscribers returns the number of distinct subscriber nodes.
+func (w *World) NumSubscribers() int { return len(w.SubscriberNodes) }
+
+// SubscriberIndex maps a node to its membership-vector position.
+func (w *World) SubscriberIndex(n topology.NodeID) (int, bool) {
+	i, ok := w.subIndex[n]
+	return i, ok
+}
+
+// Events draws n publications using a stream seeded independently of the
+// subscription population.
+func (w *World) Events(n int, seed int64) []Event {
+	r := stats.NewRand(seed)
+	out := make([]Event, n)
+	for i := range out {
+		out[i] = w.genEvent(r)
+	}
+	return out
+}
+
+// finish derives the subscriber index structures from Subs.
+func (w *World) finish() {
+	seen := map[topology.NodeID]bool{}
+	for _, s := range w.Subs {
+		seen[s.Owner] = true
+	}
+	w.SubscriberNodes = make([]topology.NodeID, 0, len(seen))
+	for n := range seen {
+		w.SubscriberNodes = append(w.SubscriberNodes, n)
+	}
+	sort.Slice(w.SubscriberNodes, func(i, j int) bool { return w.SubscriberNodes[i] < w.SubscriberNodes[j] })
+	w.subIndex = make(map[topology.NodeID]int, len(w.SubscriberNodes))
+	for i, n := range w.SubscriberNodes {
+		w.subIndex[n] = i
+	}
+}
+
+// stubNodes returns all stub (leaf) nodes of the graph; subscribers and
+// publishers live here, transit nodes only route.
+func stubNodes(g *topology.Graph) []topology.NodeID {
+	var out []topology.NodeID
+	for i := 0; i < g.NumNodes(); i++ {
+		if g.Node(topology.NodeID(i)).Kind == topology.StubNode {
+			out = append(out, topology.NodeID(i))
+		}
+	}
+	return out
+}
+
+func validateCommon(g *topology.Graph, numSubs int) error {
+	if g == nil {
+		return fmt.Errorf("workload: nil graph")
+	}
+	if numSubs <= 0 {
+		return fmt.Errorf("workload: NumSubscriptions = %d, need > 0", numSubs)
+	}
+	if len(stubNodes(g)) == 0 {
+		return fmt.Errorf("workload: graph has no stub nodes to host subscribers")
+	}
+	return nil
+}

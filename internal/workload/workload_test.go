@@ -1,0 +1,396 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/space"
+	"repro/internal/topology"
+)
+
+func testGraph(t *testing.T, cfg topology.Config, seed int64) *topology.Graph {
+	t.Helper()
+	cfg.Seed = seed
+	g, err := topology.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPrefDistString(t *testing.T) {
+	if Uniform.String() != "uniform" || Gaussian.String() != "gaussian" {
+		t.Error("PrefDist strings wrong")
+	}
+	if PrefDist(9).String() != "PrefDist(9)" {
+		t.Error("unknown PrefDist string wrong")
+	}
+}
+
+func TestRegionalWorldValidation(t *testing.T) {
+	g := testGraph(t, topology.Net100, 1)
+	bad := []RegionalConfig{
+		{NumSubscriptions: 0},
+		{NumSubscriptions: 10, Regionalism: -0.1},
+		{NumSubscriptions: 10, Regionalism: 1.1},
+		{NumSubscriptions: 10, Dist: PrefDist(7)},
+	}
+	for i, cfg := range bad {
+		if _, err := NewRegionalWorld(g, cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := NewRegionalWorld(nil, RegionalConfig{NumSubscriptions: 1}); err == nil {
+		t.Error("nil graph accepted")
+	}
+}
+
+func TestRegionalWorldStructure(t *testing.T) {
+	g := testGraph(t, topology.Net100, 2)
+	w, err := NewRegionalWorld(g, RegionalConfig{
+		NumSubscriptions: 500, Regionalism: 0.4, Dist: Uniform, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Subs) != 500 || w.Dim != 4 {
+		t.Fatalf("subs=%d dim=%d", len(w.Subs), w.Dim)
+	}
+	regional := 0
+	for _, s := range w.Subs {
+		if s.Rect.Dim() != 4 {
+			t.Fatalf("rect dim %d", s.Rect.Dim())
+		}
+		if g.Node(s.Owner).Kind != topology.StubNode {
+			t.Fatalf("subscription owner %d is a transit node", s.Owner)
+		}
+		if s.Rect.Empty() {
+			t.Fatalf("empty subscription rect %v", s.Rect)
+		}
+		if s.Rect[0].Bounded() {
+			regional++
+			stub := float64(g.Node(s.Owner).Stub)
+			if !s.Rect[0].Contains(stub) {
+				t.Fatalf("regional interval %v does not contain own stub %v", s.Rect[0], stub)
+			}
+		}
+		// Non-regional attributes stay within or around the domain.
+		for d := 1; d < 4; d++ {
+			iv := s.Rect[d]
+			if iv.Bounded() && (iv.Hi < attrLo-25 || iv.Lo > attrHi+25) {
+				t.Fatalf("attribute %d interval far outside domain: %v", d, iv)
+			}
+		}
+	}
+	// ≈40% of subscriptions should be regional.
+	frac := float64(regional) / 500
+	if frac < 0.3 || frac > 0.5 {
+		t.Errorf("regional fraction = %v, want ≈0.4", frac)
+	}
+	if w.NumSubscribers() == 0 || w.NumSubscribers() > 500 {
+		t.Errorf("NumSubscribers = %d", w.NumSubscribers())
+	}
+	for i, n := range w.SubscriberNodes {
+		if j, ok := w.SubscriberIndex(n); !ok || j != i {
+			t.Fatalf("SubscriberIndex(%d) = %d,%v", n, j, ok)
+		}
+	}
+	if _, ok := w.SubscriberIndex(topology.NodeID(-1)); ok {
+		t.Error("SubscriberIndex of non-subscriber ok")
+	}
+}
+
+func TestRegionalZeroDegreeHasNoRegionalSubs(t *testing.T) {
+	g := testGraph(t, topology.Net100, 4)
+	w, err := NewRegionalWorld(g, RegionalConfig{
+		NumSubscriptions: 300, Regionalism: 0, Dist: Gaussian, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range w.Subs {
+		if s.Rect[0].Bounded() {
+			t.Fatalf("regionalism 0 produced regional subscription %v", s.Rect[0])
+		}
+	}
+}
+
+func TestRegionalEvents(t *testing.T) {
+	g := testGraph(t, topology.Net100, 6)
+	w, err := NewRegionalWorld(g, RegionalConfig{
+		NumSubscriptions: 100, Regionalism: 0.4, Dist: Gaussian, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := w.Events(200, 11)
+	if len(evs) != 200 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	for _, e := range evs {
+		n := g.Node(e.Pub)
+		if n.Kind != topology.StubNode {
+			t.Fatal("publisher is a transit node")
+		}
+		if e.Point[0] != float64(n.Stub) {
+			t.Fatalf("event regional attr %v != publisher stub %d", e.Point[0], n.Stub)
+		}
+		for d := 1; d < 4; d++ {
+			if e.Point[d] < attrLo || e.Point[d] > attrHi {
+				t.Fatalf("gaussian event attribute %d out of domain: %v", d, e.Point[d])
+			}
+		}
+	}
+	// Deterministic event stream.
+	evs2 := w.Events(200, 11)
+	for i := range evs {
+		if evs[i].Pub != evs2[i].Pub || !pointEq(evs[i].Point, evs2[i].Point) {
+			t.Fatal("event stream not reproducible")
+		}
+	}
+	// Different seed should differ.
+	evs3 := w.Events(200, 12)
+	same := true
+	for i := range evs {
+		if evs[i].Pub != evs3[i].Pub || !pointEq(evs[i].Point, evs3[i].Point) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different event seeds gave identical streams")
+	}
+}
+
+func pointEq(a, b space.Point) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestUniformSpecificationDecay(t *testing.T) {
+	g := testGraph(t, topology.Net100, 8)
+	w, err := NewRegionalWorld(g, RegionalConfig{
+		NumSubscriptions: 4000, Regionalism: 0, Dist: Uniform, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := [3]int{}
+	for _, s := range w.Subs {
+		for d := 0; d < 3; d++ {
+			if s.Rect[d+1].Bounded() {
+				spec[d]++
+			}
+		}
+	}
+	wants := [3]float64{0.98, 0.98 * 0.78, 0.98 * 0.78 * 0.78}
+	for d, want := range wants {
+		got := float64(spec[d]) / 4000
+		if math.Abs(got-want) > 0.03 {
+			t.Errorf("attr %d specified fraction %v, want ≈%v", d+2, got, want)
+		}
+	}
+}
+
+func TestStockWorldValidation(t *testing.T) {
+	g := testGraph(t, topology.Eval600, 10)
+	bad := []StockConfig{
+		{NumSubscriptions: 0, PubModes: 1},
+		{NumSubscriptions: 10, PubModes: 2},
+		{NumSubscriptions: 10, PubModes: 1, BlockSplit: []float64{1}},
+		{NumSubscriptions: 10, PubModes: 1, NameMeans: []float64{1, 2}},
+	}
+	for i, cfg := range bad {
+		if _, err := NewStockWorld(g, cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestStockWorldStructure(t *testing.T) {
+	g := testGraph(t, topology.Eval600, 12)
+	w, err := NewStockWorld(g, StockConfig{
+		NumSubscriptions: 1000,
+		BlockSplit:       []float64{0.4, 0.3, 0.3},
+		NameMeans:        []float64{3, 10, 17},
+		PubModes:         1,
+		Seed:             13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Subs) != 1000 {
+		t.Fatalf("subs = %d", len(w.Subs))
+	}
+	blockCount := make([]int, 3)
+	for _, s := range w.Subs {
+		n := g.Node(s.Owner)
+		if n.Kind != topology.StubNode {
+			t.Fatal("owner is transit")
+		}
+		blockCount[n.Block]++
+		// bst is a unit interval around 0, 1 or 2.
+		bst := s.Rect[0]
+		if !bst.Bounded() || math.Abs(bst.Width()-1) > 1e-9 {
+			t.Fatalf("bst interval %v", bst)
+		}
+		mid := (bst.Lo + bst.Hi) / 2
+		if mid != 0 && mid != 1 && mid != 2 {
+			t.Fatalf("bst center %v", mid)
+		}
+		// name is always bounded.
+		if !s.Rect[1].Bounded() {
+			t.Fatalf("name interval unbounded: %v", s.Rect[1])
+		}
+	}
+	// Block split ≈ 40/30/30.
+	if f := float64(blockCount[0]) / 1000; math.Abs(f-0.4) > 0.05 {
+		t.Errorf("block 0 share %v, want ≈0.4", f)
+	}
+	// Zipf placement concentrates subscriptions: the busiest node should
+	// hold far more than the mean.
+	perNode := map[topology.NodeID]int{}
+	for _, s := range w.Subs {
+		perNode[s.Owner]++
+	}
+	max := 0
+	for _, c := range perNode {
+		if c > max {
+			max = c
+		}
+	}
+	mean := 1000.0 / float64(len(perNode))
+	if float64(max) < 2*mean {
+		t.Errorf("max per-node %d not ≫ mean %v; Zipf placement suspect", max, mean)
+	}
+}
+
+func TestStockNameCentersFollowBlocks(t *testing.T) {
+	g := testGraph(t, topology.Eval600, 14)
+	w, err := NewStockWorld(g, StockConfig{
+		NumSubscriptions: 2000,
+		NameMeans:        []float64{3, 10, 17},
+		PubModes:         1,
+		Seed:             15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := make([]float64, 3)
+	cnt := make([]int, 3)
+	for _, s := range w.Subs {
+		b := g.Node(s.Owner).Block
+		sum[b] += (s.Rect[1].Lo + s.Rect[1].Hi) / 2
+		cnt[b]++
+	}
+	for b, want := range []float64{3, 10, 17} {
+		if cnt[b] == 0 {
+			t.Fatalf("block %d empty", b)
+		}
+		got := sum[b] / float64(cnt[b])
+		if math.Abs(got-want) > 1 {
+			t.Errorf("block %d mean name center %v, want ≈%v", b, got, want)
+		}
+	}
+}
+
+func TestStockPubModes(t *testing.T) {
+	g := testGraph(t, topology.Eval600, 16)
+	for _, modes := range []int{1, 4, 9} {
+		w, err := NewStockWorld(g, StockConfig{NumSubscriptions: 50, PubModes: modes, Seed: 17})
+		if err != nil {
+			t.Fatalf("modes %d: %v", modes, err)
+		}
+		evs := w.Events(3000, 18)
+		var d1 []float64
+		for _, e := range evs {
+			if len(e.Point) != 4 {
+				t.Fatal("bad event dim")
+			}
+			d1 = append(d1, e.Point[1])
+		}
+		// 4-mode: dim 1 is a 50/50 mixture of N(12,3) and N(6,2) → mean 9;
+		// 1-mode: N(10,6) → mean 10.
+		m := mean(d1)
+		switch modes {
+		case 1:
+			if math.Abs(m-10) > 0.5 {
+				t.Errorf("1-mode dim1 mean %v, want ≈10", m)
+			}
+		case 4:
+			if math.Abs(m-9) > 0.5 {
+				t.Errorf("4-mode dim1 mean %v, want ≈9", m)
+			}
+		case 9:
+			want := 0.3*4 + 0.4*11 + 0.3*18
+			if math.Abs(m-want) > 0.5 {
+				t.Errorf("9-mode dim1 mean %v, want ≈%v", m, want)
+			}
+		}
+	}
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func TestStockGridCoversMostEvents(t *testing.T) {
+	g := testGraph(t, topology.Eval600, 19)
+	w, err := NewStockWorld(g, StockConfig{NumSubscriptions: 100, PubModes: 1, Seed: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := space.NewGrid(w.Axes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := 0
+	evs := w.Events(2000, 21)
+	for _, e := range evs {
+		if _, ok := grid.Locate(e.Point); ok {
+			in++
+		}
+	}
+	if frac := float64(in) / float64(len(evs)); frac < 0.9 {
+		t.Errorf("only %v of events inside the suggested grid", frac)
+	}
+}
+
+func TestStockDefaultsApplied(t *testing.T) {
+	g := testGraph(t, topology.Eval600, 22)
+	w, err := NewStockWorld(g, StockConfig{NumSubscriptions: 100, PubModes: 1, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Subs) != 100 {
+		t.Fatal("defaults failed")
+	}
+}
+
+func TestWorldReproducibleSubscriptions(t *testing.T) {
+	g := testGraph(t, topology.Eval600, 24)
+	mk := func() *World {
+		w, err := NewStockWorld(g, StockConfig{NumSubscriptions: 200, PubModes: 4, Seed: 25})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	a, b := mk(), mk()
+	for i := range a.Subs {
+		if a.Subs[i].Owner != b.Subs[i].Owner || !a.Subs[i].Rect.Equal(b.Subs[i].Rect) {
+			t.Fatal("subscriptions not reproducible")
+		}
+	}
+}

@@ -1,0 +1,237 @@
+// Package pubsub is the public face of this reproduction of "Clustering
+// Algorithms for Content-Based Publication-Subscription Systems" (Riabov,
+// Liu, Wolf, Yu, Zhang — ICDCS 2002).
+//
+// The library models a content-based pub-sub system end to end:
+//
+//   - subscriptions are axis-aligned rectangles over an N-dimensional
+//     event space; events are points (space types: Interval, Rect, Point);
+//   - the network is a GT-ITM-style transit–stub topology with edge costs
+//     (GenerateTopology and the NetXXX presets);
+//   - delivery costs follow the paper's model: unicast, broadcast, ideal
+//     multicast, dense-mode network multicast and application-level
+//     overlay multicast (CostModel);
+//   - the paper's clustering algorithms precompute K multicast groups:
+//     K-Means, Forgy K-Means, MST, Pairwise Grouping, Approximate Pairwise
+//     (grid-based framework) and No-Loss (rectangle intersections);
+//   - an Engine ties it together: match each event (R*-tree), route it to
+//     a group or fall back to unicast, and support live subscription
+//     additions/removals with warm-started re-clustering.
+//
+// Quickstart:
+//
+//	g, _ := pubsub.GenerateTopology(pubsub.TopologyConfig{
+//		TransitBlocks: 3, TransitPerBlock: 5, StubsPerTransit: 2, NodesPerStub: 20,
+//	})
+//	w, _ := pubsub.NewStockWorld(g, pubsub.StockConfig{NumSubscriptions: 1000, PubModes: 1})
+//	train := w.Events(2000, 1)
+//	engine, _ := pubsub.NewEngineFromWorld(w, train, pubsub.EngineConfig{Groups: 100})
+//	for _, ev := range w.Events(500, 2) {
+//		decision, costs, _ := engine.Publish(ev)
+//		_ = decision
+//		_ = costs
+//	}
+//
+// The experiment runners behind every table and figure of the paper live
+// in internal/experiments and are exposed through the pubsub-bench
+// command.
+package pubsub
+
+import (
+	"repro/internal/broker"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/multicast"
+	"repro/internal/noloss"
+	"repro/internal/space"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Event-space types.
+type (
+	// Interval is a half-open interval (Lo, Hi].
+	Interval = space.Interval
+	// Rect is an axis-aligned rectangle, one Interval per dimension.
+	Rect = space.Rect
+	// Point is a published event's coordinates.
+	Point = space.Point
+	// Axis is one dimension of the clustering grid.
+	Axis = space.Axis
+	// Grid is a regular grid over the event space.
+	Grid = space.Grid
+	// Predicate is one attribute's interest as a union of intervals.
+	Predicate = space.Predicate
+)
+
+// Interval constructors.
+var (
+	// Span returns the interval (lo, hi].
+	Span = space.Span
+	// LeftOf returns (-inf, hi].
+	LeftOf = space.LeftOf
+	// RightOf returns (lo, +inf].
+	RightOf = space.RightOf
+	// FullInterval returns (-inf, +inf].
+	FullInterval = space.Full
+	// FullRect returns the all-space rectangle of a dimension.
+	FullRect = space.FullRect
+	// NewGrid builds a grid from axes.
+	NewGrid = space.NewGrid
+	// Decompose expands multi-interval predicates into disjoint rectangles
+	// (the paper's §1 subscription decomposition).
+	Decompose = space.Decompose
+)
+
+// Network types.
+type (
+	// Graph is an undirected weighted network with transit–stub structure.
+	Graph = topology.Graph
+	// NodeID identifies a network node.
+	NodeID = topology.NodeID
+	// TopologyConfig parameterises the transit–stub generator.
+	TopologyConfig = topology.Config
+)
+
+// Topology presets and generator.
+var (
+	// GenerateTopology builds a random transit–stub network.
+	GenerateTopology = topology.Generate
+	// Net100, Net300, Net600 are the Table 1/2 networks; Eval600 is the
+	// §5.1 evaluation network.
+	Net100  = topology.Net100
+	Net300  = topology.Net300
+	Net600  = topology.Net600
+	Eval600 = topology.Eval600
+)
+
+// Workload types.
+type (
+	// Subscription is an interest rectangle owned by a node.
+	Subscription = workload.Subscription
+	// Event is one publication.
+	Event = workload.Event
+	// World couples a network with subscriptions and an event source.
+	World = workload.World
+	// StockConfig parameterises the §5.1 stock workload.
+	StockConfig = workload.StockConfig
+	// RegionalConfig parameterises the §3 regionalism workload.
+	RegionalConfig = workload.RegionalConfig
+	// PrefDist selects uniform or gaussian §3 preferences.
+	PrefDist = workload.PrefDist
+)
+
+// Workload constructors and constants.
+var (
+	// NewStockWorld generates the §5.1 workload.
+	NewStockWorld = workload.NewStockWorld
+	// NewRegionalWorld generates the §3 workload.
+	NewRegionalWorld = workload.NewRegionalWorld
+	// NewCustomWorld wraps caller-provided subscriptions.
+	NewCustomWorld = workload.NewCustomWorld
+)
+
+// §3 preference families.
+const (
+	Uniform  = workload.Uniform
+	Gaussian = workload.Gaussian
+)
+
+// Clustering types.
+type (
+	// ClusterAlgorithm partitions hyper-cells into multicast groups.
+	ClusterAlgorithm = cluster.Algorithm
+	// KMeans is the iterative clustering algorithm (MacQueen or Forgy).
+	KMeans = cluster.KMeans
+	// MST is the minimum-spanning-tree clustering algorithm.
+	MST = cluster.MST
+	// Pairwise is the (approximate) pairwise grouping algorithm.
+	Pairwise = cluster.Pairwise
+	// NoLossConfig parameterises the No-Loss algorithm.
+	NoLossConfig = noloss.Config
+)
+
+// K-means variants.
+const (
+	MacQueen = cluster.MacQueen
+	Forgy    = cluster.Forgy
+)
+
+// Cost model.
+type (
+	// CostModel prices deliveries on a network.
+	CostModel = multicast.Model
+	// Method is a distribution method.
+	Method = multicast.Method
+)
+
+// NewCostModel creates a cost model over a network.
+var NewCostModel = multicast.NewModel
+
+// Distribution methods.
+const (
+	UnicastMethod           = multicast.Unicast
+	BroadcastMethod         = multicast.Broadcast
+	IdealMethod             = multicast.Ideal
+	NetworkMulticastMethod  = multicast.NetworkMulticast
+	AppLevelMulticastMethod = multicast.AppLevelMulticast
+)
+
+// Engine types.
+type (
+	// Engine is a running pub-sub delivery system.
+	Engine = core.Engine
+	// EngineConfig selects the clustering strategy.
+	EngineConfig = core.Config
+	// Decision is the delivery plan for one event.
+	Decision = core.Decision
+	// GroupInfo describes one precomputed multicast group.
+	GroupInfo = core.GroupInfo
+	// DeliveryCosts prices a decision under both multicast frameworks.
+	DeliveryCosts = core.Costs
+)
+
+// Engine constructors.
+var (
+	// NewEngine builds an Engine from explicit parts.
+	NewEngine = core.New
+	// NewEngineFromWorld builds an Engine from a generated workload.
+	NewEngineFromWorld = core.NewFromWorld
+)
+
+// Delivery fabric.
+type (
+	// Broker executes Engine decisions over an in-process delivery fabric
+	// with per-node inboxes and delivery accounting.
+	Broker = broker.Broker
+	// BrokerStats aggregates broker delivery accounting.
+	BrokerStats = broker.Stats
+	// BrokerDelivery is one message copy arriving at a node.
+	BrokerDelivery = broker.Delivery
+)
+
+// Broker constructors and options.
+var (
+	// NewBroker starts a broker over an engine.
+	NewBroker = broker.New
+	// WithWorkers sets the broker's fan-out worker count.
+	WithWorkers = broker.WithWorkers
+	// WithObserver registers a per-delivery callback.
+	WithObserver = broker.WithObserver
+)
+
+// Persistence: round-trippable text formats for topologies, subscription
+// sets and event traces (bring-your-own-workload, archive-for-repro).
+var (
+	// WriteTopology and ReadTopology serialise networks.
+	WriteTopology = topology.WriteText
+	ReadTopology  = topology.ReadText
+	// WriteTopologyDOT emits Graphviz DOT for visualisation.
+	WriteTopologyDOT = topology.WriteDOT
+	// WriteSubscriptions and ReadSubscriptions serialise interest sets.
+	WriteSubscriptions = workload.WriteSubscriptions
+	ReadSubscriptions  = workload.ReadSubscriptions
+	// WriteEvents and ReadEvents serialise publication traces.
+	WriteEvents = workload.WriteEvents
+	ReadEvents  = workload.ReadEvents
+)
