@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test tier1 race chaos bench vet fmt
+
+all: build tier1
+
+build:
+	$(GO) build ./...
+
+# tier1 is the CI gate: vet plus the race-enabled short suite (the heavy
+# chaos scenario is skipped under -short so this stays fast).
+tier1: vet
+	$(GO) test -race -short ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# chaos runs the full fault-injection suite, including the heavy scenario.
+chaos:
+	$(GO) test -race ./internal/broker/ ./internal/faults/
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .

@@ -20,6 +20,7 @@
 //	frontier  grid-resolution and dimensionality sweeps (§6 open issues)
 //	ablation  design-choice studies: Fig 5 threshold, outlier removal,
 //	          last-mile link costs
+//	faults    reliability sweep: broker retry/dedup stats vs drop probability
 //	all       run everything above in order
 //
 // Flags:
@@ -64,7 +65,7 @@ func main() {
 	flag.StringVar(&opt.csvDir, "csv", "", "directory for CSV output")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: pubsub-bench [flags] table1|table2|baseline|fig7|fig8|fig9|fig10|fig11|scenarios|ablation|all\n")
+			"usage: pubsub-bench [flags] table1|table2|baseline|fig7|fig8|fig9|fig10|fig11|scenarios|ablation|faults|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -102,8 +103,10 @@ func run(name string, opt options) error {
 		return runInterest(opt)
 	case "frontier":
 		return runFrontier(opt)
+	case "faults":
+		return runFaults(opt)
 	case "all":
-		for _, n := range []string{"table1", "table2", "baseline", "fig7", "fig8", "fig9", "fig10", "scenarios", "interest", "frontier", "ablation"} {
+		for _, n := range []string{"table1", "table2", "baseline", "fig7", "fig8", "fig9", "fig10", "scenarios", "interest", "frontier", "ablation", "faults"} {
 			if err := run(n, opt); err != nil {
 				return fmt.Errorf("%s: %w", n, err)
 			}
@@ -455,6 +458,30 @@ func runAblation(opt options) error {
 
 	return opt.writeCSV("ablation.csv", func(f *os.File) error {
 		return experiments.RenderAblationCSV(f, all)
+	})
+}
+
+func runFaults(opt options) error {
+	env, err := experiments.NewStockEnv(opt.envConfig())
+	if err != nil {
+		return err
+	}
+	cfg := experiments.FaultSweepConfig{FaultSeed: opt.seed + 200}
+	if opt.quick {
+		cfg.DropProbs = []float64{0, 0.1, 0.3}
+		cfg.Groups = 30
+		cfg.CellBudget = 800
+	}
+	pts, err := experiments.RunFaultSweep(env, cfg)
+	if err != nil {
+		return err
+	}
+	if err := experiments.RenderFaultSweep(os.Stdout,
+		"Fault sweep: broker reliability vs per-attempt drop probability", pts); err != nil {
+		return err
+	}
+	return opt.writeCSV("faults.csv", func(f *os.File) error {
+		return experiments.RenderFaultSweepCSV(f, pts)
 	})
 }
 

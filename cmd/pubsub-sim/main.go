@@ -21,6 +21,19 @@
 //	-subs-trace F load subscriptions from a trace file instead of generating
 //	-seed N       random seed (default 1)
 //
+// Fault-profile flags (any of them adds a live broker replay under the
+// injected faults, reporting retry/dedup/degradation statistics and the
+// fault-adjusted costs):
+//
+//	-drop P        per-attempt end-to-end drop probability
+//	-link-drop P   per-edge drop probability along delivery paths
+//	-dup P         duplicate-delivery probability
+//	-crash-node N  subscriber node to crash mid-run
+//	-crash-at I    event index the crash starts at (default events/4)
+//	-crash-until I event index the node recovers at (0 = never)
+//	-retries N     broker retry bound per delivery (default 4)
+//	-fault-seed N  injector seed (default seed+200)
+//
 // Trace files use the workload text format (see ReadSubscriptions); the
 // network is still generated, so node ids in the trace must fit it.
 package main
@@ -31,8 +44,10 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/broker"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/matching"
 	"repro/internal/multicast"
 	"repro/internal/noloss"
@@ -41,44 +56,80 @@ import (
 	"repro/internal/workload"
 )
 
+type options struct {
+	alg       string
+	groups    int
+	subs      int
+	modes     int
+	events    int
+	budget    int
+	threshold float64
+	dynamic   bool
+	subsTrace string
+	seed      int64
+
+	drop       float64
+	linkDrop   float64
+	dup        float64
+	crashNode  int
+	crashAt    int64
+	crashUntil int64
+	retries    int
+	faultSeed  int64
+}
+
+// faultsRequested reports whether any fault-profile flag is active.
+func (o options) faultsRequested() bool {
+	return o.drop > 0 || o.linkDrop > 0 || o.dup > 0 || o.crashNode >= 0
+}
+
 func main() {
-	alg := flag.String("alg", "forgy", "clustering algorithm")
-	groups := flag.Int("groups", 100, "multicast groups")
-	subs := flag.Int("subs", 1000, "subscriptions")
-	modes := flag.Int("modes", 1, "publication mixture modes")
-	events := flag.Int("events", 500, "replayed events")
-	budget := flag.Int("budget", 6000, "cell budget for grid algorithms")
-	threshold := flag.Float64("threshold", 0, "Fig 5 multicast threshold")
-	dynamic := flag.Bool("dynamic", false, "per-event unicast/multicast/broadcast selection")
-	subsTrace := flag.String("subs-trace", "", "load subscriptions from a trace file")
-	seed := flag.Int64("seed", 1, "random seed")
+	var opt options
+	flag.StringVar(&opt.alg, "alg", "forgy", "clustering algorithm")
+	flag.IntVar(&opt.groups, "groups", 100, "multicast groups")
+	flag.IntVar(&opt.subs, "subs", 1000, "subscriptions")
+	flag.IntVar(&opt.modes, "modes", 1, "publication mixture modes")
+	flag.IntVar(&opt.events, "events", 500, "replayed events")
+	flag.IntVar(&opt.budget, "budget", 6000, "cell budget for grid algorithms")
+	flag.Float64Var(&opt.threshold, "threshold", 0, "Fig 5 multicast threshold")
+	flag.BoolVar(&opt.dynamic, "dynamic", false, "per-event unicast/multicast/broadcast selection")
+	flag.StringVar(&opt.subsTrace, "subs-trace", "", "load subscriptions from a trace file")
+	flag.Int64Var(&opt.seed, "seed", 1, "random seed")
+	flag.Float64Var(&opt.drop, "drop", 0, "per-attempt end-to-end drop probability")
+	flag.Float64Var(&opt.linkDrop, "link-drop", 0, "per-edge drop probability along delivery paths")
+	flag.Float64Var(&opt.dup, "dup", 0, "duplicate-delivery probability")
+	flag.IntVar(&opt.crashNode, "crash-node", -1, "subscriber node to crash mid-run (-1 = none)")
+	flag.Int64Var(&opt.crashAt, "crash-at", -1, "event index the crash starts at (default events/4)")
+	flag.Int64Var(&opt.crashUntil, "crash-until", 0, "event index the node recovers at (0 = never)")
+	flag.IntVar(&opt.retries, "retries", 4, "broker retry bound per delivery")
+	flag.Int64Var(&opt.faultSeed, "fault-seed", 0, "fault injector seed (default seed+200)")
 	flag.Parse()
 
-	if err := run(*alg, *groups, *subs, *modes, *events, *budget, *threshold, *seed, *dynamic, *subsTrace); err != nil {
+	if err := run(opt); err != nil {
 		fmt.Fprintf(os.Stderr, "pubsub-sim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(algName string, groups, subs, modes, events, budget int, threshold float64, seed int64, dynamic bool, subsTrace string) error {
+func run(opt options) error {
 	topo := topology.Eval600
-	topo.Seed = seed
+	topo.Seed = opt.seed
 	g, err := topology.Generate(topo)
 	if err != nil {
 		return err
 	}
 	w, err := workload.NewStockWorld(g, workload.StockConfig{
-		NumSubscriptions: subs,
+		NumSubscriptions: opt.subs,
 		BlockSplit:       []float64{0.4, 0.3, 0.3},
 		NameMeans:        []float64{3, 10, 17},
-		PubModes:         modes,
-		Seed:             seed + 1,
+		PubModes:         opt.modes,
+		Seed:             opt.seed + 1,
 	})
 	if err != nil {
 		return err
 	}
-	if subsTrace != "" {
-		f, err := os.Open(subsTrace)
+	if opt.subsTrace != "" {
+		f, err := os.Open(opt.subsTrace)
 		if err != nil {
 			return err
 		}
@@ -92,11 +143,11 @@ func run(algName string, groups, subs, modes, events, budget int, threshold floa
 			return fmt.Errorf("trace workload: %w", err)
 		}
 	}
-	train := w.Events(2000, seed+2)
-	eval := w.Events(events, seed+3)
+	train := w.Events(2000, opt.seed+2)
+	eval := w.Events(opt.events, opt.seed+3)
 
-	cfg := core.Config{Groups: groups, CellBudget: budget, Threshold: threshold, DynamicMethod: dynamic}
-	switch algName {
+	cfg := core.Config{Groups: opt.groups, CellBudget: opt.budget, Threshold: opt.threshold, DynamicMethod: opt.dynamic}
+	switch opt.alg {
 	case "kmeans":
 		cfg.Algorithm = &cluster.KMeans{Variant: cluster.MacQueen}
 	case "forgy":
@@ -110,7 +161,7 @@ func run(algName string, groups, subs, modes, events, budget int, threshold floa
 	case "noloss":
 		cfg.NoLoss = &noloss.Config{PoolSize: 5000, Iterations: 8}
 	default:
-		return fmt.Errorf("unknown algorithm %q", algName)
+		return fmt.Errorf("unknown algorithm %q", opt.alg)
 	}
 
 	start := time.Now()
@@ -144,11 +195,11 @@ func run(algName string, groups, subs, modes, events, budget int, threshold floa
 	netAvg := totals.Network / n
 	almAvg := totals.AppLevel / n
 
-	fmt.Printf("network:    %d nodes, %d edges (seed %d)\n", g.NumNodes(), g.NumEdges(), seed)
+	fmt.Printf("network:    %d nodes, %d edges (seed %d)\n", g.NumNodes(), g.NumEdges(), opt.seed)
 	fmt.Printf("workload:   %d subscriptions on %d subscriber nodes, %d-mode publications\n",
-		len(w.Subs), w.NumSubscribers(), modes)
+		len(w.Subs), w.NumSubscribers(), opt.modes)
 	fmt.Printf("strategy:   %s, K=%d groups (%d non-empty), built in %v\n",
-		algName, groups, engine.NumGroups(), buildTime.Round(time.Millisecond))
+		opt.alg, opt.groups, engine.NumGroups(), buildTime.Round(time.Millisecond))
 	fmt.Printf("decisions:  %d multicast, %d unicast, %d broadcast of %d events\n",
 		methodCount[multicast.NetworkMulticast], methodCount[multicast.Unicast],
 		methodCount[multicast.Broadcast], len(eval))
@@ -158,5 +209,72 @@ func run(algName string, groups, subs, modes, events, budget int, threshold floa
 		netAvg, sim.Improvement(base, netAvg))
 	fmt.Printf("            app-level multicast %.0f (%.1f%% improvement)\n",
 		almAvg, sim.Improvement(base, almAvg))
+
+	if opt.faultsRequested() {
+		return runFaulty(opt, engine, eval, totals, n)
+	}
+	return nil
+}
+
+// runFaulty replays the evaluation stream through a live broker under the
+// requested fault profile and reports the reliability statistics plus the
+// cost model's fault-adjusted prices.
+func runFaulty(opt options, engine *core.Engine, eval []workload.Event, totals core.Costs, n float64) error {
+	fcfg := faults.Config{
+		Seed:         opt.faultSeed,
+		DropProb:     opt.drop,
+		DupProb:      opt.dup,
+		LinkDropProb: opt.linkDrop,
+	}
+	if fcfg.Seed == 0 {
+		fcfg.Seed = opt.seed + 200
+	}
+	if opt.crashNode >= 0 {
+		at := opt.crashAt
+		if at < 0 {
+			at = int64(opt.events) / 4
+		}
+		fcfg.Crashes = []faults.Crash{{
+			Node:   topology.NodeID(opt.crashNode),
+			DownAt: at,
+			UpAt:   opt.crashUntil,
+		}}
+	}
+	inj, err := faults.New(fcfg)
+	if err != nil {
+		return err
+	}
+	b, err := broker.New(engine,
+		broker.WithFaults(inj),
+		broker.WithReliability(broker.ReliabilityConfig{MaxRetries: opt.retries}))
+	if err != nil {
+		return err
+	}
+	for _, ev := range eval {
+		if err := b.Publish(ev); err != nil {
+			b.Close()
+			return err
+		}
+	}
+	b.Close()
+	st := b.Stats()
+
+	fmt.Printf("faults:     drop %.0f%%  link-drop %.0f%%  dup %.0f%%", opt.drop*100, opt.linkDrop*100, opt.dup*100)
+	if opt.crashNode >= 0 {
+		fmt.Printf("  crash node %d @ event %d", opt.crashNode, fcfg.Crashes[0].DownAt)
+	}
+	fmt.Printf(" (injector seed %d)\n", fcfg.Seed)
+	if opt.crashNode >= 0 {
+		if _, ok := engine.World().SubscriberIndex(topology.NodeID(opt.crashNode)); !ok {
+			fmt.Printf("note:       node %d holds no subscriptions; the crash cannot affect deliveries\n", opt.crashNode)
+		}
+	}
+	fmt.Printf("broker:     %d deliveries, %d retries, %d redelivered, %d deduped\n",
+		st.Deliveries, st.Retries, st.Redelivered, st.Deduped)
+	fmt.Printf("            %d degraded, %d quarantined groups, %d offline skips, %d lost\n",
+		st.Degraded, st.Quarantined, st.Offline, st.Lost)
+	adj := sim.FaultAdjust(sim.Costs{Network: totals.Network / n, AppLevel: totals.AppLevel / n}, opt.drop, opt.retries)
+	fmt.Printf("adjusted:   network multicast %.0f   app-level %.0f (× %.2f retry overhead)\n",
+		adj.Network, adj.AppLevel, sim.ExpectedTransmissions(opt.drop, opt.retries))
 	return nil
 }

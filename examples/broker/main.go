@@ -55,7 +55,9 @@ func main() {
 			log.Fatal(err)
 		}
 		for _, ev := range events {
-			b.Publish(ev)
+			if err := b.Publish(ev); err != nil {
+				log.Fatal(err)
+			}
 		}
 		b.Close()
 		st := b.Stats()

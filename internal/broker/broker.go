@@ -9,71 +9,197 @@
 // model in internal/sim prices paths, this package checks who actually
 // receives what:
 //
-//   - completeness: every subscriber interested in an event receives it;
-//   - single delivery: no node receives the same event twice;
+//   - completeness: every live subscriber interested in an event receives
+//     it, exactly once;
+//   - single delivery: no node receives the same event twice (receiver-side
+//     dedup turns at-least-once retransmission into exactly-once
+//     accounting);
 //   - waste: deliveries to uninterested group members are counted, and a
 //     No-Loss engine produces exactly zero of them.
+//
+// With a faults.Injector attached (WithFaults), the broker layers a
+// reliability protocol over the lossy fabric:
+//
+//   - every publication carries a sequence number; receivers dedup on it;
+//   - dropped attempts are retried with exponential backoff + deterministic
+//     jitter, bounded per delivery (MaxRetries) and per event (RetryBudget);
+//   - when the primary route exhausts its retries, the delivery degrades to
+//     a unicast top-up along an alternate path computed by a Dijkstra
+//     recompute with failed links removed;
+//   - when even the degraded path fails — destination crashed or
+//     partitioned — the delivery is abandoned and the routed group is
+//     quarantined, so the Engine's decision stage falls back to unicast for
+//     its members until the next Refresh.
 //
 // Pipeline shape (all stdlib, structured shutdown):
 //
 //	Publish() → publishCh → decision goroutine (owns *core.Engine)
 //	          → fanoutCh  → N fan-out workers → per-node inboxes
 //	          → per-node consumer goroutines → Stats
+//
+// Fan-out workers report persistent failures back to the decision goroutine
+// over a non-blocking quarantine channel; the decision goroutine is the only
+// one that touches the Engine.
 package broker
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/multicast"
+	"repro/internal/routing"
 	"repro/internal/topology"
 	"repro/internal/workload"
 )
 
+// ErrClosed is returned by Publish after Close.
+var ErrClosed = errors.New("broker: publish after close")
+
 // Delivery is one message copy arriving at a node.
 type Delivery struct {
-	Event  workload.Event
+	Event workload.Event
+	// Seq is the publication sequence number assigned by the decision
+	// stage; receivers dedup on it.
+	Seq    int64
 	Method multicast.Method
 	Group  int // -1 for unicast deliveries
 	// Interested reports whether the receiving node had a matching
 	// subscription (false ⇒ wasted delivery).
 	Interested bool
+	// Attempt is the delivery attempt that succeeded (0 = first try,
+	// > 0 ⇒ the copy is a successful retransmission).
+	Attempt int
+	// Degraded marks a copy that arrived via the alternate-path unicast
+	// top-up after the primary route exhausted its retries.
+	Degraded bool
 }
 
 // routed couples a decided event with its destinations.
 type routed struct {
+	seq        int64
 	ev         workload.Event
 	d          core.Decision
 	interested map[topology.NodeID]bool
+	// paths maps each destination to its primary routing path (publisher's
+	// SPT); only populated under fault injection.
+	paths map[topology.NodeID][]topology.NodeID
+	// budget is the event's remaining retry allowance, shared across
+	// destinations.
+	budget *atomic.Int64
 }
 
-// Stats aggregates delivery accounting. Snapshot via Broker.Stats.
+// Stats aggregates delivery accounting. Snapshot via Broker.Stats; the
+// snapshot is safe to take while the broker is running.
 type Stats struct {
 	Published  int64
 	Multicast  int64 // events delivered via a group
 	Unicast    int64 // events delivered by unicast only
 	Broadcast  int64 // events flooded (DynamicMethod engines only)
-	Deliveries int64 // message copies placed in inboxes
+	Deliveries int64 // message copies accepted at inboxes (post-dedup)
 	Wasted     int64 // copies delivered to uninterested nodes
-	PerNode    map[topology.NodeID]int64
+
+	// Reliability counters — all zero without fault injection.
+	Retries     int64 // retransmission attempts after a dropped attempt
+	Redelivered int64 // deliveries that succeeded only after ≥ 1 retry
+	Deduped     int64 // duplicate copies suppressed at receivers
+	Degraded    int64 // deliveries re-routed via alternate-path unicast
+	Quarantined int64 // groups quarantined after persistent failures
+	Offline     int64 // deliveries skipped because the node was crashed
+	Lost        int64 // deliveries abandoned for live nodes (violations)
+
+	PerNode map[topology.NodeID]int64
+}
+
+// counters is the broker's hot-path accounting: lock-free atomics so the
+// delivery path never takes a broker-wide mutex.
+type counters struct {
+	published  atomic.Int64
+	multicast  atomic.Int64
+	unicast    atomic.Int64
+	broadcast  atomic.Int64
+	deliveries atomic.Int64
+	wasted     atomic.Int64
+
+	retries     atomic.Int64
+	redelivered atomic.Int64
+	deduped     atomic.Int64
+	degraded    atomic.Int64
+	quarantined atomic.Int64
+	offline     atomic.Int64
+	lost        atomic.Int64
+}
+
+// ReliabilityConfig tunes the retry protocol used under fault injection.
+type ReliabilityConfig struct {
+	// MaxRetries is the retransmission cap per delivery on the primary
+	// path (default 4).
+	MaxRetries int
+	// LastResort is the retransmission cap on the degraded alternate path
+	// (default 16) — the bounded stand-in for "retry until the peer is
+	// declared dead".
+	LastResort int
+	// RetryBudget caps total primary-path retries per event across all
+	// destinations (default 512; ≤ 0 means the default). Exhausting it
+	// sends remaining failing deliveries straight to the degraded path.
+	RetryBudget int64
+	// BaseBackoff is the first retry's backoff (default 50µs); backoff
+	// doubles per attempt up to MaxBackoff (default 2ms), with ±50%
+	// deterministic jitter.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+}
+
+func (rc *ReliabilityConfig) setDefaults() {
+	if rc.MaxRetries <= 0 {
+		rc.MaxRetries = 4
+	}
+	if rc.LastResort <= 0 {
+		rc.LastResort = 32
+	}
+	if rc.RetryBudget <= 0 {
+		rc.RetryBudget = 512
+	}
+	if rc.BaseBackoff <= 0 {
+		rc.BaseBackoff = 50 * time.Microsecond
+	}
+	if rc.MaxBackoff <= 0 {
+		rc.MaxBackoff = 2 * time.Millisecond
+	}
 }
 
 // Broker is the delivery fabric. Create with New, feed with Publish, stop
 // with Close. Safe for concurrent Publish calls.
 type Broker struct {
 	engine  *core.Engine
+	graph   *topology.Graph
 	workers int
 
-	publishCh chan workload.Event
-	fanoutCh  chan routed
-	inboxes   map[topology.NodeID]chan Delivery
+	inj *faults.Injector
+	rel ReliabilityConfig
 
-	// observer, when set, sees every delivery after stats accounting.
+	publishCh    chan workload.Event
+	fanoutCh     chan routed
+	quarantineCh chan int
+	inboxes      map[topology.NodeID]chan Delivery
+
+	// observer, when set, sees every accepted delivery after stats
+	// accounting.
 	observer func(topology.NodeID, Delivery)
 
-	mu    sync.Mutex
-	stats Stats
+	ctr counters
+	// perNode shards delivery counts one atomic per consumer, so the hot
+	// path never contends on a shared map.
+	perNode map[topology.NodeID]*atomic.Int64
+	// quarantineSent dedups quarantine requests per group.
+	quarantineSent sync.Map
+
+	closeMu sync.RWMutex
+	closed  bool
 
 	decisionWG sync.WaitGroup
 	fanoutWG   sync.WaitGroup
@@ -89,11 +215,23 @@ func WithWorkers(n int) Option {
 	return func(b *Broker) { b.workers = n }
 }
 
-// WithObserver registers a callback invoked for every delivery (after
-// accounting). The callback runs on consumer goroutines and must be safe
-// for concurrent use.
+// WithObserver registers a callback invoked for every accepted delivery
+// (after accounting and dedup). The callback runs on consumer goroutines
+// and must be safe for concurrent use.
 func WithObserver(fn func(topology.NodeID, Delivery)) Option {
 	return func(b *Broker) { b.observer = fn }
+}
+
+// WithFaults attaches a fault injector and enables the reliability
+// protocol (sequence numbers, dedup, retries, degradation, quarantine).
+func WithFaults(inj *faults.Injector) Option {
+	return func(b *Broker) { b.inj = inj }
+}
+
+// WithReliability overrides the retry protocol's tuning. Only meaningful
+// together with WithFaults.
+func WithReliability(rc ReliabilityConfig) Option {
+	return func(b *Broker) { b.rel = rc }
 }
 
 // New starts a broker over an engine. The engine must not be used by the
@@ -104,6 +242,7 @@ func New(engine *core.Engine, opts ...Option) (*Broker, error) {
 	}
 	b := &Broker{
 		engine:    engine,
+		graph:     engine.Model().Graph(),
 		workers:   4,
 		publishCh: make(chan workload.Event, 64),
 		fanoutCh:  make(chan routed, 64),
@@ -115,12 +254,18 @@ func New(engine *core.Engine, opts ...Option) (*Broker, error) {
 	if b.workers < 1 {
 		return nil, fmt.Errorf("broker: %d workers", b.workers)
 	}
-	b.stats.PerNode = make(map[topology.NodeID]int64)
+	b.rel.setDefaults()
+	b.quarantineCh = make(chan int, 128)
 
-	// One inbox + consumer per subscriber node.
+	// One inbox + consumer per subscriber node. Both maps are fully
+	// populated before any consumer starts: consumers read them
+	// concurrently and must only ever see the final, read-only state.
+	b.perNode = make(map[topology.NodeID]*atomic.Int64, len(engine.World().SubscriberNodes))
 	for _, n := range engine.World().SubscriberNodes {
-		ch := make(chan Delivery, 32)
-		b.inboxes[n] = ch
+		b.inboxes[n] = make(chan Delivery, 32)
+		b.perNode[n] = new(atomic.Int64)
+	}
+	for n, ch := range b.inboxes {
 		b.consumerWG.Add(1)
 		go b.consume(n, ch)
 	}
@@ -136,15 +281,26 @@ func New(engine *core.Engine, opts ...Option) (*Broker, error) {
 }
 
 // Publish enqueues one event for delivery. It blocks when the pipeline is
-// saturated and panics if called after Close.
-func (b *Broker) Publish(ev workload.Event) {
+// saturated and returns ErrClosed (instead of panicking) if the broker has
+// been closed. Safe to race with Close.
+func (b *Broker) Publish(ev workload.Event) error {
+	b.closeMu.RLock()
+	defer b.closeMu.RUnlock()
+	if b.closed {
+		return ErrClosed
+	}
 	b.publishCh <- ev
+	return nil
 }
 
 // Close drains the pipeline and stops all goroutines. Safe to call more
-// than once; Publish must not be called afterwards.
+// than once and concurrently with Publish; Publish calls that lose the
+// race return ErrClosed.
 func (b *Broker) Close() {
 	b.closeOnce.Do(func() {
+		b.closeMu.Lock()
+		b.closed = true
+		b.closeMu.Unlock()
 		close(b.publishCh)
 		b.decisionWG.Wait()
 		close(b.fanoutCh)
@@ -159,12 +315,24 @@ func (b *Broker) Close() {
 // Stats returns a snapshot of the accounting so far (call after Close for
 // final numbers).
 func (b *Broker) Stats() Stats {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	out := b.stats
-	out.PerNode = make(map[topology.NodeID]int64, len(b.stats.PerNode))
-	for k, v := range b.stats.PerNode {
-		out.PerNode[k] = v
+	out := Stats{
+		Published:   b.ctr.published.Load(),
+		Multicast:   b.ctr.multicast.Load(),
+		Unicast:     b.ctr.unicast.Load(),
+		Broadcast:   b.ctr.broadcast.Load(),
+		Deliveries:  b.ctr.deliveries.Load(),
+		Wasted:      b.ctr.wasted.Load(),
+		Retries:     b.ctr.retries.Load(),
+		Redelivered: b.ctr.redelivered.Load(),
+		Deduped:     b.ctr.deduped.Load(),
+		Degraded:    b.ctr.degraded.Load(),
+		Quarantined: b.ctr.quarantined.Load(),
+		Offline:     b.ctr.offline.Load(),
+		Lost:        b.ctr.lost.Load(),
+		PerNode:     make(map[topology.NodeID]int64, len(b.perNode)),
+	}
+	for n, c := range b.perNode {
+		out.PerNode[n] = c.Load()
 	}
 	return out
 }
@@ -172,25 +340,99 @@ func (b *Broker) Stats() Stats {
 // decide is the single goroutine owning the engine.
 func (b *Broker) decide() {
 	defer b.decisionWG.Done()
+	var seq int64
 	for ev := range b.publishCh {
+		b.applyQuarantines()
 		d := b.engine.Decide(ev)
 		interested := make(map[topology.NodeID]bool, len(d.Interested))
 		for _, n := range d.Interested {
 			interested[n] = true
 		}
-		b.mu.Lock()
-		b.stats.Published++
+		b.ctr.published.Add(1)
 		switch d.Method {
 		case multicast.NetworkMulticast:
-			b.stats.Multicast++
+			b.ctr.multicast.Add(1)
 		case multicast.Broadcast:
-			b.stats.Broadcast++
+			b.ctr.broadcast.Add(1)
 		default:
-			b.stats.Unicast++
+			b.ctr.unicast.Add(1)
 		}
-		b.mu.Unlock()
-		b.fanoutCh <- routed{ev: ev, d: d, interested: interested}
+		r := routed{seq: seq, ev: ev, d: d, interested: interested}
+		if b.inj != nil {
+			r.paths = b.routePaths(ev, d)
+			r.budget = new(atomic.Int64)
+			r.budget.Store(b.rel.RetryBudget)
+		}
+		seq++
+		b.fanoutCh <- r
 	}
+	b.applyQuarantines()
+}
+
+// applyQuarantines drains pending quarantine requests from the fan-out
+// workers and applies them to the engine (which only this goroutine may
+// touch).
+func (b *Broker) applyQuarantines() {
+	for {
+		select {
+		case g := <-b.quarantineCh:
+			if !b.engine.Quarantined(g) {
+				b.engine.Quarantine(g)
+			}
+		default:
+			return
+		}
+	}
+}
+
+// requestQuarantine asks the decision stage to quarantine a group. The
+// send never blocks (the decision goroutine may itself be blocked feeding
+// fanoutCh); at-most-once per group is guaranteed by quarantineSent, and a
+// full channel simply drops the request — a later failure will retry.
+func (b *Broker) requestQuarantine(group int) {
+	if group < 0 {
+		return
+	}
+	if _, dup := b.quarantineSent.LoadOrStore(group, true); dup {
+		return
+	}
+	b.ctr.quarantined.Add(1)
+	select {
+	case b.quarantineCh <- group:
+	default:
+		b.quarantineSent.Delete(group)
+	}
+}
+
+// routePaths resolves each destination's primary routing path along the
+// publisher's shortest-path tree. Runs on the decision goroutine (the SPT
+// cache inside the model is not concurrency-safe).
+func (b *Broker) routePaths(ev workload.Event, d core.Decision) map[topology.NodeID][]topology.NodeID {
+	spt := b.engine.Model().SPT(ev.Pub)
+	paths := make(map[topology.NodeID][]topology.NodeID)
+	add := func(n topology.NodeID) {
+		if _, ok := paths[n]; !ok {
+			paths[n] = spt.PathTo(n)
+		}
+	}
+	switch d.Method {
+	case multicast.Broadcast:
+		for n := range b.inboxes {
+			add(n)
+		}
+	case multicast.NetworkMulticast:
+		for _, n := range b.engine.Group(d.Group).Nodes {
+			add(n)
+		}
+		for _, n := range d.Remainder {
+			add(n)
+		}
+	default:
+		for _, n := range d.Interested {
+			add(n)
+		}
+	}
+	return paths
 }
 
 // fanout places one copy per destination inbox.
@@ -202,8 +444,9 @@ func (b *Broker) fanout() {
 			// nodes have no inbox and are represented by waste accounting at
 			// the cost level, not the delivery level).
 			for n := range b.inboxes {
-				b.deliver(n, Delivery{
+				b.deliver(r, n, Delivery{
 					Event:      r.ev,
+					Seq:        r.seq,
 					Method:     multicast.Broadcast,
 					Group:      -1,
 					Interested: r.interested[n],
@@ -214,16 +457,18 @@ func (b *Broker) fanout() {
 		if r.d.Method == multicast.NetworkMulticast {
 			info := b.engine.Group(r.d.Group)
 			for _, n := range info.Nodes {
-				b.deliver(n, Delivery{
+				b.deliver(r, n, Delivery{
 					Event:      r.ev,
+					Seq:        r.seq,
 					Method:     multicast.NetworkMulticast,
 					Group:      r.d.Group,
 					Interested: r.interested[n],
 				})
 			}
 			for _, n := range r.d.Remainder {
-				b.deliver(n, Delivery{
+				b.deliver(r, n, Delivery{
 					Event:      r.ev,
+					Seq:        r.seq,
 					Method:     multicast.Unicast,
 					Group:      -1,
 					Interested: true,
@@ -232,8 +477,9 @@ func (b *Broker) fanout() {
 			continue
 		}
 		for _, n := range r.d.Interested {
-			b.deliver(n, Delivery{
+			b.deliver(r, n, Delivery{
 				Event:      r.ev,
+				Seq:        r.seq,
 				Method:     multicast.Unicast,
 				Group:      -1,
 				Interested: true,
@@ -243,34 +489,148 @@ func (b *Broker) fanout() {
 }
 
 // deliver places a copy in a node's inbox; unknown nodes (non-subscribers)
-// are counted but have no inbox.
-func (b *Broker) deliver(n topology.NodeID, d Delivery) {
+// are counted but have no inbox. Under fault injection it runs the
+// reliability protocol.
+func (b *Broker) deliver(r routed, n topology.NodeID, d Delivery) {
 	ch, ok := b.inboxes[n]
 	if !ok {
 		// A group may reference a node that stopped subscribing between
 		// refreshes; count the waste, nothing to deliver to.
-		b.mu.Lock()
-		b.stats.Deliveries++
+		b.ctr.deliveries.Add(1)
 		if !d.Interested {
-			b.stats.Wasted++
+			b.ctr.wasted.Add(1)
 		}
-		b.mu.Unlock()
 		return
 	}
-	ch <- d
+	if b.inj == nil {
+		ch <- d
+		return
+	}
+	b.deliverReliable(r, n, ch, d)
 }
 
-// consume drains one node's inbox and accounts deliveries.
+// deliverReliable runs the retry → degrade → quarantine ladder for one
+// delivery over the lossy fabric.
+func (b *Broker) deliverReliable(r routed, n topology.NodeID, ch chan<- Delivery, d Delivery) {
+	if b.inj.NodeDown(n, r.seq) {
+		// Destination crashed: nothing to retry against. The loss is
+		// expected (the completeness invariant covers live nodes only), but
+		// a routed group with a dead member is degraded state — quarantine
+		// it so future events unicast around the corpse.
+		b.ctr.offline.Add(1)
+		if d.Group >= 0 {
+			b.requestQuarantine(d.Group)
+		}
+		return
+	}
+
+	// Primary path: bounded retries with exponential backoff + jitter,
+	// capped by the event's shared retry budget.
+	path := r.paths[n]
+	attempt := 0
+	for ; attempt <= b.rel.MaxRetries; attempt++ {
+		if attempt > 0 {
+			if r.budget.Add(-1) < 0 {
+				break // event budget exhausted: degrade immediately
+			}
+			b.ctr.retries.Add(1)
+			b.backoff(r.seq, n, attempt)
+		}
+		if !b.inj.DropAttempt(r.seq, n, attempt, path) {
+			b.complete(r, n, ch, d, attempt)
+			return
+		}
+	}
+
+	// Degraded: recompute a route with failed links removed and unicast
+	// along it. LastResort attempts stand in for "retry until the peer is
+	// declared dead", so live reachable nodes essentially never lose.
+	alt := routing.DijkstraAvoid(b.graph, r.ev.Pub, b.inj.Blocked(r.seq))
+	apath := alt.PathTo(n)
+	if apath == nil {
+		// Partitioned even after removing failed links from the route
+		// computation: abandon and quarantine.
+		b.abandon(n, d)
+		return
+	}
+	d.Degraded = true
+	d.Method = multicast.Unicast
+	for la := 0; la < b.rel.LastResort; la++ {
+		if la > 0 {
+			b.ctr.retries.Add(1)
+			b.backoff(r.seq, n, attempt+la)
+		}
+		if !b.inj.DropAttempt(r.seq, n, attempt+la, apath) {
+			b.ctr.degraded.Add(1)
+			b.complete(r, n, ch, d, attempt+la)
+			return
+		}
+	}
+	b.abandon(n, d)
+}
+
+// complete hands a successful (possibly retransmitted, possibly
+// duplicated, possibly delayed) copy to the destination inbox.
+func (b *Broker) complete(r routed, n topology.NodeID, ch chan<- Delivery, d Delivery, attempt int) {
+	d.Attempt = attempt
+	if attempt > 0 {
+		b.ctr.redelivered.Add(1)
+	}
+	if delay := b.inj.Delay(r.seq, n); delay > 0 {
+		time.Sleep(delay)
+	}
+	ch <- d
+	if b.inj.Duplicate(r.seq, n) {
+		ch <- d // receiver-side dedup suppresses the copy
+	}
+}
+
+// abandon records a delivery given up on for a live node and quarantines
+// the routed group.
+func (b *Broker) abandon(n topology.NodeID, d Delivery) {
+	b.ctr.lost.Add(1)
+	if d.Group >= 0 {
+		b.requestQuarantine(d.Group)
+	}
+}
+
+// backoff sleeps the exponential backoff for the given retry attempt:
+// BaseBackoff·2^(attempt-1) capped at MaxBackoff, scaled by a
+// deterministic jitter in [0.5, 1.5).
+func (b *Broker) backoff(seq int64, n topology.NodeID, attempt int) {
+	d := b.rel.BaseBackoff
+	for i := 1; i < attempt && d < b.rel.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > b.rel.MaxBackoff {
+		d = b.rel.MaxBackoff
+	}
+	jitter := 0.5 + b.inj.Jitter(seq, n, attempt)
+	time.Sleep(time.Duration(float64(d) * jitter))
+}
+
+// consume drains one node's inbox, dedups on sequence number, and accounts
+// deliveries.
 func (b *Broker) consume(n topology.NodeID, ch <-chan Delivery) {
 	defer b.consumerWG.Done()
+	pn := b.perNode[n]
+	var seen map[int64]bool
+	if b.inj != nil {
+		seen = make(map[int64]bool)
+	}
 	for d := range ch {
-		b.mu.Lock()
-		b.stats.Deliveries++
-		b.stats.PerNode[n]++
-		if !d.Interested {
-			b.stats.Wasted++
+		if seen != nil {
+			if seen[d.Seq] {
+				b.ctr.deduped.Add(1)
+				continue
+			}
+			seen[d.Seq] = true
 		}
-		b.mu.Unlock()
+		b.ctr.deliveries.Add(1)
+		pn.Add(1)
+		if !d.Interested {
+			b.ctr.wasted.Add(1)
+		}
 		if b.observer != nil {
 			b.observer(n, d)
 		}

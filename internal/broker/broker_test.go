@@ -2,6 +2,7 @@ package broker
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
@@ -158,6 +159,92 @@ func TestGridWasteBounded(t *testing.T) {
 	}
 	if sum != st.Deliveries {
 		t.Fatalf("per-node sum %d != deliveries %d", sum, st.Deliveries)
+	}
+}
+
+// TestPublishAfterClose: the broker.go:140 regression — Publish after
+// Close must return ErrClosed instead of panicking on a closed channel.
+func TestPublishAfterClose(t *testing.T) {
+	e, w := testEngine(t, core.Config{Groups: 5, CellBudget: 200}, 207)
+	b, err := New(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := w.Events(5, 215)
+	if err := b.Publish(evs[0]); err != nil {
+		t.Fatalf("publish before close: %v", err)
+	}
+	b.Close()
+	if err := b.Publish(evs[1]); err != ErrClosed {
+		t.Fatalf("publish after close: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestConcurrentPublishClose races many publishers against Close: no
+// publisher may panic, and every successfully published event must be
+// accounted.
+func TestConcurrentPublishClose(t *testing.T) {
+	e, w := testEngine(t, core.Config{Groups: 10, CellBudget: 300}, 208)
+	b, err := New(e, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := w.Events(400, 216)
+	var accepted int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for p := 0; p < 8; p++ {
+		wg.Add(1)
+		go func(part int) {
+			defer wg.Done()
+			<-start
+			for i := part; i < len(events); i += 8 {
+				if err := b.Publish(events[i]); err == nil {
+					atomic.AddInt64(&accepted, 1)
+				} else if err != ErrClosed {
+					t.Errorf("unexpected publish error: %v", err)
+				}
+			}
+		}(p)
+	}
+	close(start)
+	// Close while publishers are mid-flight.
+	b.Close()
+	wg.Wait()
+	if got := b.Stats().Published; got != atomic.LoadInt64(&accepted) {
+		t.Fatalf("Published = %d, accepted = %d", got, accepted)
+	}
+}
+
+// TestStatsSnapshotWhileRunning: Stats must be callable concurrently with
+// active delivery (atomic counters, sharded per-node counts).
+func TestStatsSnapshotWhileRunning(t *testing.T) {
+	e, w := testEngine(t, core.Config{Groups: 10, CellBudget: 300}, 209)
+	b, err := New(e, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := w.Events(300, 217)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			st := b.Stats()
+			if st.Deliveries < 0 || st.Wasted > st.Deliveries {
+				t.Errorf("inconsistent mid-run snapshot: %+v", st)
+				return
+			}
+		}
+	}()
+	for i := range events {
+		if err := b.Publish(events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	b.Close()
+	if got := b.Stats().Published; got != int64(len(events)) {
+		t.Fatalf("Published = %d", got)
 	}
 }
 

@@ -1,0 +1,299 @@
+package broker
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// fastRel keeps chaos runs quick: real exponential backoff shape, tiny
+// absolute sleeps.
+func fastRel() ReliabilityConfig {
+	return ReliabilityConfig{
+		MaxRetries:  4,
+		LastResort:  24,
+		RetryBudget: 2048,
+		BaseBackoff: 10 * time.Microsecond,
+		MaxBackoff:  200 * time.Microsecond,
+	}
+}
+
+// busiestSubscriber returns the subscriber node owning the most
+// subscriptions — the destination most likely to be exercised by every
+// scenario.
+func busiestSubscriber(w *workload.World) topology.NodeID {
+	counts := map[topology.NodeID]int{}
+	for _, s := range w.Subs {
+		counts[s.Owner]++
+	}
+	best, bestN := w.SubscriberNodes[0], -1
+	for _, n := range w.SubscriberNodes {
+		if counts[n] > bestN {
+			best, bestN = n, counts[n]
+		}
+	}
+	return best
+}
+
+// redundantEdge returns an edge whose removal keeps the graph connected
+// (safe to flap without partitioning anyone).
+func redundantEdge(t *testing.T, g *topology.Graph) topology.Edge {
+	t.Helper()
+	for _, e := range g.Edges() {
+		blocked := func(u, v topology.NodeID) bool {
+			k := topology.MakeEdgeKey(u, v)
+			return k == topology.MakeEdgeKey(e.U, e.V)
+		}
+		spt := routing.DijkstraAvoid(g, 0, blocked)
+		ok := true
+		for _, d := range spt.Dist {
+			if math.IsInf(d, 1) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return e
+		}
+	}
+	t.Fatal("no redundant edge in topology")
+	return topology.Edge{}
+}
+
+// runChaos publishes events through a faulty broker and verifies the two
+// core invariants under fault:
+//
+//  1. every live interested subscriber receives each event exactly once;
+//  2. no node receives any event twice (dedup), live or recovered.
+//
+// It returns the final stats for scenario-specific assertions.
+func runChaos(t *testing.T, cfg core.Config, fcfg faults.Config, rel ReliabilityConfig, seed int64, events int) Stats {
+	t.Helper()
+	e, w := testEngine(t, cfg, seed)
+	evs := w.Events(events, seed+10)
+
+	inj, err := faults.New(fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type key struct {
+		node topology.NodeID
+		seq  int64
+	}
+	var mu sync.Mutex
+	received := map[key]int{}
+	b, err := New(e, WithWorkers(4), WithFaults(inj), WithReliability(rel),
+		WithObserver(func(n topology.NodeID, d Delivery) {
+			mu.Lock()
+			received[key{n, d.Seq}]++
+			mu.Unlock()
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range evs {
+		if err := b.Publish(evs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Close()
+	st := b.Stats()
+
+	if st.Lost != 0 {
+		t.Fatalf("lost %d deliveries to live nodes", st.Lost)
+	}
+	if st.Published != int64(len(evs)) {
+		t.Fatalf("Published = %d, want %d", st.Published, len(evs))
+	}
+
+	// Exactly-once, against a brute-force interest oracle.
+	for seq, ev := range evs {
+		for _, n := range w.SubscriberNodes {
+			interested := false
+			for _, s := range w.Subs {
+				if s.Owner == n && s.Rect.Contains(ev.Point) {
+					interested = true
+					break
+				}
+			}
+			got := received[key{n, int64(seq)}]
+			if got > 1 {
+				t.Fatalf("event %d delivered %d times to node %d", seq, got, n)
+			}
+			live := !inj.NodeDown(n, int64(seq))
+			switch {
+			case interested && live && got != 1:
+				t.Fatalf("event %d: live interested node %d received %d copies, want 1", seq, n, got)
+			case !live && got != 0:
+				t.Fatalf("event %d: crashed node %d received %d copies", seq, n, got)
+			}
+		}
+	}
+	return st
+}
+
+// TestChaosScenarios is the table-driven chaos harness: seeded fault
+// profiles against the reliability protocol.
+func TestChaosScenarios(t *testing.T) {
+	cfg := core.Config{Groups: 20, CellBudget: 400}
+
+	t.Run("link-loss-10pct-with-crash", func(t *testing.T) {
+		// The acceptance scenario: 10% per-edge drop plus one node
+		// crashing mid-stream (events 50–150 of 200).
+		e, w := testEngine(t, cfg, 300)
+		crash := busiestSubscriber(w)
+		_ = e
+		st := runChaos(t, cfg, faults.Config{
+			Seed:         300,
+			LinkDropProb: 0.10,
+			Crashes:      []faults.Crash{{Node: crash, DownAt: 50, UpAt: 150}},
+		}, fastRel(), 300, 200)
+		if st.Retries == 0 {
+			t.Error("no retries under 10% link loss")
+		}
+		if st.Redelivered == 0 {
+			t.Error("no successful retransmissions")
+		}
+		if st.Degraded == 0 {
+			t.Error("no degraded deliveries (primary-path exhaustion never happened)")
+		}
+		if st.Offline == 0 {
+			t.Error("crashed node never targeted")
+		}
+		if st.Quarantined == 0 {
+			t.Error("dead group member did not quarantine its group")
+		}
+	})
+
+	t.Run("end-to-end-drop-30pct", func(t *testing.T) {
+		st := runChaos(t, cfg, faults.Config{
+			Seed:     301,
+			DropProb: 0.30,
+		}, fastRel(), 301, 150)
+		if st.Retries == 0 || st.Redelivered == 0 {
+			t.Errorf("drop profile produced no retries (%d) or redeliveries (%d)", st.Retries, st.Redelivered)
+		}
+	})
+
+	t.Run("flapping-link", func(t *testing.T) {
+		e, w := testEngine(t, cfg, 302)
+		edge := redundantEdge(t, w.Graph)
+		_ = e
+		st := runChaos(t, cfg, faults.Config{
+			Seed:  302,
+			Flaps: []faults.Flap{{U: edge.U, V: edge.V, Period: 10}},
+		}, fastRel(), 302, 120)
+		// Deliveries whose primary path crosses the flapped link during a
+		// down period must fail deterministically and re-route.
+		if st.Degraded == 0 {
+			t.Log("flapped link never on a routing path for this seed; retries:", st.Retries)
+		}
+	})
+
+	t.Run("duplicates-and-delays", func(t *testing.T) {
+		st := runChaos(t, cfg, faults.Config{
+			Seed:      303,
+			DupProb:   0.25,
+			DelayProb: 0.20,
+			MaxDelay:  100 * time.Microsecond,
+		}, fastRel(), 303, 120)
+		if st.Deduped == 0 {
+			t.Error("injected duplicates were never deduped")
+		}
+	})
+
+	t.Run("failed-link-reroute", func(t *testing.T) {
+		// An explicitly failed redundant link: every path across it fails
+		// deterministically; the alternate route must carry the traffic.
+		e, w := testEngine(t, cfg, 304)
+		edge := redundantEdge(t, w.Graph)
+		_ = e
+		st := runChaos(t, cfg, faults.Config{
+			Seed:  304,
+			Links: map[topology.EdgeKey]float64{topology.MakeEdgeKey(edge.U, edge.V): 1.0},
+		}, fastRel(), 304, 120)
+		if st.Lost != 0 {
+			t.Errorf("lost %d with a redundant failed link", st.Lost)
+		}
+	})
+}
+
+// TestChaosHeavy is the long-haul variant (more events, more load); it is
+// skipped under -short so the race-enabled tier-1 suite stays fast.
+func TestChaosHeavy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy chaos scenario skipped in -short mode")
+	}
+	cfg := core.Config{Groups: 30, CellBudget: 500}
+	e, w := testEngine(t, cfg, 310)
+	crash := busiestSubscriber(w)
+	_ = e
+	st := runChaos(t, cfg, faults.Config{
+		Seed:         310,
+		LinkDropProb: 0.10,
+		DropProb:     0.05,
+		DupProb:      0.05,
+		Crashes:      []faults.Crash{{Node: crash, DownAt: 100, UpAt: 350}},
+	}, fastRel(), 310, 500)
+	if st.Retries == 0 || st.Degraded == 0 || st.Deduped == 0 {
+		t.Errorf("heavy chaos under-exercised: %+v", st)
+	}
+}
+
+// TestQuarantineFallback drives a group with a permanently dead member and
+// checks the degradation ladder end state: the engine quarantines the
+// group and the decision stage falls back to unicast until Refresh.
+func TestQuarantineFallback(t *testing.T) {
+	cfg := core.Config{Groups: 10, CellBudget: 300}
+	e, w := testEngine(t, cfg, 320)
+	dead := busiestSubscriber(w)
+
+	inj, err := faults.New(faults.Config{
+		Seed:    320,
+		Crashes: []faults.Crash{{Node: dead, DownAt: 0, UpAt: 0}}, // never recovers
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(e, WithFaults(inj), WithReliability(fastRel()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range w.Events(200, 321) {
+		if err := b.Publish(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Close()
+	st := b.Stats()
+	if st.Offline == 0 {
+		t.Fatal("dead node never targeted; scenario vacuous")
+	}
+	if st.Quarantined == 0 {
+		t.Fatal("no group quarantined despite a permanently dead member")
+	}
+	qs := e.QuarantinedGroups()
+	if len(qs) == 0 {
+		t.Fatal("engine reports no quarantined groups")
+	}
+	for _, g := range qs {
+		if !e.Quarantined(g) {
+			t.Errorf("group %d not reported quarantined", g)
+		}
+	}
+	// Refresh clears the quarantine.
+	if err := e.Refresh(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.QuarantinedGroups()) != 0 {
+		t.Error("quarantine survived Refresh")
+	}
+}

@@ -15,6 +15,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/cluster"
 	"repro/internal/matching"
@@ -88,6 +89,11 @@ type Engine struct {
 
 	groupNodes [][]topology.NodeID
 	overlays   []multicast.Overlay
+
+	// quarantined groups are skipped by Decide (fallback to unicast) until
+	// the next Refresh/rebuild; the broker's fault-tolerance layer marks
+	// groups whose deliveries persistently fail.
+	quarantined map[int]bool
 
 	stale bool // groups no longer reflect the current subscriptions
 }
@@ -164,6 +170,7 @@ func (e *Engine) rebuild() error {
 			e.groupNodes[i] = g.NodesOf(w)
 			e.overlays[i] = e.model.BuildOverlay(e.groupNodes[i])
 		}
+		e.quarantined = nil
 		e.stale = false
 		return nil
 	}
@@ -204,6 +211,7 @@ func (e *Engine) adoptGridAssignment(in *cluster.Input, assign cluster.Assignmen
 		e.groupNodes[i] = res.Groups[i].NodesOf(e.world)
 		e.overlays[i] = e.model.BuildOverlay(e.groupNodes[i])
 	}
+	e.quarantined = nil
 	e.stale = false
 	return nil
 }
@@ -231,6 +239,35 @@ type GroupInfo struct {
 	Nodes []topology.NodeID
 	// OverlayCost is the application-level overlay MST cost.
 	OverlayCost float64
+}
+
+// Quarantine marks multicast group g unusable: Decide stops routing events
+// through it (falling back to unicast for its members) until the next
+// Refresh or rebuild clears the quarantine. The broker invokes this when
+// deliveries to a group member persistently fail (node down, link
+// partitioned) so that the decision stage degrades gracefully instead of
+// feeding an unreachable group.
+func (e *Engine) Quarantine(g int) {
+	if g < 0 || g >= len(e.groupNodes) {
+		panic(fmt.Sprintf("core: quarantine group %d out of range [0,%d)", g, len(e.groupNodes)))
+	}
+	if e.quarantined == nil {
+		e.quarantined = make(map[int]bool)
+	}
+	e.quarantined[g] = true
+}
+
+// Quarantined reports whether group g is currently quarantined.
+func (e *Engine) Quarantined(g int) bool { return e.quarantined[g] }
+
+// QuarantinedGroups returns the quarantined group indices, ascending.
+func (e *Engine) QuarantinedGroups() []int {
+	out := make([]int, 0, len(e.quarantined))
+	for g := range e.quarantined {
+		out = append(out, g)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // Group returns the composition of multicast group i in [0, NumGroups()).

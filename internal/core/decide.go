@@ -65,6 +65,12 @@ func (e *Engine) decideStatic(ev workload.Event) Decision {
 	if !ok {
 		return d
 	}
+	// Quarantined groups (persistent delivery failures reported by the
+	// broker) are bypassed: affected members fall back to unicast until
+	// Refresh rebuilds the groups.
+	if e.quarantined[g] {
+		return d
+	}
 
 	// Threshold rule (Fig 5): multicast only when enough of the group is
 	// interested.

@@ -1,0 +1,277 @@
+// Package faults provides deterministic fault injection for the broker's
+// delivery fabric: per-delivery drops, delays and duplicates, per-link drop
+// probabilities applied along the routing path, explicit link failures,
+// flapping links, and scheduled node crashes.
+//
+// Everything is reproducible from a single seed, following the same RNG
+// discipline as internal/stats — a (seed, config) pair fully identifies a
+// fault schedule. Unlike stats, the injector is consulted concurrently by
+// the broker's fan-out workers in a nondeterministic order, so it cannot
+// share one *rand.Rand: instead every decision is a pure hash of
+// (seed, event sequence, destination, attempt, edge), which makes the
+// outcome of each individual delivery attempt independent of goroutine
+// interleaving. Chaos tests replay identical fault schedules run after run.
+package faults
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/topology"
+)
+
+// Crash schedules one node outage: the node is down for every event whose
+// sequence number lies in [DownAt, UpAt). UpAt ≤ 0 means the node never
+// recovers.
+type Crash struct {
+	Node   topology.NodeID
+	DownAt int64
+	UpAt   int64
+}
+
+// Flap schedules a periodically failing link: the link is down while
+// (seq / Period) is odd, so it alternates Period events up, Period events
+// down.
+type Flap struct {
+	U, V   topology.NodeID
+	Period int64
+}
+
+// Config parameterises an Injector. All probabilities are per delivery
+// attempt and must lie in [0, 1].
+type Config struct {
+	// Seed drives every probabilistic decision.
+	Seed int64
+	// DropProb drops a delivery attempt end-to-end (receiver-side loss).
+	DropProb float64
+	// DupProb duplicates a successful delivery (the copy arrives twice;
+	// receiver-side dedup must suppress the second).
+	DupProb float64
+	// DelayProb delays a successful delivery by up to MaxDelay.
+	DelayProb float64
+	// MaxDelay caps injected delays (default 1ms when DelayProb > 0).
+	MaxDelay time.Duration
+	// LinkDropProb is the per-edge drop probability applied independently
+	// to every edge along a delivery's routing path.
+	LinkDropProb float64
+	// Links overrides LinkDropProb for specific edges. A probability ≥ 1
+	// marks the link as failed (deterministically down, and excluded from
+	// alternate-path recomputes).
+	Links map[topology.EdgeKey]float64
+	// Crashes is the node outage schedule.
+	Crashes []Crash
+	// Flaps is the flapping-link schedule.
+	Flaps []Flap
+}
+
+func (c Config) validate() error {
+	for name, p := range map[string]float64{
+		"DropProb": c.DropProb, "DupProb": c.DupProb,
+		"DelayProb": c.DelayProb, "LinkDropProb": c.LinkDropProb,
+	} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("faults: %s = %v, need [0,1]", name, p)
+		}
+	}
+	for k, p := range c.Links {
+		if p < 0 {
+			return fmt.Errorf("faults: link (%d,%d) probability %v < 0", k.U, k.V, p)
+		}
+	}
+	for _, cr := range c.Crashes {
+		if cr.DownAt < 0 {
+			return fmt.Errorf("faults: crash of node %d at negative sequence %d", cr.Node, cr.DownAt)
+		}
+		if cr.UpAt > 0 && cr.UpAt <= cr.DownAt {
+			return fmt.Errorf("faults: crash of node %d recovers at %d ≤ down at %d", cr.Node, cr.UpAt, cr.DownAt)
+		}
+	}
+	for _, f := range c.Flaps {
+		if f.Period <= 0 {
+			return fmt.Errorf("faults: flap (%d,%d) period %d, need > 0", f.U, f.V, f.Period)
+		}
+	}
+	return nil
+}
+
+// Injector decides the fate of individual delivery attempts. Safe for
+// concurrent use.
+type Injector struct {
+	cfg  Config
+	seed uint64
+
+	crashes map[topology.NodeID][]Crash
+	flaps   map[topology.EdgeKey]int64 // edge → flap period
+	links   map[topology.EdgeKey]float64
+
+	mu     sync.RWMutex
+	failed map[topology.EdgeKey]bool // links failed at runtime via FailLink
+}
+
+// New builds an injector from a config.
+func New(cfg Config) (*Injector, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.DelayProb > 0 && cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = time.Millisecond
+	}
+	inj := &Injector{
+		cfg:     cfg,
+		seed:    splitmix64(uint64(cfg.Seed) ^ 0xD1B54A32D192ED03),
+		crashes: make(map[topology.NodeID][]Crash),
+		flaps:   make(map[topology.EdgeKey]int64),
+		links:   make(map[topology.EdgeKey]float64),
+		failed:  make(map[topology.EdgeKey]bool),
+	}
+	for _, cr := range cfg.Crashes {
+		inj.crashes[cr.Node] = append(inj.crashes[cr.Node], cr)
+	}
+	for _, f := range cfg.Flaps {
+		inj.flaps[topology.MakeEdgeKey(f.U, f.V)] = f.Period
+	}
+	for k, p := range cfg.Links {
+		inj.links[topology.MakeEdgeKey(k.U, k.V)] = p
+	}
+	return inj, nil
+}
+
+// Seed returns the injector's seed.
+func (i *Injector) Seed() int64 { return i.cfg.Seed }
+
+// splitmix64 is the SplitMix64 finalizer — a high-quality 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// roll hashes the seed with the given keys into a uniform float64 in [0, 1).
+func (i *Injector) roll(kind uint64, keys ...uint64) float64 {
+	h := splitmix64(i.seed ^ kind)
+	for _, k := range keys {
+		h = splitmix64(h ^ k)
+	}
+	return float64(h>>11) / (1 << 53)
+}
+
+// Decision-kind salts, so distinct decisions over the same keys are
+// independent.
+const (
+	kindDrop uint64 = iota + 1
+	kindEdge
+	kindDup
+	kindDelayHit
+	kindDelayLen
+	kindJitter
+)
+
+// NodeDown reports whether node n is crashed for event sequence seq.
+func (i *Injector) NodeDown(n topology.NodeID, seq int64) bool {
+	for _, cr := range i.crashes[n] {
+		if seq >= cr.DownAt && (cr.UpAt <= 0 || seq < cr.UpAt) {
+			return true
+		}
+	}
+	return false
+}
+
+// FailLink marks the undirected link (u, v) failed: every attempt crossing
+// it is dropped and alternate-path recomputes exclude it.
+func (i *Injector) FailLink(u, v topology.NodeID) {
+	i.mu.Lock()
+	i.failed[topology.MakeEdgeKey(u, v)] = true
+	i.mu.Unlock()
+}
+
+// RestoreLink reverses FailLink.
+func (i *Injector) RestoreLink(u, v topology.NodeID) {
+	i.mu.Lock()
+	delete(i.failed, topology.MakeEdgeKey(u, v))
+	i.mu.Unlock()
+}
+
+// LinkDown reports whether the link (u, v) is deterministically down for
+// event sequence seq: explicitly failed, configured with probability ≥ 1,
+// or in the down half of a flap cycle.
+func (i *Injector) LinkDown(u, v topology.NodeID, seq int64) bool {
+	k := topology.MakeEdgeKey(u, v)
+	i.mu.RLock()
+	f := i.failed[k]
+	i.mu.RUnlock()
+	if f {
+		return true
+	}
+	if p, ok := i.links[k]; ok && p >= 1 {
+		return true
+	}
+	if period, ok := i.flaps[k]; ok && (seq/period)%2 == 1 {
+		return true
+	}
+	return false
+}
+
+// Blocked returns an edge predicate suitable for routing.DijkstraAvoid:
+// true for every link that is deterministically down at seq.
+func (i *Injector) Blocked(seq int64) func(u, v topology.NodeID) bool {
+	return func(u, v topology.NodeID) bool { return i.LinkDown(u, v, seq) }
+}
+
+// DropAttempt reports whether delivery attempt number attempt of event seq
+// to dest, routed along path, is lost. Down links along the path fail the
+// attempt deterministically; otherwise the end-to-end DropProb and the
+// per-edge probabilities are rolled independently.
+func (i *Injector) DropAttempt(seq int64, dest topology.NodeID, attempt int, path []topology.NodeID) bool {
+	for idx := 1; idx < len(path); idx++ {
+		if i.LinkDown(path[idx-1], path[idx], seq) {
+			return true
+		}
+	}
+	if i.cfg.DropProb > 0 &&
+		i.roll(kindDrop, uint64(seq), uint64(dest), uint64(attempt)) < i.cfg.DropProb {
+		return true
+	}
+	if i.cfg.LinkDropProb > 0 || len(i.links) > 0 {
+		for idx := 1; idx < len(path); idx++ {
+			k := topology.MakeEdgeKey(path[idx-1], path[idx])
+			p := i.cfg.LinkDropProb
+			if over, ok := i.links[k]; ok {
+				p = over
+			}
+			if p <= 0 {
+				continue
+			}
+			if i.roll(kindEdge, uint64(seq), uint64(dest), uint64(attempt), uint64(k.U)<<32|uint64(uint32(k.V))) < p {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Duplicate reports whether a successful delivery of event seq to dest is
+// duplicated in flight.
+func (i *Injector) Duplicate(seq int64, dest topology.NodeID) bool {
+	return i.cfg.DupProb > 0 && i.roll(kindDup, uint64(seq), uint64(dest)) < i.cfg.DupProb
+}
+
+// Delay returns the injected latency for a successful delivery (0 for
+// most deliveries; up to MaxDelay with probability DelayProb).
+func (i *Injector) Delay(seq int64, dest topology.NodeID) time.Duration {
+	if i.cfg.DelayProb <= 0 {
+		return 0
+	}
+	if i.roll(kindDelayHit, uint64(seq), uint64(dest)) >= i.cfg.DelayProb {
+		return 0
+	}
+	frac := i.roll(kindDelayLen, uint64(seq), uint64(dest))
+	return time.Duration(frac * float64(i.cfg.MaxDelay))
+}
+
+// Jitter returns a deterministic uniform [0, 1) jitter factor for the
+// broker's retry backoff, keyed by (seq, dest, attempt).
+func (i *Injector) Jitter(seq int64, dest topology.NodeID, attempt int) float64 {
+	return i.roll(kindJitter, uint64(seq), uint64(dest), uint64(attempt))
+}

@@ -1,0 +1,202 @@
+package faults
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/topology"
+)
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{DropProb: -0.1},
+		{DropProb: 1.1},
+		{DupProb: 2},
+		{DelayProb: -1},
+		{LinkDropProb: 7},
+		{Links: map[topology.EdgeKey]float64{{U: 0, V: 1}: -0.5}},
+		{Crashes: []Crash{{Node: 3, DownAt: -1}}},
+		{Crashes: []Crash{{Node: 3, DownAt: 10, UpAt: 5}}},
+		{Flaps: []Flap{{U: 0, V: 1, Period: 0}}},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := New(Config{Seed: 1, DropProb: 0.5, LinkDropProb: 1}); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+// TestDeterminism: two injectors with the same config make identical
+// decisions, and a different seed makes different ones.
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Seed: 7, DropProb: 0.3, DupProb: 0.3, LinkDropProb: 0.2}
+	a, _ := New(cfg)
+	b, _ := New(cfg)
+	cfg.Seed = 8
+	c, _ := New(cfg)
+
+	path := []topology.NodeID{0, 3, 9, 12}
+	same, diff := 0, 0
+	for seq := int64(0); seq < 500; seq++ {
+		for attempt := 0; attempt < 3; attempt++ {
+			da := a.DropAttempt(seq, 12, attempt, path)
+			if db := b.DropAttempt(seq, 12, attempt, path); da != db {
+				t.Fatalf("same seed diverged at seq %d attempt %d", seq, attempt)
+			}
+			if dc := c.DropAttempt(seq, 12, attempt, path); da == dc {
+				same++
+			} else {
+				diff++
+			}
+		}
+		if a.Duplicate(seq, 12) != b.Duplicate(seq, 12) {
+			t.Fatalf("Duplicate diverged at seq %d", seq)
+		}
+		if a.Jitter(seq, 12, 1) != b.Jitter(seq, 12, 1) {
+			t.Fatalf("Jitter diverged at seq %d", seq)
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds never disagreed")
+	}
+}
+
+// TestDropRate: the hashed rolls approximate the configured probability.
+func TestDropRate(t *testing.T) {
+	inj, _ := New(Config{Seed: 11, DropProb: 0.25})
+	drops := 0
+	const n = 20000
+	for seq := int64(0); seq < n; seq++ {
+		if inj.DropAttempt(seq, 5, 0, nil) {
+			drops++
+		}
+	}
+	got := float64(drops) / n
+	if math.Abs(got-0.25) > 0.02 {
+		t.Errorf("drop rate %.3f, want ≈ 0.25", got)
+	}
+}
+
+// TestAttemptIndependence: retry attempts of the same delivery are rolled
+// independently, so a drop on attempt 0 does not doom attempt 1.
+func TestAttemptIndependence(t *testing.T) {
+	inj, _ := New(Config{Seed: 13, DropProb: 0.5})
+	recovered := 0
+	for seq := int64(0); seq < 2000; seq++ {
+		if inj.DropAttempt(seq, 2, 0, nil) && !inj.DropAttempt(seq, 2, 1, nil) {
+			recovered++
+		}
+	}
+	if recovered == 0 {
+		t.Error("no delivery ever succeeded on retry; attempts not independent")
+	}
+}
+
+func TestCrashSchedule(t *testing.T) {
+	inj, _ := New(Config{Seed: 1, Crashes: []Crash{
+		{Node: 4, DownAt: 10, UpAt: 20},
+		{Node: 7, DownAt: 5, UpAt: 0}, // never recovers
+	}})
+	cases := []struct {
+		node topology.NodeID
+		seq  int64
+		down bool
+	}{
+		{4, 9, false}, {4, 10, true}, {4, 19, true}, {4, 20, false},
+		{7, 4, false}, {7, 5, true}, {7, 1 << 40, true},
+		{3, 10, false}, // unscheduled node never down
+	}
+	for _, c := range cases {
+		if got := inj.NodeDown(c.node, c.seq); got != c.down {
+			t.Errorf("NodeDown(%d, %d) = %v, want %v", c.node, c.seq, got, c.down)
+		}
+	}
+}
+
+func TestFlapSchedule(t *testing.T) {
+	inj, _ := New(Config{Seed: 1, Flaps: []Flap{{U: 2, V: 5, Period: 10}}})
+	for _, c := range []struct {
+		seq  int64
+		down bool
+	}{{0, false}, {9, false}, {10, true}, {19, true}, {20, false}, {35, true}} {
+		if got := inj.LinkDown(2, 5, c.seq); got != c.down {
+			t.Errorf("LinkDown(2,5,%d) = %v, want %v", c.seq, got, c.down)
+		}
+		// Undirected: argument order must not matter.
+		if got := inj.LinkDown(5, 2, c.seq); got != c.down {
+			t.Errorf("LinkDown(5,2,%d) = %v, want %v", c.seq, got, c.down)
+		}
+	}
+}
+
+func TestFailAndRestoreLink(t *testing.T) {
+	inj, _ := New(Config{Seed: 1})
+	if inj.LinkDown(1, 2, 0) {
+		t.Fatal("fresh injector has a down link")
+	}
+	inj.FailLink(2, 1)
+	if !inj.LinkDown(1, 2, 0) || !inj.LinkDown(2, 1, 99) {
+		t.Fatal("failed link not down")
+	}
+	blocked := inj.Blocked(0)
+	if !blocked(1, 2) || blocked(3, 4) {
+		t.Fatal("Blocked predicate wrong")
+	}
+	// A down link on the path deterministically drops the attempt.
+	if !inj.DropAttempt(0, 9, 0, []topology.NodeID{0, 1, 2, 9}) {
+		t.Fatal("attempt across failed link not dropped")
+	}
+	inj.RestoreLink(1, 2)
+	if inj.LinkDown(1, 2, 0) {
+		t.Fatal("restored link still down")
+	}
+}
+
+func TestLinkOverrideFailsDeterministically(t *testing.T) {
+	inj, _ := New(Config{Seed: 1, Links: map[topology.EdgeKey]float64{
+		topology.MakeEdgeKey(3, 1): 1.0,
+	}})
+	if !inj.LinkDown(1, 3, 0) {
+		t.Fatal("probability-1 link not deterministically down")
+	}
+	if inj.LinkDown(1, 2, 0) {
+		t.Fatal("unrelated link down")
+	}
+}
+
+func TestDelay(t *testing.T) {
+	inj, _ := New(Config{Seed: 5, DelayProb: 0.5, MaxDelay: time.Millisecond})
+	delayed, zero := 0, 0
+	for seq := int64(0); seq < 1000; seq++ {
+		d := inj.Delay(seq, 3)
+		if d < 0 || d >= time.Millisecond {
+			t.Fatalf("delay %v out of [0, 1ms)", d)
+		}
+		if d == 0 {
+			zero++
+		} else {
+			delayed++
+		}
+	}
+	if delayed == 0 || zero == 0 {
+		t.Errorf("delay distribution degenerate: %d delayed, %d zero", delayed, zero)
+	}
+	off, _ := New(Config{Seed: 5})
+	if off.Delay(1, 3) != 0 {
+		t.Error("delay injected with DelayProb 0")
+	}
+}
+
+func TestJitterRange(t *testing.T) {
+	inj, _ := New(Config{Seed: 9})
+	for seq := int64(0); seq < 100; seq++ {
+		j := inj.Jitter(seq, 1, 2)
+		if j < 0 || j >= 1 {
+			t.Fatalf("jitter %v out of [0,1)", j)
+		}
+	}
+}

@@ -135,6 +135,54 @@ func (g *Graph) HasEdge(u, v NodeID) bool {
 	return false
 }
 
+// EdgeKey canonically identifies an undirected edge (U ≤ V), so (u, v) and
+// (v, u) map to the same key. Fault schedules and link-failure sets are
+// keyed by it.
+type EdgeKey struct {
+	U, V NodeID
+}
+
+// MakeEdgeKey returns the canonical key for the undirected edge (u, v).
+func MakeEdgeKey(u, v NodeID) EdgeKey {
+	if u > v {
+		u, v = v, u
+	}
+	return EdgeKey{U: u, V: v}
+}
+
+// EdgeBetween returns the undirected edge joining u and v, if any. The
+// returned edge is oriented canonically (U ≤ V) regardless of argument
+// order.
+func (g *Graph) EdgeBetween(u, v NodeID) (Edge, bool) {
+	if u < 0 || int(u) >= len(g.nodes) || v < 0 || int(v) >= len(g.nodes) {
+		return Edge{}, false
+	}
+	for _, h := range g.adj[u] {
+		if h.To == v {
+			k := MakeEdgeKey(u, v)
+			return Edge{U: k.U, V: k.V, Cost: h.Cost}, true
+		}
+	}
+	return Edge{}, false
+}
+
+// PathEdges resolves a node path into its undirected edges. It returns
+// ok = false if any consecutive pair is not joined by an edge.
+func (g *Graph) PathEdges(path []NodeID) ([]Edge, bool) {
+	if len(path) < 2 {
+		return nil, true
+	}
+	out := make([]Edge, 0, len(path)-1)
+	for i := 1; i < len(path); i++ {
+		e, ok := g.EdgeBetween(path[i-1], path[i])
+		if !ok {
+			return nil, false
+		}
+		out = append(out, e)
+	}
+	return out, true
+}
+
 // Neighbors returns the adjacency list of u. The returned slice must not be
 // modified.
 func (g *Graph) Neighbors(u NodeID) []Halfedge { return g.adj[u] }

@@ -60,6 +60,61 @@ func TestAddEdgeErrors(t *testing.T) {
 	}
 }
 
+func TestEdgeKeyCanonical(t *testing.T) {
+	if MakeEdgeKey(3, 1) != MakeEdgeKey(1, 3) {
+		t.Error("EdgeKey not canonical")
+	}
+	if k := MakeEdgeKey(2, 2); k.U != 2 || k.V != 2 {
+		t.Errorf("MakeEdgeKey(2,2) = %+v", k)
+	}
+}
+
+func TestEdgeBetween(t *testing.T) {
+	g := NewGraph(4)
+	if err := g.AddEdge(2, 0, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]NodeID{{0, 2}, {2, 0}} {
+		e, ok := g.EdgeBetween(pair[0], pair[1])
+		if !ok {
+			t.Fatalf("EdgeBetween(%d,%d) missing", pair[0], pair[1])
+		}
+		if e.U != 0 || e.V != 2 || e.Cost != 1.5 {
+			t.Errorf("EdgeBetween(%d,%d) = %+v, want canonical {0 2 1.5}", pair[0], pair[1], e)
+		}
+	}
+	if _, ok := g.EdgeBetween(0, 1); ok {
+		t.Error("phantom edge")
+	}
+	if _, ok := g.EdgeBetween(-1, 2); ok {
+		t.Error("out-of-range accepted")
+	}
+}
+
+func TestPathEdges(t *testing.T) {
+	g := NewGraph(4)
+	for i := NodeID(0); i < 3; i++ {
+		if err := g.AddEdge(i, i+1, float64(i)+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	edges, ok := g.PathEdges([]NodeID{0, 1, 2, 3})
+	if !ok || len(edges) != 3 {
+		t.Fatalf("PathEdges = %v, %v", edges, ok)
+	}
+	for i, e := range edges {
+		if e.Cost != float64(i)+1 {
+			t.Errorf("edge %d cost %v", i, e.Cost)
+		}
+	}
+	if _, ok := g.PathEdges([]NodeID{0, 2}); ok {
+		t.Error("non-adjacent pair accepted")
+	}
+	if edges, ok := g.PathEdges([]NodeID{1}); !ok || edges != nil {
+		t.Error("singleton path should yield no edges")
+	}
+}
+
 func TestConnected(t *testing.T) {
 	g := NewGraph(4)
 	g.AddEdge(0, 1, 1)

@@ -41,6 +41,7 @@ import (
 	"repro/internal/broker"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/multicast"
 	"repro/internal/noloss"
 	"repro/internal/space"
@@ -208,6 +209,8 @@ type (
 	BrokerStats = broker.Stats
 	// BrokerDelivery is one message copy arriving at a node.
 	BrokerDelivery = broker.Delivery
+	// ReliabilityConfig bounds the broker's retry protocol.
+	ReliabilityConfig = broker.ReliabilityConfig
 )
 
 // Broker constructors and options.
@@ -218,6 +221,35 @@ var (
 	WithWorkers = broker.WithWorkers
 	// WithObserver registers a per-delivery callback.
 	WithObserver = broker.WithObserver
+	// WithFaults plugs a fault injector into the delivery fabric.
+	WithFaults = broker.WithFaults
+	// WithReliability tunes the retry/backoff protocol.
+	WithReliability = broker.WithReliability
+	// ErrBrokerClosed is returned by Publish after Close.
+	ErrBrokerClosed = broker.ErrClosed
+)
+
+// Fault injection: deterministic drop/duplicate/delay/link-failure/crash
+// schedules for chaos-testing the delivery fabric.
+type (
+	// FaultConfig parameterises a fault injector.
+	FaultConfig = faults.Config
+	// FaultInjector makes seeded, reproducible fault decisions.
+	FaultInjector = faults.Injector
+	// Crash takes one node down for a sequence-number window.
+	Crash = faults.Crash
+	// Flap periodically fails one link.
+	Flap = faults.Flap
+	// EdgeKey canonically identifies an undirected network edge.
+	EdgeKey = topology.EdgeKey
+)
+
+// Fault-injection constructors.
+var (
+	// NewFaultInjector validates a fault config and builds the injector.
+	NewFaultInjector = faults.New
+	// MakeEdgeKey canonicalises an undirected edge identity.
+	MakeEdgeKey = topology.MakeEdgeKey
 )
 
 // Persistence: round-trippable text formats for topologies, subscription
