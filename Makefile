@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 race chaos bench vet fmt
+.PHONY: all build test tier1 race chaos bench bench-json vet fmt
 
 all: build tier1
 
@@ -24,6 +24,12 @@ chaos:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# bench-json writes the tier-1 benchmarks as machine-readable go-test JSON
+# (one event per line) for trend tracking across commits.
+bench-json:
+	mkdir -p results
+	$(GO) test -json -bench=. -benchmem -run=^$$ . > results/bench.json
 
 vet:
 	$(GO) vet ./...

@@ -31,6 +31,9 @@
 //	-modes N     publication mixture modes: 1, 4 or 9 (default 1)
 //	-quick       shrink all sweeps for a fast smoke run
 //	-csv DIR     additionally write CSV files into DIR
+//	-metrics F   write a telemetry snapshot (JSON) to F; fig7 additionally
+//	             collects per-algorithm cost distributions with
+//	             p50/p95/p99, clustering times and matcher waste ratios
 package main
 
 import (
@@ -42,6 +45,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/noloss"
+	"repro/internal/telemetry"
 )
 
 type options struct {
@@ -52,6 +56,7 @@ type options struct {
 	quick    bool
 	parallel int
 	csvDir   string
+	metrics  string
 }
 
 func main() {
@@ -63,6 +68,7 @@ func main() {
 	flag.BoolVar(&opt.quick, "quick", false, "shrink sweeps for a fast run")
 	flag.IntVar(&opt.parallel, "parallel", 0, "worker count for fig7 (0 = sequential, -1 = GOMAXPROCS)")
 	flag.StringVar(&opt.csvDir, "csv", "", "directory for CSV output")
+	flag.StringVar(&opt.metrics, "metrics", "", "file for a JSON telemetry snapshot (fig7)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"usage: pubsub-bench [flags] table1|table2|baseline|fig7|fig8|fig9|fig10|fig11|scenarios|ablation|faults|all\n")
@@ -214,7 +220,7 @@ func runFig7(opt options) error {
 	if opt.quick {
 		ks = []int{10, 40, 80}
 	}
-	pts, err := opt.fig7(env, ks)
+	pts, reg, err := opt.fig7(env, ks)
 	if err != nil {
 		return err
 	}
@@ -222,21 +228,45 @@ func runFig7(opt options) error {
 	if err := experiments.RenderFig7(os.Stdout, title, pts); err != nil {
 		return err
 	}
+	if err := opt.writeMetrics(reg); err != nil {
+		return err
+	}
 	return opt.writeCSV("fig7.csv", func(f *os.File) error {
 		return experiments.RenderFig7CSV(f, pts)
 	})
 }
 
-// fig7 dispatches between the sequential and parallel Figure 7 runners.
-func (o options) fig7(env *experiments.StockEnv, ks []int) ([]experiments.Fig7Point, error) {
+// fig7 dispatches between the sequential, parallel and telemetry-observed
+// Figure 7 runners. The registry is non-nil only when -metrics is set.
+func (o options) fig7(env *experiments.StockEnv, ks []int) ([]experiments.Fig7Point, *telemetry.Registry, error) {
+	if o.metrics != "" {
+		reg := telemetry.NewRegistry()
+		pts, err := experiments.RunFig7Observed(env, ks, o.algorithms(), o.nolossConfig(), reg)
+		return pts, reg, err
+	}
 	if o.parallel != 0 {
 		workers := o.parallel
 		if workers < 0 {
 			workers = 0 // RunFig7Parallel resolves 0 to GOMAXPROCS
 		}
-		return experiments.RunFig7Parallel(env, ks, o.algorithms(), o.nolossConfig(), workers)
+		pts, err := experiments.RunFig7Parallel(env, ks, o.algorithms(), o.nolossConfig(), workers)
+		return pts, nil, err
 	}
-	return experiments.RunFig7(env, ks, o.algorithms(), o.nolossConfig())
+	pts, err := experiments.RunFig7(env, ks, o.algorithms(), o.nolossConfig())
+	return pts, nil, err
+}
+
+// writeMetrics dumps a registry snapshot as JSON to the -metrics file.
+func (o options) writeMetrics(reg *telemetry.Registry) error {
+	if o.metrics == "" || reg == nil {
+		return nil
+	}
+	f, err := os.Create(o.metrics)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return telemetry.WriteJSON(f, reg)
 }
 
 func runFig8(opt options) error {

@@ -34,6 +34,15 @@
 //	-retries N     broker retry bound per delivery (default 4)
 //	-fault-seed N  injector seed (default seed+200)
 //
+// Observability flags (see the Observability section of DESIGN.md):
+//
+//	-http ADDR     after the replay, serve /metrics (Prometheus),
+//	               /metrics.json, /trace (JSONL) and /debug/pprof/ on ADDR
+//	               until interrupted
+//	-trace-rate F  fraction of published events traced end to end
+//	               (deterministic sampling; default 1 = every event)
+//	-trace-cap N   trace ring-buffer capacity (default 1024)
+//
 // Trace files use the workload text format (see ReadSubscriptions); the
 // network is still generated, so node ids in the trace must fit it.
 package main
@@ -52,6 +61,7 @@ import (
 	"repro/internal/multicast"
 	"repro/internal/noloss"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/workload"
 )
@@ -76,6 +86,33 @@ type options struct {
 	crashUntil int64
 	retries    int
 	faultSeed  int64
+
+	httpAddr  string
+	traceRate float64
+	traceCap  int
+}
+
+// validate rejects malformed fault and observability flags with a clear
+// error before any expensive work runs.
+func (o options) validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{{"-drop", o.drop}, {"-link-drop", o.linkDrop}, {"-dup", o.dup}} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("%s = %v: probability must be in [0, 1]", f.name, f.v)
+		}
+	}
+	if o.retries < 0 {
+		return fmt.Errorf("-retries = %d: must be ≥ 0", o.retries)
+	}
+	if o.traceRate < 0 || o.traceRate > 1 {
+		return fmt.Errorf("-trace-rate = %v: must be in [0, 1]", o.traceRate)
+	}
+	if o.traceCap < 1 {
+		return fmt.Errorf("-trace-cap = %d: must be ≥ 1", o.traceCap)
+	}
+	return nil
 }
 
 // faultsRequested reports whether any fault-profile flag is active.
@@ -103,15 +140,42 @@ func main() {
 	flag.Int64Var(&opt.crashUntil, "crash-until", 0, "event index the node recovers at (0 = never)")
 	flag.IntVar(&opt.retries, "retries", 4, "broker retry bound per delivery")
 	flag.Int64Var(&opt.faultSeed, "fault-seed", 0, "fault injector seed (default seed+200)")
+	flag.StringVar(&opt.httpAddr, "http", "", "serve /metrics, /trace and /debug/pprof/ on this address after the replay")
+	flag.Float64Var(&opt.traceRate, "trace-rate", 1, "fraction of published events traced (deterministic sampling)")
+	flag.IntVar(&opt.traceCap, "trace-cap", 1024, "trace ring-buffer capacity")
 	flag.Parse()
 
+	if err := opt.validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "pubsub-sim: %v\n", err)
+		os.Exit(2)
+	}
 	if err := run(opt); err != nil {
 		fmt.Fprintf(os.Stderr, "pubsub-sim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
+// testHookServe, when non-nil, is invoked with the telemetry server's
+// address after the replay instead of blocking forever; the integration
+// test uses it to probe the endpoints deterministically.
+var testHookServe func(addr string)
+
 func run(opt options) error {
+	var reg *telemetry.Registry
+	var tracer *telemetry.Tracer
+	if opt.httpAddr != "" {
+		reg = telemetry.NewRegistry()
+		var err error
+		tracer, err = telemetry.NewTracer(telemetry.TracerConfig{
+			Capacity:   opt.traceCap,
+			SampleRate: opt.traceRate,
+			Seed:       opt.seed,
+		})
+		if err != nil {
+			return err
+		}
+	}
+
 	topo := topology.Eval600
 	topo.Seed = opt.seed
 	g, err := topology.Generate(topo)
@@ -170,6 +234,7 @@ func run(opt options) error {
 		return err
 	}
 	buildTime := time.Since(start)
+	engine.Instrument(reg) // no-op with a nil registry
 
 	matcher, err := matching.NewRTree(w)
 	if err != nil {
@@ -211,15 +276,35 @@ func run(opt options) error {
 		almAvg, sim.Improvement(base, almAvg))
 
 	if opt.faultsRequested() {
-		return runFaulty(opt, engine, eval, totals, n)
+		if err := runFaulty(opt, engine, eval, totals, n, reg, tracer); err != nil {
+			return err
+		}
 	}
-	return nil
+	return serveTelemetry(opt, reg, tracer)
+}
+
+// serveTelemetry exposes the run's registry and tracer over HTTP when
+// -http is set. Outside tests it blocks until the process is interrupted.
+func serveTelemetry(opt options, reg *telemetry.Registry, tracer *telemetry.Tracer) error {
+	if opt.httpAddr == "" {
+		return nil
+	}
+	srv, err := telemetry.Serve(opt.httpAddr, reg, tracer)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("telemetry:  serving /metrics, /metrics.json, /trace, /debug/pprof/ on http://%s (interrupt to exit)\n", srv.Addr())
+	if testHookServe != nil {
+		testHookServe(srv.Addr())
+		return srv.Close()
+	}
+	select {}
 }
 
 // runFaulty replays the evaluation stream through a live broker under the
 // requested fault profile and reports the reliability statistics plus the
 // cost model's fault-adjusted prices.
-func runFaulty(opt options, engine *core.Engine, eval []workload.Event, totals core.Costs, n float64) error {
+func runFaulty(opt options, engine *core.Engine, eval []workload.Event, totals core.Costs, n float64, reg *telemetry.Registry, tracer *telemetry.Tracer) error {
 	fcfg := faults.Config{
 		Seed:         opt.faultSeed,
 		DropProb:     opt.drop,
@@ -246,7 +331,9 @@ func runFaulty(opt options, engine *core.Engine, eval []workload.Event, totals c
 	}
 	b, err := broker.New(engine,
 		broker.WithFaults(inj),
-		broker.WithReliability(broker.ReliabilityConfig{MaxRetries: opt.retries}))
+		broker.WithReliability(broker.ReliabilityConfig{MaxRetries: opt.retries}),
+		broker.WithTelemetry(reg), // nil keeps the broker's private registry
+		broker.WithTracer(tracer))
 	if err != nil {
 		return err
 	}

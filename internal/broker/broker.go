@@ -53,6 +53,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/multicast"
 	"repro/internal/routing"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/workload"
 )
@@ -77,6 +78,12 @@ type Delivery struct {
 	// Degraded marks a copy that arrived via the alternate-path unicast
 	// top-up after the primary route exhausted its retries.
 	Degraded bool
+
+	// born is the decision-stage timestamp; the consumer turns it into the
+	// end-to-end delivery-latency histogram.
+	born time.Time
+	// trace is the event's sampled lifecycle trace, nil when untraced.
+	trace *telemetry.EventTrace
 }
 
 // routed couples a decided event with its destinations.
@@ -85,6 +92,10 @@ type routed struct {
 	ev         workload.Event
 	d          core.Decision
 	interested map[topology.NodeID]bool
+	// t0 stamps the decision; delivery latency is measured from here.
+	t0 time.Time
+	// trace is the event's sampled lifecycle trace, nil when untraced.
+	trace *telemetry.EventTrace
 	// paths maps each destination to its primary routing path (publisher's
 	// SPT); only populated under fault injection.
 	paths map[topology.NodeID][]topology.NodeID
@@ -115,23 +126,53 @@ type Stats struct {
 	PerNode map[topology.NodeID]int64
 }
 
-// counters is the broker's hot-path accounting: lock-free atomics so the
-// delivery path never takes a broker-wide mutex.
-type counters struct {
-	published  atomic.Int64
-	multicast  atomic.Int64
-	unicast    atomic.Int64
-	broadcast  atomic.Int64
-	deliveries atomic.Int64
-	wasted     atomic.Int64
+// metrics caches the broker's telemetry handles so the delivery hot path
+// never touches a registry map: every counter bump is one lock-free atomic
+// add on a pre-resolved instrument. Stats() is a thin view over these, so
+// the registry is the single source of truth for broker accounting.
+type metrics struct {
+	published  *telemetry.Counter
+	multicast  *telemetry.Counter
+	unicast    *telemetry.Counter
+	broadcast  *telemetry.Counter
+	deliveries *telemetry.Counter
+	wasted     *telemetry.Counter
 
-	retries     atomic.Int64
-	redelivered atomic.Int64
-	deduped     atomic.Int64
-	degraded    atomic.Int64
-	quarantined atomic.Int64
-	offline     atomic.Int64
-	lost        atomic.Int64
+	retries     *telemetry.Counter
+	redelivered *telemetry.Counter
+	deduped     *telemetry.Counter
+	degraded    *telemetry.Counter
+	quarantined *telemetry.Counter
+	offline     *telemetry.Counter
+	lost        *telemetry.Counter
+
+	// deliverLatency is decision→inbox-accept wall time per copy, ns.
+	deliverLatency *telemetry.Histogram
+	// backoffWait is time slept in retry backoff, ns.
+	backoffWait *telemetry.Histogram
+	// queueDepth samples the destination inbox depth at each enqueue.
+	queueDepth *telemetry.Histogram
+}
+
+func newMetrics(s *telemetry.Scope) metrics {
+	return metrics{
+		published:      s.Counter("published"),
+		multicast:      s.Counter("multicast_events"),
+		unicast:        s.Counter("unicast_events"),
+		broadcast:      s.Counter("broadcast_events"),
+		deliveries:     s.Counter("deliveries"),
+		wasted:         s.Counter("wasted"),
+		retries:        s.Counter("retries"),
+		redelivered:    s.Counter("redelivered"),
+		deduped:        s.Counter("deduped"),
+		degraded:       s.Counter("degraded"),
+		quarantined:    s.Counter("quarantined"),
+		offline:        s.Counter("offline"),
+		lost:           s.Counter("lost"),
+		deliverLatency: s.Histogram("deliver_latency_ns", telemetry.LatencyBuckets()),
+		backoffWait:    s.Histogram("backoff_wait_ns", telemetry.LatencyBuckets()),
+		queueDepth:     s.Histogram("queue_depth", telemetry.LinearBuckets(0, 2, 16)),
+	}
 }
 
 // ReliabilityConfig tunes the retry protocol used under fault injection.
@@ -191,7 +232,11 @@ type Broker struct {
 	// accounting.
 	observer func(topology.NodeID, Delivery)
 
-	ctr counters
+	// reg owns the broker's metrics; private unless WithTelemetry supplies
+	// a shared registry. tracer is nil unless WithTracer enables tracing.
+	reg    *telemetry.Registry
+	tracer *telemetry.Tracer
+	ctr    metrics
 	// perNode shards delivery counts one atomic per consumer, so the hot
 	// path never contends on a shared map.
 	perNode map[topology.NodeID]*atomic.Int64
@@ -234,6 +279,19 @@ func WithReliability(rc ReliabilityConfig) Option {
 	return func(b *Broker) { b.rel = rc }
 }
 
+// WithTelemetry publishes the broker's metrics into a shared registry
+// (scope "broker") instead of a private one, so exporters and the HTTP
+// server see them. Stats() reads the same instruments either way.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(b *Broker) { b.reg = reg }
+}
+
+// WithTracer enables per-event lifecycle tracing: each sampled publication
+// accumulates decide/enqueue/attempt/deliver spans into the tracer's ring.
+func WithTracer(tr *telemetry.Tracer) Option {
+	return func(b *Broker) { b.tracer = tr }
+}
+
 // New starts a broker over an engine. The engine must not be used by the
 // caller until Close returns (the decision goroutine owns it).
 func New(engine *core.Engine, opts ...Option) (*Broker, error) {
@@ -255,6 +313,10 @@ func New(engine *core.Engine, opts ...Option) (*Broker, error) {
 		return nil, fmt.Errorf("broker: %d workers", b.workers)
 	}
 	b.rel.setDefaults()
+	if b.reg == nil {
+		b.reg = telemetry.NewRegistry()
+	}
+	b.ctr = newMetrics(b.reg.Scope("broker"))
 	b.quarantineCh = make(chan int, 128)
 
 	// One inbox + consumer per subscriber node. Both maps are fully
@@ -313,22 +375,24 @@ func (b *Broker) Close() {
 }
 
 // Stats returns a snapshot of the accounting so far (call after Close for
-// final numbers).
+// final numbers). It is a thin view over the telemetry registry: each field
+// is an atomic load of the corresponding "broker"-scope counter, so
+// successive snapshots are monotone per counter even mid-run.
 func (b *Broker) Stats() Stats {
 	out := Stats{
-		Published:   b.ctr.published.Load(),
-		Multicast:   b.ctr.multicast.Load(),
-		Unicast:     b.ctr.unicast.Load(),
-		Broadcast:   b.ctr.broadcast.Load(),
-		Deliveries:  b.ctr.deliveries.Load(),
-		Wasted:      b.ctr.wasted.Load(),
-		Retries:     b.ctr.retries.Load(),
-		Redelivered: b.ctr.redelivered.Load(),
-		Deduped:     b.ctr.deduped.Load(),
-		Degraded:    b.ctr.degraded.Load(),
-		Quarantined: b.ctr.quarantined.Load(),
-		Offline:     b.ctr.offline.Load(),
-		Lost:        b.ctr.lost.Load(),
+		Published:   b.ctr.published.Value(),
+		Multicast:   b.ctr.multicast.Value(),
+		Unicast:     b.ctr.unicast.Value(),
+		Broadcast:   b.ctr.broadcast.Value(),
+		Deliveries:  b.ctr.deliveries.Value(),
+		Wasted:      b.ctr.wasted.Value(),
+		Retries:     b.ctr.retries.Value(),
+		Redelivered: b.ctr.redelivered.Value(),
+		Deduped:     b.ctr.deduped.Value(),
+		Degraded:    b.ctr.degraded.Value(),
+		Quarantined: b.ctr.quarantined.Value(),
+		Offline:     b.ctr.offline.Value(),
+		Lost:        b.ctr.lost.Value(),
 		PerNode:     make(map[topology.NodeID]int64, len(b.perNode)),
 	}
 	for n, c := range b.perNode {
@@ -337,13 +401,20 @@ func (b *Broker) Stats() Stats {
 	return out
 }
 
+// Telemetry exposes the broker's metrics registry — the shared one passed
+// via WithTelemetry, or the private default.
+func (b *Broker) Telemetry() *telemetry.Registry { return b.reg }
+
 // decide is the single goroutine owning the engine.
 func (b *Broker) decide() {
 	defer b.decisionWG.Done()
 	var seq int64
 	for ev := range b.publishCh {
 		b.applyQuarantines()
+		trace := b.tracer.Begin(seq)
+		t0 := time.Now()
 		d := b.engine.Decide(ev)
+		trace.Add("decide", t0, time.Since(t0), -1, d.Group, 0, methodNote(d.Method))
 		interested := make(map[topology.NodeID]bool, len(d.Interested))
 		for _, n := range d.Interested {
 			interested[n] = true
@@ -357,16 +428,30 @@ func (b *Broker) decide() {
 		default:
 			b.ctr.unicast.Add(1)
 		}
-		r := routed{seq: seq, ev: ev, d: d, interested: interested}
+		r := routed{seq: seq, ev: ev, d: d, interested: interested, t0: t0, trace: trace}
 		if b.inj != nil {
 			r.paths = b.routePaths(ev, d)
 			r.budget = new(atomic.Int64)
 			r.budget.Store(b.rel.RetryBudget)
 		}
 		seq++
+		enq := time.Now()
 		b.fanoutCh <- r
+		trace.Add("enqueue", enq, time.Since(enq), -1, d.Group, 0, "")
 	}
 	b.applyQuarantines()
+}
+
+// methodNote renders a decision method for trace spans.
+func methodNote(m multicast.Method) string {
+	switch m {
+	case multicast.NetworkMulticast:
+		return "multicast"
+	case multicast.Broadcast:
+		return "broadcast"
+	default:
+		return "unicast"
+	}
 }
 
 // applyQuarantines drains pending quarantine requests from the fan-out
@@ -492,6 +577,8 @@ func (b *Broker) fanout() {
 // are counted but have no inbox. Under fault injection it runs the
 // reliability protocol.
 func (b *Broker) deliver(r routed, n topology.NodeID, d Delivery) {
+	d.born = r.t0
+	d.trace = r.trace
 	ch, ok := b.inboxes[n]
 	if !ok {
 		// A group may reference a node that stopped subscribing between
@@ -503,6 +590,7 @@ func (b *Broker) deliver(r routed, n topology.NodeID, d Delivery) {
 		return
 	}
 	if b.inj == nil {
+		b.ctr.queueDepth.Observe(float64(len(ch)))
 		ch <- d
 		return
 	}
@@ -518,6 +606,7 @@ func (b *Broker) deliverReliable(r routed, n topology.NodeID, ch chan<- Delivery
 		// a routed group with a dead member is degraded state — quarantine
 		// it so future events unicast around the corpse.
 		b.ctr.offline.Add(1)
+		r.trace.Add("offline", time.Now(), 0, int64(n), d.Group, 0, "node down")
 		if d.Group >= 0 {
 			b.requestQuarantine(d.Group)
 		}
@@ -531,6 +620,7 @@ func (b *Broker) deliverReliable(r routed, n topology.NodeID, ch chan<- Delivery
 	for ; attempt <= b.rel.MaxRetries; attempt++ {
 		if attempt > 0 {
 			if r.budget.Add(-1) < 0 {
+				r.trace.Add("degrade", time.Now(), 0, int64(n), d.Group, attempt, "budget-exhausted")
 				break // event budget exhausted: degrade immediately
 			}
 			b.ctr.retries.Add(1)
@@ -540,6 +630,7 @@ func (b *Broker) deliverReliable(r routed, n topology.NodeID, ch chan<- Delivery
 			b.complete(r, n, ch, d, attempt)
 			return
 		}
+		r.trace.Add("retry", time.Now(), 0, int64(n), d.Group, attempt, "dropped")
 	}
 
 	// Degraded: recompute a route with failed links removed and unicast
@@ -550,11 +641,13 @@ func (b *Broker) deliverReliable(r routed, n topology.NodeID, ch chan<- Delivery
 	if apath == nil {
 		// Partitioned even after removing failed links from the route
 		// computation: abandon and quarantine.
+		r.trace.Add("abandon", time.Now(), 0, int64(n), d.Group, attempt, "partitioned")
 		b.abandon(n, d)
 		return
 	}
 	d.Degraded = true
 	d.Method = multicast.Unicast
+	r.trace.Add("degrade", time.Now(), 0, int64(n), d.Group, attempt, "alternate-path")
 	for la := 0; la < b.rel.LastResort; la++ {
 		if la > 0 {
 			b.ctr.retries.Add(1)
@@ -566,6 +659,7 @@ func (b *Broker) deliverReliable(r routed, n topology.NodeID, ch chan<- Delivery
 			return
 		}
 	}
+	r.trace.Add("abandon", time.Now(), 0, int64(n), d.Group, attempt+b.rel.LastResort, "last-resort exhausted")
 	b.abandon(n, d)
 }
 
@@ -579,6 +673,7 @@ func (b *Broker) complete(r routed, n topology.NodeID, ch chan<- Delivery, d Del
 	if delay := b.inj.Delay(r.seq, n); delay > 0 {
 		time.Sleep(delay)
 	}
+	b.ctr.queueDepth.Observe(float64(len(ch)))
 	ch <- d
 	if b.inj.Duplicate(r.seq, n) {
 		ch <- d // receiver-side dedup suppresses the copy
@@ -606,7 +701,9 @@ func (b *Broker) backoff(seq int64, n topology.NodeID, attempt int) {
 		d = b.rel.MaxBackoff
 	}
 	jitter := 0.5 + b.inj.Jitter(seq, n, attempt)
-	time.Sleep(time.Duration(float64(d) * jitter))
+	wait := time.Duration(float64(d) * jitter)
+	time.Sleep(wait)
+	b.ctr.backoffWait.ObserveDuration(wait)
 }
 
 // consume drains one node's inbox, dedups on sequence number, and accounts
@@ -622,12 +719,17 @@ func (b *Broker) consume(n topology.NodeID, ch <-chan Delivery) {
 		if seen != nil {
 			if seen[d.Seq] {
 				b.ctr.deduped.Add(1)
+				d.trace.Add("dedup", time.Now(), 0, int64(n), d.Group, d.Attempt, "")
 				continue
 			}
 			seen[d.Seq] = true
 		}
 		b.ctr.deliveries.Add(1)
 		pn.Add(1)
+		if !d.born.IsZero() {
+			b.ctr.deliverLatency.ObserveDuration(time.Since(d.born))
+		}
+		d.trace.Add("ack", time.Now(), 0, int64(n), d.Group, d.Attempt, "")
 		if !d.Interested {
 			b.ctr.wasted.Add(1)
 		}

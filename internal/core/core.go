@@ -23,6 +23,7 @@ import (
 	"repro/internal/noloss"
 	"repro/internal/rtree"
 	"repro/internal/space"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/workload"
 )
@@ -96,6 +97,49 @@ type Engine struct {
 	quarantined map[int]bool
 
 	stale bool // groups no longer reflect the current subscriptions
+
+	tel engineTelemetry
+}
+
+// engineTelemetry caches the engine's instruments. All handles are nil
+// until Instrument is called; every recording site is nil-safe, and sites
+// that would pay a time.Now() guard on the histogram being present.
+type engineTelemetry struct {
+	decides          *telemetry.Counter
+	decideNs         *telemetry.Histogram
+	refreshes        *telemetry.Counter
+	refreshNs        *telemetry.Histogram
+	rebuilds         *telemetry.Counter
+	quarantines      *telemetry.Counter
+	quarantineClears *telemetry.Counter
+	subsAdded        *telemetry.Counter
+	subsRemoved      *telemetry.Counter
+	liveGroups       *telemetry.Gauge
+}
+
+// Instrument publishes the engine's metrics into the registry under scope
+// "core": decide latency, refresh duration, full rebuilds, quarantine
+// churn (set + cleared), subscription dynamics and the live group count.
+// Call before handing the engine to a broker (the decision goroutine owns
+// it afterwards). A nil registry is a no-op.
+func (e *Engine) Instrument(reg *telemetry.Registry) {
+	s := reg.Scope("core")
+	if s == nil {
+		return
+	}
+	e.tel = engineTelemetry{
+		decides:          s.Counter("decides"),
+		decideNs:         s.Histogram("decide_ns", telemetry.LatencyBuckets()),
+		refreshes:        s.Counter("refreshes"),
+		refreshNs:        s.Histogram("refresh_ns", telemetry.LatencyBuckets()),
+		rebuilds:         s.Counter("rebuilds"),
+		quarantines:      s.Counter("quarantines"),
+		quarantineClears: s.Counter("quarantine_clears"),
+		subsAdded:        s.Counter("subs_added"),
+		subsRemoved:      s.Counter("subs_removed"),
+		liveGroups:       s.Gauge("live_groups"),
+	}
+	e.tel.liveGroups.Set(int64(len(e.groupNodes)))
 }
 
 // New builds an Engine over a network, a subscription set, and a training
@@ -132,8 +176,15 @@ func NewFromWorld(w *workload.World, train []workload.Event, cfg Config) (*Engin
 	return New(w.Graph, w.Axes, w.Subs, train, cfg)
 }
 
+// clearQuarantines drops all quarantines, counting the churn.
+func (e *Engine) clearQuarantines() {
+	e.tel.quarantineClears.Add(int64(len(e.quarantined)))
+	e.quarantined = nil
+}
+
 // rebuild reconstructs every index and the multicast groups from scratch.
 func (e *Engine) rebuild() error {
+	e.tel.rebuilds.Inc()
 	w, err := workload.NewCustomWorld(e.graph, e.axes, e.subs)
 	if err != nil {
 		return fmt.Errorf("core: world: %w", err)
@@ -170,7 +221,8 @@ func (e *Engine) rebuild() error {
 			e.groupNodes[i] = g.NodesOf(w)
 			e.overlays[i] = e.model.BuildOverlay(e.groupNodes[i])
 		}
-		e.quarantined = nil
+		e.clearQuarantines()
+		e.tel.liveGroups.Set(int64(len(e.groupNodes)))
 		e.stale = false
 		return nil
 	}
@@ -211,7 +263,8 @@ func (e *Engine) adoptGridAssignment(in *cluster.Input, assign cluster.Assignmen
 		e.groupNodes[i] = res.Groups[i].NodesOf(e.world)
 		e.overlays[i] = e.model.BuildOverlay(e.groupNodes[i])
 	}
-	e.quarantined = nil
+	e.clearQuarantines()
+	e.tel.liveGroups.Set(int64(len(e.groupNodes)))
 	e.stale = false
 	return nil
 }
@@ -253,6 +306,9 @@ func (e *Engine) Quarantine(g int) {
 	}
 	if e.quarantined == nil {
 		e.quarantined = make(map[int]bool)
+	}
+	if !e.quarantined[g] {
+		e.tel.quarantines.Inc()
 	}
 	e.quarantined[g] = true
 }

@@ -32,6 +32,11 @@ type Decision struct {
 // unicast and broadcast prices and downgrades or upgrades the method to
 // the cheapest (the §1 distribution-method decision).
 func (e *Engine) Decide(ev workload.Event) Decision {
+	// Guard the clock read so an uninstrumented engine pays nothing.
+	if e.tel.decideNs != nil {
+		defer e.tel.decideNs.Start()()
+		e.tel.decides.Inc()
+	}
 	d := e.decideStatic(ev)
 	if !e.cfg.DynamicMethod {
 		return d

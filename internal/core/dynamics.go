@@ -31,6 +31,7 @@ func (e *Engine) AddSubscription(s workload.Subscription) (int, error) {
 	e.world.Subs = append(e.world.Subs, s)
 	e.live[slot] = true
 	e.stale = true
+	e.tel.subsAdded.Inc()
 	return slot, nil
 }
 
@@ -46,6 +47,7 @@ func (e *Engine) RemoveSubscription(slot int) error {
 	}
 	delete(e.live, slot)
 	e.stale = true
+	e.tel.subsRemoved.Inc()
 	return nil
 }
 
@@ -55,6 +57,10 @@ func (e *Engine) RemoveSubscription(slot int) error {
 // the cheap dynamic update the paper recommends iterative clustering for.
 // Otherwise groups are rebuilt from scratch.
 func (e *Engine) Refresh(warmIters int) error {
+	if e.tel.refreshNs != nil {
+		defer e.tel.refreshNs.Start()()
+		e.tel.refreshes.Inc()
+	}
 	// Compact the live subscriptions into the canonical slice.
 	subs := make([]workload.Subscription, 0, len(e.live))
 	for slot := 0; slot < len(e.world.Subs); slot++ {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"text/tabwriter"
+	"time"
 
 	"repro/internal/broker"
 	"repro/internal/cluster"
@@ -22,6 +23,13 @@ type FaultPoint struct {
 	Predicted float64 // expected transmissions per delivery, closed form
 	Observed  float64 // 1 + Retries/Deliveries, measured
 	Delivered float64 // fraction of interested deliveries completed
+
+	// Delivery-latency distribution (publish → consumer ack), read from the
+	// broker's deliver_latency_ns histogram. Retries and degradations push
+	// the tail far beyond the mean — see EXPERIMENTS.md.
+	LatencyMean time.Duration
+	LatencyP50  time.Duration
+	LatencyP99  time.Duration
 }
 
 // FaultSweepConfig parameterises the fault sweep.
@@ -96,6 +104,11 @@ func RunFaultSweep(env *StockEnv, cfg FaultSweepConfig) ([]FaultPoint, error) {
 		if want := st.Deliveries + st.Lost + st.Offline; want > 0 {
 			pt.Delivered = float64(st.Deliveries) / float64(want)
 		}
+		if hs, ok := b.Telemetry().Snapshot()["broker"].Histograms["deliver_latency_ns"]; ok {
+			pt.LatencyMean = time.Duration(hs.Mean)
+			pt.LatencyP50 = time.Duration(hs.P50)
+			pt.LatencyP99 = time.Duration(hs.P99)
+		}
 		pts = append(pts, pt)
 	}
 	return pts, nil
@@ -105,25 +118,27 @@ func RunFaultSweep(env *StockEnv, cfg FaultSweepConfig) ([]FaultPoint, error) {
 func RenderFaultSweep(w io.Writer, title string, pts []FaultPoint) error {
 	fmt.Fprintf(w, "%s\n", title)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "drop %\tdelivered %\tretries\tredelivered\tdegraded\tdeduped\tlost\toverhead\tpredicted")
+	fmt.Fprintln(tw, "drop %\tdelivered %\tretries\tredelivered\tdegraded\tdeduped\tlost\toverhead\tpredicted\tlat p50\tlat p99")
 	for _, p := range pts {
-		fmt.Fprintf(tw, "%.0f\t%.1f\t%d\t%d\t%d\t%d\t%d\t%.2f\t%.2f\n",
+		fmt.Fprintf(tw, "%.0f\t%.1f\t%d\t%d\t%d\t%d\t%d\t%.2f\t%.2f\t%v\t%v\n",
 			p.DropProb*100, p.Delivered*100, p.Stats.Retries, p.Stats.Redelivered,
-			p.Stats.Degraded, p.Stats.Deduped, p.Stats.Lost, p.Observed, p.Predicted)
+			p.Stats.Degraded, p.Stats.Deduped, p.Stats.Lost, p.Observed, p.Predicted,
+			p.LatencyP50.Round(time.Microsecond), p.LatencyP99.Round(time.Microsecond))
 	}
 	return tw.Flush()
 }
 
 // RenderFaultSweepCSV writes the fault sweep as CSV.
 func RenderFaultSweepCSV(w io.Writer, pts []FaultPoint) error {
-	if _, err := fmt.Fprintln(w, "drop_prob,delivered,retries,redelivered,degraded,deduped,quarantined,lost,observed_overhead,predicted_overhead"); err != nil {
+	if _, err := fmt.Fprintln(w, "drop_prob,delivered,retries,redelivered,degraded,deduped,quarantined,lost,observed_overhead,predicted_overhead,lat_mean_ns,lat_p50_ns,lat_p99_ns"); err != nil {
 		return err
 	}
 	for _, p := range pts {
-		if _, err := fmt.Fprintf(w, "%.3f,%.4f,%d,%d,%d,%d,%d,%d,%.4f,%.4f\n",
+		if _, err := fmt.Fprintf(w, "%.3f,%.4f,%d,%d,%d,%d,%d,%d,%.4f,%.4f,%d,%d,%d\n",
 			p.DropProb, p.Delivered, p.Stats.Retries, p.Stats.Redelivered,
 			p.Stats.Degraded, p.Stats.Deduped, p.Stats.Quarantined, p.Stats.Lost,
-			p.Observed, p.Predicted); err != nil {
+			p.Observed, p.Predicted,
+			p.LatencyMean.Nanoseconds(), p.LatencyP50.Nanoseconds(), p.LatencyP99.Nanoseconds()); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/matching"
+	"repro/internal/noloss"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// costBuckets builds linear cost buckets anchored to the environment's
+// baselines: the range [0, ~1.3×max(unicast, broadcast)] covers every
+// sensible per-event delivery cost, and anything pricier lands in the
+// overflow bucket.
+func costBuckets(b sim.Baselines) telemetry.Buckets {
+	hi := b.Unicast
+	if b.Broadcast > hi {
+		hi = b.Broadcast
+	}
+	if hi <= 0 {
+		hi = 1
+	}
+	return telemetry.LinearBuckets(0, hi/24, 32)
+}
+
+// fig7Scope holds the per-algorithm instruments of an observed Figure 7
+// run.
+type fig7Scope struct {
+	net       *telemetry.Histogram
+	app       *telemetry.Histogram
+	clusterNs *telemetry.Histogram
+	events    *telemetry.Counter
+}
+
+func newFig7Scope(reg *telemetry.Registry, alg string, b sim.Baselines) fig7Scope {
+	s := reg.Scope("fig7/" + alg)
+	return fig7Scope{
+		net:       s.Histogram("net_cost", costBuckets(b)),
+		app:       s.Histogram("app_cost", costBuckets(b)),
+		clusterNs: s.Histogram("cluster_ns", telemetry.LatencyBuckets()),
+		events:    s.Counter("events"),
+	}
+}
+
+// observe is a sim.Options.Observe hook feeding the scope's histograms.
+func (fs fig7Scope) observe(net, app float64) {
+	fs.events.Inc()
+	fs.net.Observe(net)
+	fs.app.Observe(app)
+}
+
+// RunFig7Observed is RunFig7 with telemetry: per-algorithm scopes
+// ("fig7/<alg>") collect the full per-event cost distributions (net_cost,
+// app_cost linear histograms scaled to the baselines), clustering wall
+// times (cluster_ns) and replayed event counts, and the environment's
+// matcher is wrapped with matching.Instrument under scope "matching"
+// (stabbing latency, candidates-vs-matches waste). The returned points are
+// identical to RunFig7's; a nil registry reproduces RunFig7 exactly.
+func RunFig7Observed(env *StockEnv, ks []int, specs []AlgorithmSpec, nolossCfg noloss.Config, reg *telemetry.Registry) ([]Fig7Point, error) {
+	if reg == nil {
+		return RunFig7(env, ks, specs, nolossCfg)
+	}
+	if len(ks) == 0 {
+		ks = DefaultKs()
+	}
+	if specs == nil {
+		specs = DefaultAlgorithms()
+	}
+
+	// Instrument the matcher on a shallow env copy so the caller's env is
+	// untouched; every replay below stabs through the wrapper.
+	ienv := *env
+	ienv.Matcher = matching.Instrument(env.Matcher, reg.Scope("matching"))
+
+	var out []Fig7Point
+	for _, spec := range specs {
+		fs := newFig7Scope(reg, spec.Alg.Name(), env.Baselines)
+		for _, k := range ks {
+			costs, elapsed, err := ienv.runGrid(spec, k, sim.Options{Observe: fs.observe})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig7 %s k=%d: %w", spec.Alg.Name(), k, err)
+			}
+			fs.clusterNs.ObserveDuration(elapsed)
+			out = append(out, Fig7Point{
+				Alg:      spec.Alg.Name(),
+				K:        k,
+				Network:  sim.Improvement(env.Baselines, costs.Network),
+				AppLevel: sim.Improvement(env.Baselines, costs.AppLevel),
+			})
+		}
+	}
+
+	nres, err := noloss.Build(env.World, env.Train, nolossCfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig7 no-loss build: %w", err)
+	}
+	fs := newFig7Scope(reg, "no-loss", env.Baselines)
+	for _, k := range ks {
+		costs, err := sim.EvaluateNoLossObserved(env.Model, env.World, nres, k, ienv.Matcher, env.Eval, fs.observe)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig7 no-loss k=%d: %w", k, err)
+		}
+		out = append(out, Fig7Point{
+			Alg:      "no-loss",
+			K:        k,
+			Network:  sim.Improvement(env.Baselines, costs.Network),
+			AppLevel: sim.Improvement(env.Baselines, costs.AppLevel),
+		})
+	}
+	return out, nil
+}

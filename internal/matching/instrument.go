@@ -1,0 +1,94 @@
+package matching
+
+import (
+	"repro/internal/space"
+	"repro/internal/telemetry"
+)
+
+// CandidateMatcher is an optional SubscriptionMatcher extension for
+// matchers that scan a candidate set wider than the exact result (the
+// brute-force oracle scans everything, the grid prefilter scans one cell's
+// worth). MatchCandidates reports how many subscriptions were considered so
+// the instrumented wrapper can expose the candidates-vs-matches waste
+// ratio. Tree-backed matchers prune exactly and do not implement it.
+type CandidateMatcher interface {
+	SubscriptionMatcher
+	// MatchCandidates behaves like Match and additionally returns the
+	// number of subscriptions examined to produce the result.
+	MatchCandidates(p space.Point) (matches []int, candidates int)
+}
+
+// MatchCandidates implements CandidateMatcher: the oracle always scans the
+// whole subscription population.
+func (b *Brute) MatchCandidates(p space.Point) ([]int, int) {
+	return b.Match(p), len(b.w.Subs)
+}
+
+// MatchCandidates implements CandidateMatcher: the prefilter scans the
+// located cell's posting list (or everything on a grid miss).
+func (g *GridFilter) MatchCandidates(p space.Point) ([]int, int) {
+	id, ok := g.grid.Locate(p)
+	if !ok {
+		return g.Match(p), len(g.w.Subs)
+	}
+	return g.Match(p), len(g.cells[id])
+}
+
+// Instrumented wraps any SubscriptionMatcher with telemetry: per-call
+// stabbing latency (power-of-two buckets), a matches-per-event histogram,
+// and cumulative candidate/match counters whose ratio is the matcher's
+// waste (how many subscriptions were touched per true match). The wrapper
+// is transparent — Match returns exactly what the inner matcher returns.
+type Instrumented struct {
+	inner SubscriptionMatcher
+	cand  CandidateMatcher // nil when inner prunes exactly
+
+	latency    *telemetry.Histogram
+	matchSizes *telemetry.Histogram
+	events     *telemetry.Counter
+	matches    *telemetry.Counter
+	candidates *telemetry.Counter
+}
+
+// Instrument wraps a matcher, publishing metrics into the scope:
+//
+//	stab_latency_ns  histogram  per-Match wall time
+//	matches_per_event histogram  result-set sizes
+//	events           counter    Match calls
+//	matches          counter    total matched subscriptions
+//	candidates       counter    total subscriptions examined
+//
+// With a nil scope the wrapper still works and records nothing.
+func Instrument(sm SubscriptionMatcher, scope *telemetry.Scope) *Instrumented {
+	m := &Instrumented{
+		inner:      sm,
+		latency:    scope.Histogram("stab_latency_ns", telemetry.LatencyBuckets()),
+		matchSizes: scope.Histogram("matches_per_event", telemetry.PowerOfTwoBuckets(1, 12)),
+		events:     scope.Counter("events"),
+		matches:    scope.Counter("matches"),
+		candidates: scope.Counter("candidates"),
+	}
+	if cm, ok := sm.(CandidateMatcher); ok {
+		m.cand = cm
+	}
+	return m
+}
+
+// Match implements SubscriptionMatcher.
+func (m *Instrumented) Match(p space.Point) []int {
+	stop := m.latency.Start()
+	var out []int
+	var cand int
+	if m.cand != nil {
+		out, cand = m.cand.MatchCandidates(p)
+	} else {
+		out = m.inner.Match(p)
+		cand = len(out) // exact index: every candidate is a match
+	}
+	stop()
+	m.events.Inc()
+	m.matches.Add(int64(len(out)))
+	m.candidates.Add(int64(cand))
+	m.matchSizes.Observe(float64(len(out)))
+	return out
+}

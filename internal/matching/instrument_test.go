@@ -1,0 +1,127 @@
+package matching
+
+import (
+	"testing"
+
+	"repro/internal/space"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func instrumentWorld(t *testing.T) *workload.World {
+	t.Helper()
+	g, err := topology.Generate(topology.Config{
+		TransitBlocks: 1, TransitPerBlock: 2, StubsPerTransit: 2, NodesPerStub: 5, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.NewStockWorld(g, workload.StockConfig{NumSubscriptions: 120, PubModes: 1, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestInstrumentedMatchesOracle: the wrapper is transparent and its
+// counters reconcile with the oracle's ground truth.
+func TestInstrumentedMatchesOracle(t *testing.T) {
+	w := instrumentWorld(t)
+	oracle := NewBrute(w)
+	rt, err := NewRTree(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	im := Instrument(rt, reg.Scope("matching"))
+
+	events := w.Events(200, 13)
+	totalMatches := int64(0)
+	for _, ev := range events {
+		got := im.Match(ev.Point)
+		want := oracle.Match(ev.Point)
+		if len(got) != len(want) {
+			t.Fatalf("instrumented returned %d matches, oracle %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("match %d: got %d, want %d", i, got[i], want[i])
+			}
+		}
+		totalMatches += int64(len(want))
+	}
+
+	snap := reg.Snapshot()["matching"]
+	if snap.Counters["events"] != int64(len(events)) {
+		t.Fatalf("events counter = %d, want %d", snap.Counters["events"], len(events))
+	}
+	if snap.Counters["matches"] != totalMatches {
+		t.Fatalf("matches counter = %d, want %d", snap.Counters["matches"], totalMatches)
+	}
+	if hs := snap.Histograms["stab_latency_ns"]; hs.Count != int64(len(events)) {
+		t.Fatalf("latency histogram count = %d, want %d", hs.Count, len(events))
+	}
+	if hs := snap.Histograms["matches_per_event"]; hs.Count != int64(len(events)) {
+		t.Fatalf("match-size histogram count = %d, want %d", hs.Count, len(events))
+	}
+}
+
+// TestCandidateCounting: the brute matcher reports the full population as
+// candidates, the grid prefilter a (usually smaller) cell posting list, and
+// candidates never undercount matches.
+func TestCandidateCounting(t *testing.T) {
+	w := instrumentWorld(t)
+	grid, err := space.NewGrid(w.Axes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf, err := NewGridFilter(w, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brute := NewBrute(w)
+
+	events := w.Events(100, 14)
+	for _, ev := range events {
+		bm, bc := brute.MatchCandidates(ev.Point)
+		if bc != len(w.Subs) {
+			t.Fatalf("brute candidates = %d, want %d", bc, len(w.Subs))
+		}
+		gm, gc := gf.MatchCandidates(ev.Point)
+		if len(gm) != len(bm) {
+			t.Fatalf("grid filter found %d matches, oracle %d", len(gm), len(bm))
+		}
+		if gc < len(gm) {
+			t.Fatalf("candidates %d < matches %d", gc, len(gm))
+		}
+		if gc > len(w.Subs) {
+			t.Fatalf("candidates %d > population %d", gc, len(w.Subs))
+		}
+	}
+
+	// The waste ratio must actually flow into the registry.
+	reg := telemetry.NewRegistry()
+	im := Instrument(gf, reg.Scope("matching"))
+	for _, ev := range events {
+		im.Match(ev.Point)
+	}
+	snap := reg.Snapshot()["matching"]
+	if snap.Counters["candidates"] < snap.Counters["matches"] {
+		t.Fatalf("candidates %d < matches %d in registry",
+			snap.Counters["candidates"], snap.Counters["matches"])
+	}
+}
+
+// TestInstrumentNilScope: a nil scope records nothing but stays correct.
+func TestInstrumentNilScope(t *testing.T) {
+	w := instrumentWorld(t)
+	im := Instrument(NewBrute(w), nil)
+	for _, ev := range w.Events(20, 15) {
+		got := im.Match(ev.Point)
+		want := NewBrute(w).Match(ev.Point)
+		if len(got) != len(want) {
+			t.Fatalf("nil-scope wrapper changed results: %d vs %d", len(got), len(want))
+		}
+	}
+}

@@ -74,6 +74,11 @@ type Options struct {
 	// event is unicast to the interested members instead of multicast to
 	// the group. 0 disables the optimisation (always multicast).
 	Threshold float64
+	// Observe, when non-nil, is called once per replayed event with that
+	// event's (un-averaged) network and app-level costs — the hook the
+	// telemetry layer uses to feed per-event cost histograms without
+	// changing the accounting.
+	Observe func(network, appLevel float64)
 }
 
 // EvaluateGrid replays events against a grid-based clustering result.
@@ -111,16 +116,21 @@ func EvaluateGrid(m *multicast.Model, w *workload.World, grid *space.Grid, res *
 				ok = false // below threshold: unicast to interested only
 			}
 		}
+		var net, app float64
 		if !ok {
 			u := unicastNodes(m, e.Pub, nodes)
-			c.Network += u
-			c.AppLevel += u
-			continue
+			net, app = u, u
+		} else {
+			// Grid groups cover every interested subscriber of a clustered
+			// cell by construction; no remainder unicast is needed.
+			net = m.SPTCoverCost(e.Pub, groupNodes[g])
+			app = m.ALMCost(e.Pub, overlays[g])
 		}
-		c.Network += m.SPTCoverCost(e.Pub, groupNodes[g])
-		c.AppLevel += m.ALMCost(e.Pub, overlays[g])
-		// Grid groups cover every interested subscriber of a clustered
-		// cell by construction; no remainder unicast is needed.
+		c.Network += net
+		c.AppLevel += app
+		if opts.Observe != nil {
+			opts.Observe(net, app)
+		}
 	}
 	n := float64(len(events))
 	c.Network /= n
@@ -131,6 +141,12 @@ func EvaluateGrid(m *multicast.Model, w *workload.World, grid *space.Grid, res *
 // EvaluateNoLoss replays events against the top-k groups of a No-Loss
 // result. Interested nodes outside the routed group are unicast.
 func EvaluateNoLoss(m *multicast.Model, w *workload.World, res *noloss.Result, k int, sm matching.SubscriptionMatcher, events []workload.Event) (Costs, error) {
+	return EvaluateNoLossObserved(m, w, res, k, sm, events, nil)
+}
+
+// EvaluateNoLossObserved is EvaluateNoLoss with a per-event cost hook (see
+// Options.Observe). A nil observe reproduces EvaluateNoLoss exactly.
+func EvaluateNoLossObserved(m *multicast.Model, w *workload.World, res *noloss.Result, k int, sm matching.SubscriptionMatcher, events []workload.Event, observe func(network, appLevel float64)) (Costs, error) {
 	if len(events) == 0 {
 		return Costs{}, fmt.Errorf("sim: no events")
 	}
@@ -150,23 +166,28 @@ func EvaluateNoLoss(m *multicast.Model, w *workload.World, res *noloss.Result, k
 	for _, e := range events {
 		nodes := matching.InterestedNodes(w, sm.Match(e.Point))
 		g, ok := idx.GroupFor(e.Point)
+		var net, app float64
 		if !ok {
 			u := unicastNodes(m, e.Pub, nodes)
-			c.Network += u
-			c.AppLevel += u
-			continue
-		}
-		// Multicast to the group, unicast the uncovered remainder.
-		var rest []topology.NodeID
-		for _, n := range nodes {
-			si, ok := w.SubscriberIndex(n)
-			if !ok || !groups[g].Members.Test(si) {
-				rest = append(rest, n)
+			net, app = u, u
+		} else {
+			// Multicast to the group, unicast the uncovered remainder.
+			var rest []topology.NodeID
+			for _, n := range nodes {
+				si, ok := w.SubscriberIndex(n)
+				if !ok || !groups[g].Members.Test(si) {
+					rest = append(rest, n)
+				}
 			}
+			u := unicastNodes(m, e.Pub, rest)
+			net = m.SPTCoverCost(e.Pub, groupNodes[g]) + u
+			app = m.ALMCost(e.Pub, overlays[g]) + u
 		}
-		u := unicastNodes(m, e.Pub, rest)
-		c.Network += m.SPTCoverCost(e.Pub, groupNodes[g]) + u
-		c.AppLevel += m.ALMCost(e.Pub, overlays[g]) + u
+		c.Network += net
+		c.AppLevel += app
+		if observe != nil {
+			observe(net, app)
+		}
 	}
 	n := float64(len(events))
 	c.Network /= n

@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WriteJSON writes the registry snapshot as indented JSON — the
+// expvar-style machine-readable export. Map keys serialise in sorted order
+// (encoding/json sorts them), so output is deterministic for a given
+// snapshot.
+func WriteJSON(w io.Writer, r *Registry) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// promName flattens "scope" + "metric" into a Prometheus-legal metric name:
+// repro_<scope>_<metric> with every non-[a-zA-Z0-9_] byte mapped to '_'.
+func promName(scope, metric string) string {
+	var b strings.Builder
+	b.WriteString("repro_")
+	for _, s := range []string{scope, "_", metric} {
+		for _, c := range s {
+			switch {
+			case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+				b.WriteRune(c)
+			default:
+				b.WriteByte('_')
+			}
+		}
+	}
+	return b.String()
+}
+
+// promFloat formats a float in Prometheus exposition syntax.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus writes the registry snapshot in Prometheus text
+// exposition format (version 0.0.4): counters as counter, gauges as gauge,
+// histograms as cumulative _bucket/_sum/_count series.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	snap := r.Snapshot()
+	for _, scope := range sortedKeys(snap) {
+		ss := snap[scope]
+		for _, name := range sortedKeys(ss.Counters) {
+			mn := promName(scope, name)
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", mn, mn, ss.Counters[name]); err != nil {
+				return err
+			}
+		}
+		for _, name := range sortedKeys(ss.Gauges) {
+			mn := promName(scope, name)
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", mn, mn, ss.Gauges[name]); err != nil {
+				return err
+			}
+		}
+		for _, name := range sortedKeys(ss.Histograms) {
+			hs := ss.Histograms[name]
+			mn := promName(scope, name)
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", mn); err != nil {
+				return err
+			}
+			cum := int64(0)
+			for i, c := range hs.Counts {
+				cum += c
+				le := "+Inf"
+				if i < len(hs.Bounds) {
+					le = promFloat(hs.Bounds[i])
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", mn, le, cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", mn, promFloat(hs.Sum), mn, hs.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

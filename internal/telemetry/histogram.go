@@ -1,0 +1,183 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Buckets is a histogram bucket layout: ascending finite upper bounds, with
+// an implicit +Inf overflow bucket appended at record time. Layouts are
+// fixed at histogram creation so recording never allocates.
+type Buckets struct {
+	bounds []float64
+}
+
+// Bounds returns a copy of the finite upper bounds.
+func (b Buckets) Bounds() []float64 {
+	return append([]float64(nil), b.bounds...)
+}
+
+// PowerOfTwoBuckets returns n buckets with upper bounds lo, 2·lo, 4·lo, …,
+// lo·2^(n-1) — the latency layout: constant relative error across orders of
+// magnitude. Panics on lo ≤ 0 or n < 1 (bucket layouts are compile-time
+// decisions; a bad one is a programming error).
+func PowerOfTwoBuckets(lo float64, n int) Buckets {
+	if lo <= 0 || n < 1 {
+		panic(fmt.Sprintf("telemetry: PowerOfTwoBuckets(%v, %d)", lo, n))
+	}
+	bounds := make([]float64, n)
+	for i := range bounds {
+		bounds[i] = lo * math.Pow(2, float64(i))
+	}
+	return Buckets{bounds: bounds}
+}
+
+// LatencyBuckets is the standard layout for durations in nanoseconds:
+// 1µs · 2^i for 24 buckets, covering 1µs to ~8.4s.
+func LatencyBuckets() Buckets {
+	return PowerOfTwoBuckets(1000, 24)
+}
+
+// LinearBuckets returns n buckets with upper bounds start+width,
+// start+2·width, …, start+n·width — the cost layout: uniform absolute
+// resolution over a known range. Panics on width ≤ 0 or n < 1.
+func LinearBuckets(start, width float64, n int) Buckets {
+	if width <= 0 || n < 1 {
+		panic(fmt.Sprintf("telemetry: LinearBuckets(%v, %v, %d)", start, width, n))
+	}
+	bounds := make([]float64, n)
+	for i := range bounds {
+		bounds[i] = start + width*float64(i+1)
+	}
+	return Buckets{bounds: bounds}
+}
+
+// Histogram counts observations into fixed buckets. Recording is lock-free:
+// one atomic add on the bucket, one on the count, one CAS loop on the sum.
+// Obtain histograms from a Scope; all methods are nil-safe.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf overflow
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+}
+
+func newHistogram(b Buckets) *Histogram {
+	bounds := append([]float64(nil), b.bounds...)
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: bucket bounds not ascending at %d: %v", i, bounds))
+		}
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one value. NaN observations are dropped.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v (bounds are upper-inclusive)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(float64(d))
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Counts[i] holds
+// observations v with Bounds[i-1] < v ≤ Bounds[i]; the last entry is the
+// +Inf overflow bucket.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	// Mean and the quantiles are derived at snapshot time for exports.
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+}
+
+// Snapshot copies the histogram's current state. Bucket counts are loaded
+// individually while writers keep running, so the copy can be mid-update
+// across buckets, but Count is loaded first and never exceeds the sum of
+// the copied bucket counts — successive snapshots are monotone in Count and
+// in every bucket.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	if s.Count > 0 {
+		s.Mean = s.Sum / float64(s.Count)
+	}
+	s.P50 = s.Quantile(0.50)
+	s.P95 = s.Quantile(0.95)
+	s.P99 = s.Quantile(0.99)
+	return s
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// inside the bucket containing the target rank. Values in the overflow
+// bucket are reported as the largest finite bound. Returns 0 for an empty
+// histogram.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	total := int64(0)
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i, c := range s.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			return s.Bounds[len(s.Bounds)-1] // overflow: clamp to last finite bound
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		frac := (rank - prev) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}

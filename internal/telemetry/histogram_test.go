@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestBucketLayouts(t *testing.T) {
+	p := PowerOfTwoBuckets(1000, 5).Bounds()
+	want := []float64{1000, 2000, 4000, 8000, 16000}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("PowerOfTwoBuckets bound %d = %v, want %v", i, p[i], want[i])
+		}
+	}
+	l := LinearBuckets(0, 25, 4).Bounds()
+	want = []float64{25, 50, 75, 100}
+	for i := range want {
+		if l[i] != want[i] {
+			t.Fatalf("LinearBuckets bound %d = %v, want %v", i, l[i], want[i])
+		}
+	}
+	for _, fn := range []func(){
+		func() { PowerOfTwoBuckets(0, 3) },
+		func() { PowerOfTwoBuckets(1, 0) },
+		func() { LinearBuckets(0, 0, 3) },
+		func() { LinearBuckets(0, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid bucket layout did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestHistogramInvariants is the property test: for random observation
+// sets, (a) the bucket counts always sum to the total count, (b) every
+// observation lands in the unique bucket whose bound range contains it,
+// (c) Sum equals the sum of observations, and (d) the quantile estimate is
+// bracketed by the true bucket containing the exact quantile.
+func TestHistogramInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var b Buckets
+		if trial%2 == 0 {
+			b = PowerOfTwoBuckets(1+rng.Float64()*10, 1+rng.Intn(20))
+		} else {
+			b = LinearBuckets(rng.Float64()*10, 0.5+rng.Float64()*20, 1+rng.Intn(30))
+		}
+		h := newHistogram(b)
+		bounds := b.Bounds()
+		n := rng.Intn(500)
+		vals := make([]float64, n)
+		sum := 0.0
+		wantBuckets := make([]int64, len(bounds)+1)
+		for i := range vals {
+			v := rng.Float64() * bounds[len(bounds)-1] * 1.5 // spill into overflow sometimes
+			vals[i] = v
+			sum += v
+			h.Observe(v)
+			wantBuckets[sort.SearchFloat64s(bounds, v)]++
+		}
+		s := h.Snapshot()
+
+		var total int64
+		for i, c := range s.Counts {
+			total += c
+			if c != wantBuckets[i] {
+				t.Fatalf("trial %d: bucket %d = %d, want %d", trial, i, c, wantBuckets[i])
+			}
+		}
+		if total != s.Count || s.Count != int64(n) {
+			t.Fatalf("trial %d: bucket sum %d, count %d, observed %d", trial, total, s.Count, n)
+		}
+		if math.Abs(s.Sum-sum) > 1e-6*math.Max(1, math.Abs(sum)) {
+			t.Fatalf("trial %d: sum = %v, want %v", trial, s.Sum, sum)
+		}
+		if n > 0 && math.Abs(s.Mean-sum/float64(n)) > 1e-9*math.Max(1, math.Abs(s.Mean)) {
+			t.Fatalf("trial %d: mean = %v, want %v", trial, s.Mean, sum/float64(n))
+		}
+
+		// Quantile bracketing: the estimate must lie within the bucket that
+		// contains the exact empirical quantile.
+		if n > 0 {
+			sort.Float64s(vals)
+			for _, q := range []float64{0, 0.25, 0.5, 0.95, 0.99, 1} {
+				est := s.Quantile(q)
+				rank := int(math.Ceil(q*float64(n))) - 1
+				if rank < 0 {
+					rank = 0
+				}
+				exact := vals[rank]
+				bi := sort.SearchFloat64s(bounds, exact)
+				lo, hi := 0.0, math.Inf(1)
+				if bi > 0 {
+					lo = bounds[bi-1]
+				}
+				if bi < len(bounds) {
+					hi = bounds[bi]
+				} else {
+					// Overflow values are clamped to the last finite bound.
+					lo, hi = bounds[len(bounds)-1], bounds[len(bounds)-1]
+				}
+				if est < lo-1e-9 || est > hi+1e-9 {
+					t.Fatalf("trial %d: q=%v estimate %v outside bucket [%v, %v] of exact %v",
+						trial, q, est, lo, hi, exact)
+				}
+			}
+		}
+	}
+}
+
+func TestHistogramDropsNaN(t *testing.T) {
+	h := newHistogram(LinearBuckets(0, 1, 2))
+	h.Observe(math.NaN())
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatalf("NaN was recorded: %+v", s)
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	h := newHistogram(LinearBuckets(0, 1, 2))
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+}
+
+func TestObserveDurationUsesNanoseconds(t *testing.T) {
+	h := newHistogram(LatencyBuckets())
+	h.ObserveDuration(3 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Sum != 3e6 {
+		t.Fatalf("duration recorded as %+v, want one 3e6ns observation", s)
+	}
+}
+
+func TestStartRecordsElapsed(t *testing.T) {
+	h := newHistogram(LatencyBuckets())
+	stop := h.Start()
+	time.Sleep(time.Millisecond)
+	d := stop()
+	if d < time.Millisecond {
+		t.Fatalf("stop returned %v, slept 1ms", d)
+	}
+	if s := h.Snapshot(); s.Count != 1 || s.Sum < 1e6 {
+		t.Fatalf("timer recorded %+v", s)
+	}
+}

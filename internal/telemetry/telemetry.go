@@ -1,0 +1,265 @@
+// Package telemetry is the observability layer of the delivery fabric:
+// lock-free counters, gauges and fixed-bucket histograms organised into
+// named scopes, an optional ring-buffer trace recorder for per-event
+// lifecycle spans, and exporters (expvar-style JSON, Prometheus text
+// exposition, an opt-in HTTP server with pprof).
+//
+// Design constraints, in order:
+//
+//   - zero external dependencies — everything is stdlib;
+//   - negligible hot-path cost — recording a metric is one atomic add (plus
+//     a binary search over a handful of bucket bounds for histograms), and
+//     every instrument is nil-safe so un-instrumented components pay a
+//     single predictable branch;
+//   - snapshot-on-read — readers never block writers; a snapshot is a
+//     consistent-enough copy assembled from atomic loads, and successive
+//     snapshots of any counter are monotone non-decreasing.
+//
+// Instruments are interned per scope: asking a Scope for the same name
+// twice returns the same instrument, so components cache the pointer once
+// at construction and the map lookup never appears on the hot path.
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotone non-decreasing integer. The zero value is unusable;
+// obtain counters from a Scope. All methods are safe for concurrent use and
+// nil-safe (a nil counter ignores writes and reads as zero).
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increments the counter by n (n must be ≥ 0 to preserve monotonicity;
+// negative deltas are ignored).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous integer level (queue depth, live groups). Safe
+// for concurrent use and nil-safe.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the current level.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add moves the level by n (may be negative).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Scope is one component's namespace inside a Registry (broker, matching,
+// core, sim, ...). Instruments are interned by name.
+type Scope struct {
+	name string
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// Name returns the scope's namespace.
+func (s *Scope) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Counter returns the named counter, creating it on first use. Returns nil
+// on a nil scope, so callers can hold optional scopes without branching.
+func (s *Scope) Counter(name string) *Counter {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.counters[name]
+	if !ok {
+		c = &Counter{}
+		s.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (s *Scope) Gauge(name string) *Gauge {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		s.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given buckets
+// on first use. A later call with different buckets returns the existing
+// histogram unchanged (first writer wins).
+func (s *Scope) Histogram(name string, b Buckets) *Histogram {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.hists[name]
+	if !ok {
+		h = newHistogram(b)
+		s.hists[name] = h
+	}
+	return h
+}
+
+// Registry is a set of named scopes. The zero value is not usable; create
+// with NewRegistry. A nil registry hands out nil scopes, which hand out nil
+// instruments — fully instrumented code runs unchanged with telemetry off.
+type Registry struct {
+	mu     sync.Mutex
+	scopes map[string]*Scope
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{scopes: make(map[string]*Scope)}
+}
+
+// Scope returns the named scope, creating it on first use. Nil-safe.
+func (r *Registry) Scope(name string) *Scope {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.scopes[name]
+	if !ok {
+		s = &Scope{
+			name:     name,
+			counters: make(map[string]*Counter),
+			gauges:   make(map[string]*Gauge),
+			hists:    make(map[string]*Histogram),
+		}
+		r.scopes[name] = s
+	}
+	return s
+}
+
+// ScopeSnapshot is the read-side view of one scope.
+type ScopeSnapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot is the read-side view of a whole registry, keyed by scope name.
+type Snapshot map[string]ScopeSnapshot
+
+// Snapshot captures every instrument's current value. Each value is an
+// atomic load, so individual counters are monotone across successive
+// snapshots; the snapshot as a whole is taken while writers keep running
+// and does not freeze cross-metric relationships.
+func (r *Registry) Snapshot() Snapshot {
+	out := Snapshot{}
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	scopes := make([]*Scope, 0, len(r.scopes))
+	for _, s := range r.scopes {
+		scopes = append(scopes, s)
+	}
+	r.mu.Unlock()
+	for _, s := range scopes {
+		s.mu.Lock()
+		ss := ScopeSnapshot{}
+		if len(s.counters) > 0 {
+			ss.Counters = make(map[string]int64, len(s.counters))
+			for name, c := range s.counters {
+				ss.Counters[name] = c.Value()
+			}
+		}
+		if len(s.gauges) > 0 {
+			ss.Gauges = make(map[string]int64, len(s.gauges))
+			for name, g := range s.gauges {
+				ss.Gauges[name] = g.Value()
+			}
+		}
+		if len(s.hists) > 0 {
+			ss.Histograms = make(map[string]HistogramSnapshot, len(s.hists))
+			for name, h := range s.hists {
+				ss.Histograms[name] = h.Snapshot()
+			}
+		}
+		name := s.name
+		s.mu.Unlock()
+		out[name] = ss
+	}
+	return out
+}
+
+// sortedKeys returns map keys in lexical order, for deterministic exports.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Timer measures one operation's wall time into a histogram:
+//
+//	defer scope.Histogram("refresh_ns", LatencyBuckets()).Start()()
+type stopFunc func() time.Duration
+
+// Start begins timing; the returned func records the elapsed nanoseconds
+// into the histogram and returns the duration. Nil-safe: on a nil histogram
+// nothing is recorded (the duration is still measured and returned).
+func (h *Histogram) Start() stopFunc {
+	t0 := time.Now()
+	return func() time.Duration {
+		d := time.Since(t0)
+		h.ObserveDuration(d)
+		return d
+	}
+}

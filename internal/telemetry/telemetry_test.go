@@ -1,0 +1,189 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestScopeInternsInstruments(t *testing.T) {
+	r := NewRegistry()
+	s := r.Scope("broker")
+	if s != r.Scope("broker") {
+		t.Fatal("same scope name returned different scopes")
+	}
+	if s.Counter("published") != s.Counter("published") {
+		t.Fatal("same counter name returned different counters")
+	}
+	if s.Gauge("depth") != s.Gauge("depth") {
+		t.Fatal("same gauge name returned different gauges")
+	}
+	if s.Histogram("lat", LatencyBuckets()) != s.Histogram("lat", LinearBuckets(0, 1, 4)) {
+		t.Fatal("histogram was not interned on name (first layout must win)")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	s := r.Scope("anything")
+	if s != nil {
+		t.Fatal("nil registry must hand out nil scopes")
+	}
+	c := s.Counter("c")
+	g := s.Gauge("g")
+	h := s.Histogram("h", LatencyBuckets())
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(1.5)
+	h.ObserveDuration(100)
+	h.Start()()
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+	if hs := h.Snapshot(); hs.Count != 0 {
+		t.Fatal("nil histogram snapshot must be empty")
+	}
+	if got := r.Snapshot(); len(got) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+	var tr *Tracer
+	if tr.Sampled(1) || tr.Begin(1) != nil || tr.Traces() != nil {
+		t.Fatal("nil tracer must be inert")
+	}
+}
+
+func TestCounterIgnoresNegative(t *testing.T) {
+	r := NewRegistry()
+	c := r.Scope("s").Counter("c")
+	c.Add(10)
+	c.Add(-4)
+	if got := c.Value(); got != 10 {
+		t.Fatalf("counter = %d after negative add, want 10", got)
+	}
+}
+
+// TestSnapshotMonotone hammers a registry from writer goroutines while a
+// reader takes successive snapshots, asserting no counter or histogram
+// count ever goes backwards.
+func TestSnapshotMonotone(t *testing.T) {
+	r := NewRegistry()
+	s := r.Scope("hot")
+	c := s.Counter("ops")
+	h := s.Histogram("vals", LinearBuckets(0, 10, 8))
+
+	const writers = 4
+	const perWriter = 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				h.Observe(float64(i % 100))
+			}
+		}(w)
+	}
+	go func() { wg.Wait(); close(stop) }()
+
+	prevC := int64(0)
+	prevH := int64(0)
+	prevBuckets := make([]int64, 9)
+	check := func() {
+		snap := r.Snapshot()
+		hot := snap["hot"]
+		if hot.Counters["ops"] < prevC {
+			t.Errorf("counter went backwards: %d -> %d", prevC, hot.Counters["ops"])
+		}
+		prevC = hot.Counters["ops"]
+		hs := hot.Histograms["vals"]
+		if hs.Count < prevH {
+			t.Errorf("histogram count went backwards: %d -> %d", prevH, hs.Count)
+		}
+		prevH = hs.Count
+		for i, b := range hs.Counts {
+			if b < prevBuckets[i] {
+				t.Errorf("bucket %d went backwards: %d -> %d", i, prevBuckets[i], b)
+			}
+			prevBuckets[i] = b
+		}
+	}
+	for {
+		select {
+		case <-stop:
+			check()
+			if want := int64(writers * perWriter); prevC != want {
+				t.Fatalf("final counter = %d, want %d", prevC, want)
+			}
+			if prevH != int64(writers*perWriter) {
+				t.Fatalf("final histogram count = %d, want %d", prevH, writers*perWriter)
+			}
+			return
+		default:
+			check()
+		}
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	r := NewRegistry()
+	s := r.Scope("sim")
+	s.Counter("events").Add(7)
+	s.Gauge("depth").Set(3)
+	s.Histogram("cost", LinearBuckets(0, 100, 4)).Observe(150)
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]ScopeSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	sim := got["sim"]
+	if sim.Counters["events"] != 7 || sim.Gauges["depth"] != 3 {
+		t.Fatalf("unexpected snapshot: %+v", sim)
+	}
+	if hs := sim.Histograms["cost"]; hs.Count != 1 || hs.Sum != 150 {
+		t.Fatalf("unexpected histogram: %+v", hs)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	s := r.Scope("broker")
+	s.Counter("deliveries").Add(42)
+	s.Gauge("queue-depth").Set(5)
+	h := s.Histogram("latency_ns", PowerOfTwoBuckets(1, 3)) // bounds 1, 2, 4
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(100) // overflow
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE repro_broker_deliveries counter",
+		"repro_broker_deliveries 42",
+		"# TYPE repro_broker_queue_depth gauge", // '-' sanitised to '_'
+		"repro_broker_queue_depth 5",
+		"# TYPE repro_broker_latency_ns histogram",
+		`repro_broker_latency_ns_bucket{le="1"} 1`,
+		`repro_broker_latency_ns_bucket{le="2"} 1`,
+		`repro_broker_latency_ns_bucket{le="4"} 2`,
+		`repro_broker_latency_ns_bucket{le="+Inf"} 3`,
+		"repro_broker_latency_ns_sum 104",
+		"repro_broker_latency_ns_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus export missing %q\n%s", want, out)
+		}
+	}
+}

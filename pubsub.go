@@ -45,6 +45,7 @@ import (
 	"repro/internal/multicast"
 	"repro/internal/noloss"
 	"repro/internal/space"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/workload"
 )
@@ -225,8 +226,41 @@ var (
 	WithFaults = broker.WithFaults
 	// WithReliability tunes the retry/backoff protocol.
 	WithReliability = broker.WithReliability
+	// WithTelemetry shares a metrics registry with the broker.
+	WithTelemetry = broker.WithTelemetry
+	// WithTracer records per-event lifecycle traces.
+	WithTracer = broker.WithTracer
 	// ErrBrokerClosed is returned by Publish after Close.
 	ErrBrokerClosed = broker.ErrClosed
+)
+
+// Telemetry: zero-dependency metrics, per-event tracing and exporters (see
+// the Observability section of DESIGN.md).
+type (
+	// MetricsRegistry holds named scopes of counters, gauges and
+	// histograms; snapshots are lock-free and monotone.
+	MetricsRegistry = telemetry.Registry
+	// MetricsSnapshot is a point-in-time read of one scope.
+	MetricsSnapshot = telemetry.ScopeSnapshot
+	// Tracer samples publications deterministically and records their
+	// lifecycle spans into a bounded ring.
+	Tracer = telemetry.Tracer
+	// TracerConfig sizes the ring and sets the sampling rate and seed.
+	TracerConfig = telemetry.TracerConfig
+)
+
+// Telemetry constructors and exporters.
+var (
+	// NewMetricsRegistry creates an empty registry.
+	NewMetricsRegistry = telemetry.NewRegistry
+	// NewTracer builds a trace recorder.
+	NewTracer = telemetry.NewTracer
+	// WriteMetricsJSON dumps a registry snapshot as indented JSON.
+	WriteMetricsJSON = telemetry.WriteJSON
+	// WriteMetricsPrometheus dumps a snapshot in Prometheus text format.
+	WriteMetricsPrometheus = telemetry.WritePrometheus
+	// ServeTelemetry exposes /metrics, /trace and /debug/pprof/ over HTTP.
+	ServeTelemetry = telemetry.Serve
 )
 
 // Fault injection: deterministic drop/duplicate/delay/link-failure/crash
