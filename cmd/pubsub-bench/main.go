@@ -21,6 +21,10 @@
 //	ablation  design-choice studies: Fig 5 threshold, outlier removal,
 //	          last-mile link costs
 //	faults    reliability sweep: broker retry/dedup stats vs drop probability
+//	recovery  self-healing timeline: partition → breaker open → quarantine →
+//	          auto-refresh, with delivered cost and shed rate per window;
+//	          writes results/recovery.csv and results/recovery_metrics.json
+//	          unless -csv / -metrics override the destinations
 //	all       run everything above in order
 //
 // Flags:
@@ -37,6 +41,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -71,7 +76,7 @@ func main() {
 	flag.StringVar(&opt.metrics, "metrics", "", "file for a JSON telemetry snapshot (fig7)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: pubsub-bench [flags] table1|table2|baseline|fig7|fig8|fig9|fig10|fig11|scenarios|ablation|faults|all\n")
+			"usage: pubsub-bench [flags] table1|table2|baseline|fig7|fig8|fig9|fig10|fig11|scenarios|ablation|faults|recovery|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -111,8 +116,10 @@ func run(name string, opt options) error {
 		return runFrontier(opt)
 	case "faults":
 		return runFaults(opt)
+	case "recovery":
+		return runRecovery(opt)
 	case "all":
-		for _, n := range []string{"table1", "table2", "baseline", "fig7", "fig8", "fig9", "fig10", "scenarios", "interest", "frontier", "ablation", "faults"} {
+		for _, n := range []string{"table1", "table2", "baseline", "fig7", "fig8", "fig9", "fig10", "scenarios", "interest", "frontier", "ablation", "faults", "recovery"} {
 			if err := run(n, opt); err != nil {
 				return fmt.Errorf("%s: %w", n, err)
 			}
@@ -513,6 +520,57 @@ func runFaults(opt options) error {
 	return opt.writeCSV("faults.csv", func(f *os.File) error {
 		return experiments.RenderFaultSweepCSV(f, pts)
 	})
+}
+
+// runRecovery drives the self-healing timeline experiment. Unlike the
+// other modes it always produces artifacts: the per-window series lands in
+// results/recovery.csv and the full result (series, phase costs, broker
+// and breaker stats) in results/recovery_metrics.json, unless -csv or
+// -metrics point elsewhere.
+func runRecovery(opt options) error {
+	env, err := experiments.NewStockEnv(opt.envConfig())
+	if err != nil {
+		return err
+	}
+	cfg := experiments.RecoveryConfig{Seed: opt.seed + 300}
+	if opt.quick {
+		cfg.Groups = 12
+		cfg.CellBudget = 300
+		cfg.PhaseEvents = 80
+		cfg.Window = 10
+	}
+	res, err := experiments.RunRecovery(env, cfg)
+	if err != nil {
+		return err
+	}
+	if err := experiments.RenderRecovery(os.Stdout,
+		"Recovery: partition → detection → automatic re-clustering", res); err != nil {
+		return err
+	}
+	o := opt
+	if o.csvDir == "" {
+		o.csvDir = "results"
+	}
+	if err := o.writeCSV("recovery.csv", func(f *os.File) error {
+		return experiments.RenderRecoveryCSV(f, res)
+	}); err != nil {
+		return err
+	}
+	metrics := opt.metrics
+	if metrics == "" {
+		metrics = filepath.Join(o.csvDir, "recovery_metrics.json")
+	}
+	if err := os.MkdirAll(filepath.Dir(metrics), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(metrics)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
 }
 
 func min(a, b int) int {

@@ -34,6 +34,19 @@
 //	-retries N     broker retry bound per delivery (default 4)
 //	-fault-seed N  injector seed (default seed+200)
 //
+// Overload-protection flags (any of them also enables the broker replay
+// and attaches the health subsystem — admission control, per-destination
+// circuit breakers and the self-healing control loop; see the Failure
+// handling lifecycle section of DESIGN.md):
+//
+//	-max-inflight N  bound on events admitted but not yet fanned out
+//	                 (0 = unlimited)
+//	-shed-policy P   overload policy: block (lossless backpressure),
+//	                 reject (fail fast with ErrOverloaded) or shed
+//	                 (drop decided events below the mean fanout)
+//	-auto-refresh    let the control loop re-cluster automatically when
+//	                 failures quarantine groups
+//
 // Observability flags (see the Observability section of DESIGN.md):
 //
 //	-http ADDR     after the replay, serve /metrics (Prometheus),
@@ -48,6 +61,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -57,6 +71,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/health"
 	"repro/internal/matching"
 	"repro/internal/multicast"
 	"repro/internal/noloss"
@@ -87,6 +102,10 @@ type options struct {
 	retries    int
 	faultSeed  int64
 
+	maxInflight int
+	shedPolicy  string
+	autoRefresh bool
+
 	httpAddr  string
 	traceRate float64
 	traceCap  int
@@ -106,6 +125,14 @@ func (o options) validate() error {
 	if o.retries < 0 {
 		return fmt.Errorf("-retries = %d: must be ≥ 0", o.retries)
 	}
+	if o.maxInflight < 0 {
+		return fmt.Errorf("-max-inflight = %d: must be ≥ 0", o.maxInflight)
+	}
+	if o.shedPolicy != "" {
+		if _, err := health.ParsePolicy(o.shedPolicy); err != nil {
+			return fmt.Errorf("-shed-policy: %w", err)
+		}
+	}
 	if o.traceRate < 0 || o.traceRate > 1 {
 		return fmt.Errorf("-trace-rate = %v: must be in [0, 1]", o.traceRate)
 	}
@@ -118,6 +145,29 @@ func (o options) validate() error {
 // faultsRequested reports whether any fault-profile flag is active.
 func (o options) faultsRequested() bool {
 	return o.drop > 0 || o.linkDrop > 0 || o.dup > 0 || o.crashNode >= 0
+}
+
+// healthRequested reports whether any overload-protection flag is active;
+// like the fault flags, any of them enables the broker replay.
+func (o options) healthRequested() bool {
+	return o.maxInflight > 0 || o.shedPolicy != "" || o.autoRefresh
+}
+
+// healthConfig translates the overload-protection flags into a health
+// subsystem configuration, or nil when none are set.
+func (o options) healthConfig() *health.Config {
+	if !o.healthRequested() {
+		return nil
+	}
+	cfg := health.Config{
+		MaxInflight: o.maxInflight,
+		AutoRefresh: o.autoRefresh,
+		Seed:        o.seed,
+	}
+	if o.shedPolicy != "" {
+		cfg.Policy, _ = health.ParsePolicy(o.shedPolicy) // validated already
+	}
+	return &cfg
 }
 
 func main() {
@@ -140,6 +190,9 @@ func main() {
 	flag.Int64Var(&opt.crashUntil, "crash-until", 0, "event index the node recovers at (0 = never)")
 	flag.IntVar(&opt.retries, "retries", 4, "broker retry bound per delivery")
 	flag.Int64Var(&opt.faultSeed, "fault-seed", 0, "fault injector seed (default seed+200)")
+	flag.IntVar(&opt.maxInflight, "max-inflight", 0, "admission bound on in-pipeline events (0 = unlimited)")
+	flag.StringVar(&opt.shedPolicy, "shed-policy", "", "overload policy: block, reject or shed")
+	flag.BoolVar(&opt.autoRefresh, "auto-refresh", false, "re-cluster automatically when failures quarantine groups")
 	flag.StringVar(&opt.httpAddr, "http", "", "serve /metrics, /trace and /debug/pprof/ on this address after the replay")
 	flag.Float64Var(&opt.traceRate, "trace-rate", 1, "fraction of published events traced (deterministic sampling)")
 	flag.IntVar(&opt.traceCap, "trace-cap", 1024, "trace ring-buffer capacity")
@@ -275,7 +328,7 @@ func run(opt options) error {
 	fmt.Printf("            app-level multicast %.0f (%.1f%% improvement)\n",
 		almAvg, sim.Improvement(base, almAvg))
 
-	if opt.faultsRequested() {
+	if opt.faultsRequested() || opt.healthRequested() {
 		if err := runFaulty(opt, engine, eval, totals, n, reg, tracer); err != nil {
 			return err
 		}
@@ -329,16 +382,30 @@ func runFaulty(opt options, engine *core.Engine, eval []workload.Event, totals c
 	if err != nil {
 		return err
 	}
-	b, err := broker.New(engine,
+	opts := []broker.Option{
 		broker.WithFaults(inj),
 		broker.WithReliability(broker.ReliabilityConfig{MaxRetries: opt.retries}),
 		broker.WithTelemetry(reg), // nil keeps the broker's private registry
-		broker.WithTracer(tracer))
+		broker.WithTracer(tracer),
+	}
+	if hc := opt.healthConfig(); hc != nil {
+		h, err := health.New(*hc)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, broker.WithHealth(h))
+	}
+	b, err := broker.New(engine, opts...)
 	if err != nil {
 		return err
 	}
 	for _, ev := range eval {
-		if err := b.Publish(ev); err != nil {
+		switch err := b.Publish(ev); {
+		case err == nil:
+		case errors.Is(err, health.ErrOverloaded):
+			// Counted in Stats.Rejected; overload is part of the report,
+			// not a failure of the replay.
+		default:
 			b.Close()
 			return err
 		}
@@ -360,6 +427,12 @@ func runFaulty(opt options, engine *core.Engine, eval []workload.Event, totals c
 		st.Deliveries, st.Retries, st.Redelivered, st.Deduped)
 	fmt.Printf("            %d degraded, %d quarantined groups, %d offline skips, %d lost\n",
 		st.Degraded, st.Quarantined, st.Offline, st.Lost)
+	if opt.healthRequested() {
+		fmt.Printf("health:     %d rejected, %d shed, %d rate-limited (policy %s, max-inflight %d)\n",
+			st.Rejected, st.Shed, st.RateLimited, opt.healthConfig().Policy, opt.maxInflight)
+		fmt.Printf("            %d breaker opens, %d skips, %d probes, %d auto-refreshes\n",
+			st.BreakerOpens, st.BreakerSkipped, st.Probes, st.AutoRefreshes)
+	}
 	adj := sim.FaultAdjust(sim.Costs{Network: totals.Network / n, AppLevel: totals.AppLevel / n}, opt.drop, opt.retries)
 	fmt.Printf("adjusted:   network multicast %.0f   app-level %.0f (× %.2f retry overhead)\n",
 		adj.Network, adj.AppLevel, sim.ExpectedTransmissions(opt.drop, opt.retries))

@@ -42,6 +42,8 @@ func TestValidateFlags(t *testing.T) {
 		{"retries", func(o *options) { o.retries = -1 }, "-retries"},
 		{"trace-rate", func(o *options) { o.traceRate = 1.01 }, "-trace-rate"},
 		{"trace-cap", func(o *options) { o.traceCap = 0 }, "-trace-cap"},
+		{"max-inflight", func(o *options) { o.maxInflight = -1 }, "-max-inflight"},
+		{"shed-policy", func(o *options) { o.shedPolicy = "bogus" }, "-shed-policy"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -58,6 +60,26 @@ func TestValidateFlags(t *testing.T) {
 	}
 	if err := smallOpts().validate(); err != nil {
 		t.Fatalf("validate rejected sane flags: %v", err)
+	}
+}
+
+// TestHealthReplay: the overload-protection flags alone enable the broker
+// replay, attach the health subsystem, and the run completes even when
+// admission control rejects part of the stream.
+func TestHealthReplay(t *testing.T) {
+	opt := smallOpts()
+	opt.drop = 0 // no fault flags: health flags must trigger the replay
+	opt.maxInflight = 4
+	opt.shedPolicy = "reject"
+	opt.autoRefresh = true
+	if !opt.healthRequested() || opt.faultsRequested() {
+		t.Fatal("flag plumbing wrong")
+	}
+	if err := opt.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(opt); err != nil {
+		t.Fatalf("run: %v", err)
 	}
 }
 

@@ -40,6 +40,23 @@
 // Fan-out workers report persistent failures back to the decision goroutine
 // over a non-blocking quarantine channel; the decision goroutine is the only
 // one that touches the Engine.
+//
+// With a health.Health attached (WithHealth), the broker closes the
+// remaining feedback loops:
+//
+//   - Publish passes through admission control — a token-bucket rate
+//     limiter plus a MaxInflight semaphore over the whole pipeline — and
+//     under the RejectNewest/ShedLowFanout policies returns
+//     health.ErrOverloaded instead of queueing unbounded work;
+//   - each destination gets a circuit breaker fed by delivery outcomes and
+//     ack latencies; deliveries to an open breaker are skipped outright
+//     (and the routed group quarantined) instead of burning retries on a
+//     known-dead path, with jittered probes re-closing the breaker once
+//     the destination recovers;
+//   - a control-loop goroutine watches quarantine fraction, breaker state
+//     and shed/loss counts, and — with hysteresis — asks the decision
+//     goroutine to run an automatic Engine.Refresh, un-quarantining
+//     recovered groups without operator intervention.
 package broker
 
 import (
@@ -51,6 +68,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/health"
 	"repro/internal/multicast"
 	"repro/internal/routing"
 	"repro/internal/telemetry"
@@ -96,6 +114,10 @@ type routed struct {
 	t0 time.Time
 	// trace is the event's sampled lifecycle trace, nil when untraced.
 	trace *telemetry.EventTrace
+	// nodes snapshots the routed group's member nodes at decision time, so
+	// fan-out workers never read the engine — the decision goroutine may
+	// rebuild it (auto-refresh) while earlier events are still in flight.
+	nodes []topology.NodeID
 	// paths maps each destination to its primary routing path (publisher's
 	// SPT); only populated under fault injection.
 	paths map[topology.NodeID][]topology.NodeID
@@ -122,6 +144,15 @@ type Stats struct {
 	Quarantined int64 // groups quarantined after persistent failures
 	Offline     int64 // deliveries skipped because the node was crashed
 	Lost        int64 // deliveries abandoned for live nodes (violations)
+
+	// Overload / self-healing counters — all zero without WithHealth.
+	Shed           int64 // decided events dropped by ShedLowFanout
+	Rejected       int64 // publishes refused with health.ErrOverloaded
+	RateLimited    int64 // rejections specifically from the token bucket
+	BreakerOpens   int64 // breaker open transitions
+	BreakerSkipped int64 // deliveries skipped on an open breaker
+	Probes         int64 // half-open probe deliveries admitted
+	AutoRefreshes  int64 // automatic engine refreshes triggered
 
 	PerNode map[topology.NodeID]int64
 }
@@ -195,6 +226,31 @@ type ReliabilityConfig struct {
 	MaxBackoff  time.Duration
 }
 
+// Validate rejects nonsensical reliability tunings. Zero fields are legal
+// (they take defaults); explicitly negative values are not, and a MaxBackoff
+// below BaseBackoff would make the backoff schedule non-monotone.
+func (rc ReliabilityConfig) Validate() error {
+	if rc.MaxRetries < 0 {
+		return fmt.Errorf("broker: MaxRetries = %d, need ≥ 0", rc.MaxRetries)
+	}
+	if rc.LastResort < 0 {
+		return fmt.Errorf("broker: LastResort = %d, need ≥ 0", rc.LastResort)
+	}
+	if rc.RetryBudget < 0 {
+		return fmt.Errorf("broker: RetryBudget = %d, need ≥ 0", rc.RetryBudget)
+	}
+	if rc.BaseBackoff < 0 {
+		return fmt.Errorf("broker: BaseBackoff = %v, need ≥ 0", rc.BaseBackoff)
+	}
+	if rc.MaxBackoff < 0 {
+		return fmt.Errorf("broker: MaxBackoff = %v, need ≥ 0", rc.MaxBackoff)
+	}
+	if rc.BaseBackoff > 0 && rc.MaxBackoff > 0 && rc.MaxBackoff < rc.BaseBackoff {
+		return fmt.Errorf("broker: MaxBackoff %v < BaseBackoff %v", rc.MaxBackoff, rc.BaseBackoff)
+	}
+	return nil
+}
+
 func (rc *ReliabilityConfig) setDefaults() {
 	if rc.MaxRetries <= 0 {
 		rc.MaxRetries = 4
@@ -220,17 +276,32 @@ type Broker struct {
 	graph   *topology.Graph
 	workers int
 
-	inj *faults.Injector
-	rel ReliabilityConfig
+	inj    *faults.Injector
+	rel    ReliabilityConfig
+	health *health.Health
 
 	publishCh    chan workload.Event
 	fanoutCh     chan routed
 	quarantineCh chan int
-	inboxes      map[topology.NodeID]chan Delivery
+	// refreshCh carries auto-refresh requests (the warm-iteration count)
+	// from the control loop to the decision goroutine, which is the only
+	// one allowed to touch the engine.
+	refreshCh chan int
+	inboxes   map[topology.NodeID]chan Delivery
+
+	// quarCount and groupCount mirror the engine's quarantined/total group
+	// counts so the control loop can read them without touching the engine;
+	// only the decision goroutine writes them.
+	quarCount  atomic.Int64
+	groupCount atomic.Int64
 
 	// observer, when set, sees every accepted delivery after stats
 	// accounting.
 	observer func(topology.NodeID, Delivery)
+	// decisionObs, when set, sees every decided event (with its priced
+	// costs) on the decision goroutine, before fan-out. Shed events are not
+	// reported — they never reach fan-out.
+	decisionObs func(seq int64, ev workload.Event, d core.Decision, c core.Costs)
 
 	// reg owns the broker's metrics; private unless WithTelemetry supplies
 	// a shared registry. tracer is nil unless WithTracer enables tracing.
@@ -250,6 +321,11 @@ type Broker struct {
 	fanoutWG   sync.WaitGroup
 	consumerWG sync.WaitGroup
 	closeOnce  sync.Once
+
+	// controlStop ends the control-loop goroutine; nil without WithHealth
+	// or when AutoRefresh is off.
+	controlStop chan struct{}
+	controlWG   sync.WaitGroup
 }
 
 // Option customises a Broker.
@@ -292,6 +368,24 @@ func WithTracer(tr *telemetry.Tracer) Option {
 	return func(b *Broker) { b.tracer = tr }
 }
 
+// WithHealth attaches the overload-protection and self-healing subsystem:
+// admission control on Publish, per-destination circuit breakers in the
+// delivery path, and (when h's config enables AutoRefresh) the control
+// loop that triggers automatic engine refreshes. The broker instruments h
+// into its telemetry registry.
+func WithHealth(h *health.Health) Option {
+	return func(b *Broker) { b.health = h }
+}
+
+// WithDecisionObserver registers a callback invoked on the decision
+// goroutine for every decided event with its priced delivery costs —
+// the hook recovery experiments use to build cost-over-time series.
+// Pricing each decision costs extra model lookups, so attach it only when
+// the series is wanted.
+func WithDecisionObserver(fn func(seq int64, ev workload.Event, d core.Decision, c core.Costs)) Option {
+	return func(b *Broker) { b.decisionObs = fn }
+}
+
 // New starts a broker over an engine. The engine must not be used by the
 // caller until Close returns (the decision goroutine owns it).
 func New(engine *core.Engine, opts ...Option) (*Broker, error) {
@@ -299,12 +393,10 @@ func New(engine *core.Engine, opts ...Option) (*Broker, error) {
 		return nil, fmt.Errorf("broker: nil engine")
 	}
 	b := &Broker{
-		engine:    engine,
-		graph:     engine.Model().Graph(),
-		workers:   4,
-		publishCh: make(chan workload.Event, 64),
-		fanoutCh:  make(chan routed, 64),
-		inboxes:   make(map[topology.NodeID]chan Delivery),
+		engine:  engine,
+		graph:   engine.Model().Graph(),
+		workers: 4,
+		inboxes: make(map[topology.NodeID]chan Delivery),
 	}
 	for _, opt := range opts {
 		opt(b)
@@ -312,12 +404,29 @@ func New(engine *core.Engine, opts ...Option) (*Broker, error) {
 	if b.workers < 1 {
 		return nil, fmt.Errorf("broker: %d workers", b.workers)
 	}
+	if err := b.rel.Validate(); err != nil {
+		return nil, err
+	}
 	b.rel.setDefaults()
 	if b.reg == nil {
 		b.reg = telemetry.NewRegistry()
 	}
 	b.ctr = newMetrics(b.reg.Scope("broker"))
 	b.quarantineCh = make(chan int, 128)
+	// Size the publish queue at least MaxInflight so that under the
+	// rejecting policies an admitted event never blocks on the channel
+	// send: admission is the bound, not the channel.
+	queue := 64
+	if b.health != nil && b.health.Admission.Capacity() > queue {
+		queue = b.health.Admission.Capacity()
+	}
+	b.publishCh = make(chan workload.Event, queue)
+	b.fanoutCh = make(chan routed, 64)
+	b.refreshCh = make(chan int, 1)
+	b.groupCount.Store(int64(engine.NumGroups()))
+	if b.health != nil {
+		b.health.Instrument(b.reg)
+	}
 
 	// One inbox + consumer per subscriber node. Both maps are fully
 	// populated before any consumer starts: consumers read them
@@ -339,17 +448,34 @@ func New(engine *core.Engine, opts ...Option) (*Broker, error) {
 		b.fanoutWG.Add(1)
 		go b.fanout()
 	}
+
+	if b.health != nil && b.health.Controller.Enabled() {
+		b.controlStop = make(chan struct{})
+		b.controlWG.Add(1)
+		go b.controlLoop()
+	}
 	return b, nil
 }
 
 // Publish enqueues one event for delivery. It blocks when the pipeline is
 // saturated and returns ErrClosed (instead of panicking) if the broker has
-// been closed. Safe to race with Close.
+// been closed. With health attached, the event first passes admission
+// control: under the RejectNewest and ShedLowFanout policies a saturated
+// pipeline or an empty rate-limit bucket returns health.ErrOverloaded
+// instead of blocking. Safe to race with Close.
 func (b *Broker) Publish(ev workload.Event) error {
 	b.closeMu.RLock()
 	defer b.closeMu.RUnlock()
 	if b.closed {
 		return ErrClosed
+	}
+	if b.health != nil {
+		// Admit while holding the close lock: Close cannot complete until
+		// this Publish returns, so an admitted event always reaches the
+		// pipeline and its inflight slot is always released by fan-out.
+		if err := b.health.Admission.Admit(); err != nil {
+			return err
+		}
 	}
 	b.publishCh <- ev
 	return nil
@@ -360,6 +486,10 @@ func (b *Broker) Publish(ev workload.Event) error {
 // race return ErrClosed.
 func (b *Broker) Close() {
 	b.closeOnce.Do(func() {
+		if b.controlStop != nil {
+			close(b.controlStop)
+			b.controlWG.Wait()
+		}
 		b.closeMu.Lock()
 		b.closed = true
 		b.closeMu.Unlock()
@@ -395,51 +525,177 @@ func (b *Broker) Stats() Stats {
 		Lost:        b.ctr.lost.Value(),
 		PerNode:     make(map[topology.NodeID]int64, len(b.perNode)),
 	}
+	if b.health != nil {
+		hc := b.health.CounterSnapshot()
+		out.Shed = hc.Shed
+		out.Rejected = hc.Rejected
+		out.RateLimited = hc.RateLimited
+		out.BreakerOpens = hc.BreakerOpen
+		out.BreakerSkipped = hc.Skipped
+		out.Probes = hc.Probes
+		out.AutoRefreshes = hc.Refreshes
+	}
 	for n, c := range b.perNode {
 		out.PerNode[n] = c.Load()
 	}
 	return out
 }
 
+// Health exposes the attached health subsystem (nil without WithHealth).
+func (b *Broker) Health() *health.Health { return b.health }
+
+// QuarantineCount reports how many groups are currently quarantined. It
+// reads the decision goroutine's atomic mirror, so it is safe to call
+// while the broker runs (the engine itself is not).
+func (b *Broker) QuarantineCount() int { return int(b.quarCount.Load()) }
+
 // Telemetry exposes the broker's metrics registry — the shared one passed
 // via WithTelemetry, or the private default.
 func (b *Broker) Telemetry() *telemetry.Registry { return b.reg }
 
-// decide is the single goroutine owning the engine.
+// decide is the single goroutine owning the engine. Besides publications
+// it services auto-refresh requests from the control loop, so the engine
+// heals even while traffic flows.
 func (b *Broker) decide() {
 	defer b.decisionWG.Done()
 	var seq int64
-	for ev := range b.publishCh {
-		b.applyQuarantines()
-		trace := b.tracer.Begin(seq)
-		t0 := time.Now()
-		d := b.engine.Decide(ev)
-		trace.Add("decide", t0, time.Since(t0), -1, d.Group, 0, methodNote(d.Method))
-		interested := make(map[topology.NodeID]bool, len(d.Interested))
-		for _, n := range d.Interested {
-			interested[n] = true
+	for {
+		select {
+		case ev, ok := <-b.publishCh:
+			if !ok {
+				b.applyQuarantines()
+				return
+			}
+			b.decideOne(ev, &seq)
+		case wi := <-b.refreshCh:
+			b.autoRefresh(wi)
 		}
-		b.ctr.published.Add(1)
-		switch d.Method {
-		case multicast.NetworkMulticast:
-			b.ctr.multicast.Add(1)
-		case multicast.Broadcast:
-			b.ctr.broadcast.Add(1)
-		default:
-			b.ctr.unicast.Add(1)
-		}
-		r := routed{seq: seq, ev: ev, d: d, interested: interested, t0: t0, trace: trace}
-		if b.inj != nil {
-			r.paths = b.routePaths(ev, d)
-			r.budget = new(atomic.Int64)
-			r.budget.Store(b.rel.RetryBudget)
-		}
-		seq++
-		enq := time.Now()
-		b.fanoutCh <- r
-		trace.Add("enqueue", enq, time.Since(enq), -1, d.Group, 0, "")
 	}
+}
+
+// decideOne routes one publication through the decision stage.
+func (b *Broker) decideOne(ev workload.Event, seq *int64) {
 	b.applyQuarantines()
+	trace := b.tracer.Begin(*seq)
+	t0 := time.Now()
+	d := b.engine.Decide(ev)
+	trace.Add("decide", t0, time.Since(t0), -1, d.Group, 0, methodNote(d.Method))
+	interested := make(map[topology.NodeID]bool, len(d.Interested))
+	for _, n := range d.Interested {
+		interested[n] = true
+	}
+	b.ctr.published.Add(1)
+	switch d.Method {
+	case multicast.NetworkMulticast:
+		b.ctr.multicast.Add(1)
+	case multicast.Broadcast:
+		b.ctr.broadcast.Add(1)
+	default:
+		b.ctr.unicast.Add(1)
+	}
+	r := routed{seq: *seq, ev: ev, d: d, interested: interested, t0: t0, trace: trace}
+	if d.Method == multicast.NetworkMulticast {
+		// Snapshot the group's members now: fan-out workers must not read
+		// the engine, which this goroutine may refresh at any time.
+		r.nodes = b.engine.Group(d.Group).Nodes
+	}
+	if b.inj != nil {
+		r.paths = b.routePaths(ev, d)
+		r.budget = new(atomic.Int64)
+		r.budget.Store(b.rel.RetryBudget)
+	}
+	*seq++
+	if b.health != nil {
+		b.health.Admission.NoteFanout(len(d.Interested))
+	}
+	enq := time.Now()
+	if b.health != nil {
+		// Try a non-blocking hand-off first: if the fan-out stage is
+		// congested and the policy sheds, drop the event here when its
+		// fanout is below the running mean — the cheapest loss available.
+		select {
+		case b.fanoutCh <- r:
+		default:
+			if b.health.Admission.ShouldShed(len(d.Interested)) {
+				b.health.Admission.NoteShed()
+				b.health.Admission.Release()
+				trace.Add("shed", enq, time.Since(enq), -1, d.Group, 0, "low-fanout")
+				return
+			}
+			b.fanoutCh <- r
+		}
+	} else {
+		b.fanoutCh <- r
+	}
+	trace.Add("enqueue", enq, time.Since(enq), -1, d.Group, 0, "")
+	if b.decisionObs != nil {
+		b.decisionObs(r.seq, ev, d, b.engine.CostOf(ev, d))
+	}
+}
+
+// autoRefresh runs one controller-triggered engine refresh on the decision
+// goroutine.
+func (b *Broker) autoRefresh(warmIters int) {
+	b.applyQuarantines()
+	if b.engine.NumQuarantined() == 0 {
+		return // healed some other way; nothing to rebuild
+	}
+	if err := b.engine.Refresh(warmIters); err != nil {
+		// Refresh can fail legitimately (e.g. zero live subscriptions);
+		// leave the quarantines in place and let the loop retry later.
+		return
+	}
+	// The rebuilt groups start with a clean slate: allow future failures to
+	// quarantine them again.
+	b.quarantineSent.Range(func(k, _ any) bool {
+		b.quarantineSent.Delete(k)
+		return true
+	})
+	b.quarCount.Store(int64(b.engine.NumQuarantined()))
+	b.groupCount.Store(int64(b.engine.NumGroups()))
+	b.health.NoteAutoRefresh()
+}
+
+// controlLoop is the self-healing loop: every CheckInterval it snapshots
+// the health signals and, when the controller decides the system is both
+// degraded and stable enough to rebuild, asks the decision goroutine to
+// refresh the engine.
+func (b *Broker) controlLoop() {
+	defer b.controlWG.Done()
+	tick := time.NewTicker(b.health.Controller.Interval())
+	defer tick.Stop()
+	for {
+		select {
+		case <-b.controlStop:
+			return
+		case <-tick.C:
+			b.controlTick()
+		}
+	}
+}
+
+// controlTick gathers one Signals snapshot and forwards a refresh request
+// when warranted. The send never blocks: refreshCh holds one pending
+// request and a second would be redundant.
+func (b *Broker) controlTick() {
+	hc := b.health.CounterSnapshot()
+	ts := b.health.Tracker.Snapshot()
+	s := health.Signals{
+		QuarantinedGroups: int(b.quarCount.Load()),
+		TotalGroups:       int(b.groupCount.Load()),
+		OpenBreakers:      ts.Open,
+		HalfOpenBreakers:  ts.HalfOpen,
+		Shed:              hc.Shed,
+		Rejected:          hc.Rejected,
+		Lost:              b.ctr.lost.Value(),
+		Skipped:           hc.Skipped,
+	}
+	if b.health.Controller.Decide(s) {
+		select {
+		case b.refreshCh <- b.health.Controller.WarmIters():
+		default:
+		}
+	}
 }
 
 // methodNote renders a decision method for trace spans.
@@ -456,14 +712,17 @@ func methodNote(m multicast.Method) string {
 
 // applyQuarantines drains pending quarantine requests from the fan-out
 // workers and applies them to the engine (which only this goroutine may
-// touch).
+// touch). Requests referencing groups that no longer exist — an
+// auto-refresh may have shrunk the group count while the request was in
+// flight — are dropped.
 func (b *Broker) applyQuarantines() {
 	for {
 		select {
 		case g := <-b.quarantineCh:
-			if !b.engine.Quarantined(g) {
+			if g < b.engine.NumGroups() && !b.engine.Quarantined(g) {
 				b.engine.Quarantine(g)
 			}
+			b.quarCount.Store(int64(b.engine.NumQuarantined()))
 		default:
 			return
 		}
@@ -520,48 +779,47 @@ func (b *Broker) routePaths(ev workload.Event, d core.Decision) map[topology.Nod
 	return paths
 }
 
-// fanout places one copy per destination inbox.
+// fanout places one copy per destination inbox. Each fully fanned-out
+// event releases its admission slot — the point where the inflight bound
+// stops counting it.
 func (b *Broker) fanout() {
 	defer b.fanoutWG.Done()
 	for r := range b.fanoutCh {
-		if r.d.Method == multicast.Broadcast {
-			// Flooding: every subscriber node receives a copy (non-subscriber
-			// nodes have no inbox and are represented by waste accounting at
-			// the cost level, not the delivery level).
-			for n := range b.inboxes {
-				b.deliver(r, n, Delivery{
-					Event:      r.ev,
-					Seq:        r.seq,
-					Method:     multicast.Broadcast,
-					Group:      -1,
-					Interested: r.interested[n],
-				})
-			}
-			continue
+		b.fanoutOne(r)
+		if b.health != nil {
+			b.health.Admission.Release()
 		}
-		if r.d.Method == multicast.NetworkMulticast {
-			info := b.engine.Group(r.d.Group)
-			for _, n := range info.Nodes {
-				b.deliver(r, n, Delivery{
-					Event:      r.ev,
-					Seq:        r.seq,
-					Method:     multicast.NetworkMulticast,
-					Group:      r.d.Group,
-					Interested: r.interested[n],
-				})
-			}
-			for _, n := range r.d.Remainder {
-				b.deliver(r, n, Delivery{
-					Event:      r.ev,
-					Seq:        r.seq,
-					Method:     multicast.Unicast,
-					Group:      -1,
-					Interested: true,
-				})
-			}
-			continue
+	}
+}
+
+// fanoutOne delivers one routed event to all its destinations.
+func (b *Broker) fanoutOne(r routed) {
+	if r.d.Method == multicast.Broadcast {
+		// Flooding: every subscriber node receives a copy (non-subscriber
+		// nodes have no inbox and are represented by waste accounting at
+		// the cost level, not the delivery level).
+		for n := range b.inboxes {
+			b.deliver(r, n, Delivery{
+				Event:      r.ev,
+				Seq:        r.seq,
+				Method:     multicast.Broadcast,
+				Group:      -1,
+				Interested: r.interested[n],
+			})
 		}
-		for _, n := range r.d.Interested {
+		return
+	}
+	if r.d.Method == multicast.NetworkMulticast {
+		for _, n := range r.nodes {
+			b.deliver(r, n, Delivery{
+				Event:      r.ev,
+				Seq:        r.seq,
+				Method:     multicast.NetworkMulticast,
+				Group:      r.d.Group,
+				Interested: r.interested[n],
+			})
+		}
+		for _, n := range r.d.Remainder {
 			b.deliver(r, n, Delivery{
 				Event:      r.ev,
 				Seq:        r.seq,
@@ -570,6 +828,16 @@ func (b *Broker) fanout() {
 				Interested: true,
 			})
 		}
+		return
+	}
+	for _, n := range r.d.Interested {
+		b.deliver(r, n, Delivery{
+			Event:      r.ev,
+			Seq:        r.seq,
+			Method:     multicast.Unicast,
+			Group:      -1,
+			Interested: true,
+		})
 	}
 }
 
@@ -600,6 +868,18 @@ func (b *Broker) deliver(r routed, n topology.NodeID, d Delivery) {
 // deliverReliable runs the retry → degrade → quarantine ladder for one
 // delivery over the lossy fabric.
 func (b *Broker) deliverReliable(r routed, n topology.NodeID, ch chan<- Delivery, d Delivery) {
+	if b.health != nil && !b.health.Tracker.AllowDest(n) {
+		// Open breaker: skip the destination outright instead of burning
+		// the event's retry budget on a known-dead path. The routed group
+		// stays quarantined until the destination recovers and the control
+		// loop rebuilds.
+		b.health.NoteSkip()
+		r.trace.Add("breaker-skip", time.Now(), 0, int64(n), d.Group, 0, "open")
+		if d.Group >= 0 {
+			b.requestQuarantine(d.Group)
+		}
+		return
+	}
 	if b.inj.NodeDown(n, r.seq) {
 		// Destination crashed: nothing to retry against. The loss is
 		// expected (the completeness invariant covers live nodes only), but
@@ -607,6 +887,9 @@ func (b *Broker) deliverReliable(r routed, n topology.NodeID, ch chan<- Delivery
 		// it so future events unicast around the corpse.
 		b.ctr.offline.Add(1)
 		r.trace.Add("offline", time.Now(), 0, int64(n), d.Group, 0, "node down")
+		if b.health != nil {
+			b.health.Tracker.ReportFailure(n)
+		}
 		if d.Group >= 0 {
 			b.requestQuarantine(d.Group)
 		}
@@ -627,10 +910,18 @@ func (b *Broker) deliverReliable(r routed, n topology.NodeID, ch chan<- Delivery
 			b.backoff(r.seq, n, attempt)
 		}
 		if !b.inj.DropAttempt(r.seq, n, attempt, path) {
+			if b.health != nil {
+				b.health.Tracker.ReportPath(path, true)
+			}
 			b.complete(r, n, ch, d, attempt)
 			return
 		}
 		r.trace.Add("retry", time.Now(), 0, int64(n), d.Group, attempt, "dropped")
+	}
+	if b.health != nil {
+		// The primary path exhausted its retries: every hop shares the
+		// suspicion (the broker cannot tell which one dropped the copies).
+		b.health.Tracker.ReportPath(path, false)
 	}
 
 	// Degraded: recompute a route with failed links removed and unicast
@@ -684,6 +975,9 @@ func (b *Broker) complete(r routed, n topology.NodeID, ch chan<- Delivery, d Del
 // the routed group.
 func (b *Broker) abandon(n topology.NodeID, d Delivery) {
 	b.ctr.lost.Add(1)
+	if b.health != nil {
+		b.health.Tracker.ReportFailure(n)
+	}
 	if d.Group >= 0 {
 		b.requestQuarantine(d.Group)
 	}
@@ -727,7 +1021,11 @@ func (b *Broker) consume(n topology.NodeID, ch <-chan Delivery) {
 		b.ctr.deliveries.Add(1)
 		pn.Add(1)
 		if !d.born.IsZero() {
-			b.ctr.deliverLatency.ObserveDuration(time.Since(d.born))
+			lat := time.Since(d.born)
+			b.ctr.deliverLatency.ObserveDuration(lat)
+			if b.health != nil {
+				b.health.Tracker.ReportSuccess(n, lat)
+			}
 		}
 		d.trace.Add("ack", time.Now(), 0, int64(n), d.Group, d.Attempt, "")
 		if !d.Interested {

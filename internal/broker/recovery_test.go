@@ -1,0 +1,257 @@
+package broker
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/health"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// fastHealth is a health config tuned so the whole detect → open →
+// half-open → close → auto-refresh cycle completes in tens of
+// milliseconds of wall time.
+func fastHealth(seed int64) health.Config {
+	return health.Config{
+		MaxInflight:        512,
+		Policy:             health.Block,
+		FailureThreshold:   2,
+		OpenTimeout:        5 * time.Millisecond,
+		ProbeInterval:      2 * time.Millisecond,
+		ProbeSuccesses:     1,
+		AutoRefresh:        true,
+		CheckInterval:      2 * time.Millisecond,
+		MinRefreshInterval: 10 * time.Millisecond,
+		StableTicks:        2,
+		WarmIters:          2,
+		Seed:               seed,
+	}
+}
+
+// incidentEdges returns every edge touching node n.
+func incidentEdges(g *topology.Graph, n topology.NodeID) []topology.EdgeKey {
+	var out []topology.EdgeKey
+	for _, he := range g.Neighbors(n) {
+		out = append(out, topology.MakeEdgeKey(n, he.To))
+	}
+	return out
+}
+
+// TestChaosRecovery is the self-healing acceptance scenario: partition a
+// busy subscriber (every incident link failed), watch quarantines pile up
+// and its breaker open, then restore the links and verify the system heals
+// itself — breaker re-closes via probes, the control loop auto-refreshes
+// the engine, no quarantines remain, and the post-recovery decided
+// delivery cost of the exact baseline event slice is within 10% of its
+// pre-fault value — all without a manual Refresh.
+func TestChaosRecovery(t *testing.T) {
+	const seed = 900
+	cfg := core.Config{Groups: 20, CellBudget: 400}
+	e, w := testEngine(t, cfg, seed)
+	victim := busiestSubscriber(w)
+
+	inj, err := faults.New(faults.Config{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := health.New(fastHealth(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The decision observer records each decided event's network cost, in
+	// sequence order (the decision goroutine is serial).
+	var mu sync.Mutex
+	var costs []float64
+	b, err := New(e, WithWorkers(4), WithFaults(inj), WithReliability(fastRel()),
+		WithHealth(h),
+		WithDecisionObserver(func(seq int64, ev workload.Event, d core.Decision, c core.Costs) {
+			mu.Lock()
+			costs = append(costs, c.Network)
+			mu.Unlock()
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	baseline := w.Events(150, seed+10)
+	outage := w.Events(150, seed+11)
+	probes := w.Events(400, seed+12)
+
+	publish := func(evs []workload.Event) {
+		t.Helper()
+		for _, ev := range evs {
+			if err := b.Publish(ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	meanRange := func(lo, n int) float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		sum := 0.0
+		for _, c := range costs[lo : lo+n] {
+			sum += c
+		}
+		return sum / float64(n)
+	}
+	published := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(costs)
+	}
+
+	// Phase A — healthy baseline.
+	publish(baseline)
+	for published() < len(baseline) {
+		time.Sleep(time.Millisecond)
+	}
+	baseStart := 0
+
+	// Phase B — partition the victim: every incident link fails, so
+	// deliveries to it abandon (no alternate path exists) and its breaker
+	// opens.
+	edges := incidentEdges(w.Graph, victim)
+	if len(edges) == 0 {
+		t.Fatal("victim has no incident edges")
+	}
+	for _, k := range edges {
+		inj.FailLink(k.U, k.V)
+	}
+	publish(outage)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := b.Stats()
+		ts := h.Tracker.Snapshot()
+		if st.Quarantined > 0 && ts.Open+ts.HalfOpen > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fault never detected: stats %+v tracker %+v", st, ts)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if st := b.Stats(); st.Lost == 0 && st.BreakerSkipped == 0 {
+		t.Fatal("partition produced neither losses nor breaker skips; scenario vacuous")
+	}
+
+	// Phase C — restore the links and keep trickling traffic so half-open
+	// probes reach the victim; the breaker must re-close and the control
+	// loop must auto-refresh away the quarantines.
+	for _, k := range edges {
+		inj.RestoreLink(k.U, k.V)
+	}
+	// Healed means fully quiet: every breaker closed, at least one
+	// auto-refresh fired, no quarantines remain, and the pipeline is fully
+	// drained — Inflight()==0 proves no still-retrying outage delivery can
+	// fail later and re-quarantine a group mid-replay (late failures after
+	// the first refresh are expected; the loop keeps refreshing until the
+	// system is clean).
+	healed, quiet := false, 0
+	for i := 0; !healed; i = (i + 10) % len(probes) {
+		publish(probes[i : i+10])
+		time.Sleep(4 * time.Millisecond)
+		ts := h.Tracker.Snapshot()
+		if ts.Open == 0 && ts.HalfOpen == 0 &&
+			b.Stats().AutoRefreshes >= 1 && b.QuarantineCount() == 0 &&
+			h.Admission.Inflight() == 0 {
+			quiet++
+		} else {
+			quiet = 0
+		}
+		healed = quiet >= 2 // two consecutive quiet samples, not a blip
+		if time.Now().After(deadline) {
+			break
+		}
+	}
+	if !healed {
+		t.Fatalf("system did not heal: tracker %+v stats %+v", h.Tracker.Snapshot(), b.Stats())
+	}
+
+	// Phase D — replay the exact baseline slice and compare decided cost.
+	preD := published()
+	// Wait for everything published so far to be decided, so the baseline
+	// replay occupies a contiguous range of the cost series.
+	publish(baseline)
+	b.Close()
+
+	st := b.Stats()
+	if st.BreakerOpens == 0 {
+		t.Error("breaker never opened")
+	}
+	if st.Quarantined == 0 {
+		t.Error("no group was quarantined")
+	}
+	if st.AutoRefreshes == 0 {
+		t.Error("control loop never auto-refreshed")
+	}
+	if st.Probes == 0 {
+		t.Error("no half-open probes were admitted")
+	}
+	ts := h.Tracker.Snapshot()
+	if ts.Open != 0 || ts.HalfOpen != 0 {
+		t.Errorf("breakers still open after recovery: %+v", ts)
+	}
+	// The broker is closed: the engine is safe to inspect directly.
+	if n := e.NumQuarantined(); n != 0 {
+		t.Errorf("%d groups still quarantined after self-healing (groups %v)", n, e.QuarantinedGroups())
+	}
+
+	pre := meanRange(baseStart, len(baseline))
+	post := meanRange(preD, len(baseline))
+	if pre <= 0 {
+		t.Fatalf("degenerate baseline cost %v", pre)
+	}
+	if diff := (post - pre) / pre; diff > 0.10 || diff < -0.10 {
+		t.Errorf("post-recovery mean decided cost %.3f vs baseline %.3f (%.1f%% off, want within 10%%)",
+			post, pre, diff*100)
+	}
+}
+
+// TestAutoRefreshDisabled: without AutoRefresh the same partition leaves
+// quarantines in place — the control loop, not time, is what heals.
+func TestAutoRefreshDisabled(t *testing.T) {
+	const seed = 910
+	cfg := core.Config{Groups: 12, CellBudget: 300}
+	e, w := testEngine(t, cfg, seed)
+	victim := busiestSubscriber(w)
+
+	inj, err := faults.New(faults.Config{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc := fastHealth(seed)
+	hc.AutoRefresh = false
+	h, err := health.New(hc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(e, WithFaults(inj), WithReliability(fastRel()), WithHealth(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range incidentEdges(w.Graph, victim) {
+		inj.FailLink(k.U, k.V)
+	}
+	for _, ev := range w.Events(200, seed+1) {
+		if err := b.Publish(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond) // would be ample for the loop to fire
+	b.Close()
+	st := b.Stats()
+	if st.Quarantined == 0 {
+		t.Skip("partition never hit a routed group for this seed")
+	}
+	if st.AutoRefreshes != 0 {
+		t.Errorf("auto-refresh fired %d times with the loop disabled", st.AutoRefreshes)
+	}
+	if e.NumQuarantined() == 0 {
+		t.Error("quarantines vanished without a refresh")
+	}
+}

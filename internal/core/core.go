@@ -316,6 +316,9 @@ func (e *Engine) Quarantine(g int) {
 // Quarantined reports whether group g is currently quarantined.
 func (e *Engine) Quarantined(g int) bool { return e.quarantined[g] }
 
+// NumQuarantined returns how many groups are currently quarantined.
+func (e *Engine) NumQuarantined() int { return len(e.quarantined) }
+
 // QuarantinedGroups returns the quarantined group indices, ascending.
 func (e *Engine) QuarantinedGroups() []int {
 	out := make([]int, 0, len(e.quarantined))

@@ -169,11 +169,17 @@ func TestQuarantineLifecycle(t *testing.T) {
 	if got := e.QuarantinedGroups(); len(got) != 1 || got[0] != grp {
 		t.Errorf("QuarantinedGroups = %v", got)
 	}
+	if got := e.NumQuarantined(); got != 1 {
+		t.Errorf("NumQuarantined = %d, want 1", got)
+	}
 	if err := e.Refresh(1); err != nil {
 		t.Fatal(err)
 	}
 	if len(e.QuarantinedGroups()) != 0 {
 		t.Error("quarantine survived warm refresh")
+	}
+	if got := e.NumQuarantined(); got != 0 {
+		t.Errorf("NumQuarantined after refresh = %d, want 0", got)
 	}
 
 	defer func() {

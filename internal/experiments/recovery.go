@@ -1,0 +1,333 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/health"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// RecoveryConfig parameterises the self-healing recovery experiment.
+type RecoveryConfig struct {
+	Groups      int   // engine multicast groups K (default 40)
+	CellBudget  int   // clustering cell budget (default 1500)
+	PhaseEvents int   // events per phase (default 200)
+	Window      int64 // series window width, events (default 20)
+	Seed        int64
+	// Health overrides the health subsystem tuning; the zero value gets
+	// fast-recovery defaults (small timeouts, AutoRefresh on).
+	Health health.Config
+	// HealTimeout bounds how long the recovery phase waits for the system
+	// to heal itself (default 20s).
+	HealTimeout time.Duration
+}
+
+func (c *RecoveryConfig) setDefaults() {
+	if c.Groups == 0 {
+		c.Groups = 40
+	}
+	if c.CellBudget == 0 {
+		c.CellBudget = 1500
+	}
+	if c.PhaseEvents == 0 {
+		c.PhaseEvents = 200
+	}
+	if c.Window == 0 {
+		c.Window = 20
+	}
+	if c.HealTimeout == 0 {
+		c.HealTimeout = 20 * time.Second
+	}
+	if c.Health.MaxInflight == 0 && c.Health.CheckInterval == 0 && !c.Health.AutoRefresh {
+		c.Health = health.Config{
+			MaxInflight:        512,
+			FailureThreshold:   2,
+			OpenTimeout:        5 * time.Millisecond,
+			ProbeInterval:      2 * time.Millisecond,
+			ProbeSuccesses:     1,
+			AutoRefresh:        true,
+			CheckInterval:      2 * time.Millisecond,
+			MinRefreshInterval: 10 * time.Millisecond,
+			StableTicks:        2,
+			WarmIters:          2,
+			Seed:               c.Seed,
+		}
+	}
+	c.Health.AutoRefresh = true // the experiment is about self-healing
+}
+
+// Recovery phase indices, in seq order.
+const (
+	PhaseBaseline = iota
+	PhaseOutage
+	PhaseRecovery
+	PhaseReplay
+	numPhases
+)
+
+// phaseNames renders phase indices in tables and CSV.
+var phaseNames = [numPhases]string{"baseline", "outage", "recovery", "replay"}
+
+// RecoveryResult is the outcome of one recovery run.
+type RecoveryResult struct {
+	// Victim is the partitioned subscriber node.
+	Victim topology.NodeID
+	// Series is the delivered-cost / shed-rate time series over event
+	// sequence windows of Window events each.
+	Series []sim.WindowStats
+	// Window is the series window width, in events.
+	Window int64
+	// PhaseStarts records the first sequence number of each phase.
+	PhaseStarts [numPhases]int64
+	// Healed reports whether the system reached the fully-quiet state
+	// (breakers closed, ≥ 1 auto-refresh, zero quarantines) before
+	// HealTimeout.
+	Healed bool
+	// BaselineCost, OutageCost and ReplayCost are the mean decided network
+	// costs of the baseline slice, the outage slice, and the baseline
+	// slice replayed after recovery. Self-healing succeeded when ReplayCost
+	// is within a few percent of BaselineCost.
+	BaselineCost float64
+	OutageCost   float64
+	ReplayCost   float64
+	Stats        broker.Stats
+	Tracker      health.TrackerSnapshot
+}
+
+// busiestSubscriber returns the node owning the most subscriptions — the
+// destination every clustering is most likely to route through, so
+// partitioning it guarantees the fault is actually felt.
+func busiestSubscriber(w *workload.World) topology.NodeID {
+	counts := map[topology.NodeID]int{}
+	for _, s := range w.Subs {
+		counts[s.Owner]++
+	}
+	best, bestN := w.SubscriberNodes[0], -1
+	for _, n := range w.SubscriberNodes {
+		if counts[n] > bestN {
+			best, bestN = n, counts[n]
+		}
+	}
+	return best
+}
+
+// RunRecovery drives the full self-healing story end to end: a healthy
+// baseline, a partition of the busiest subscriber (every incident link
+// failed), the detection cascade (abandons → breaker open → quarantines),
+// link restoration, and the automatic recovery (half-open probes re-close
+// the breaker, the control loop refreshes the engine), finishing with a
+// replay of the exact baseline event slice to price the recovered system
+// against its pre-fault self. The whole run is deterministic from the
+// seed except for wall-clock phase boundaries.
+func RunRecovery(env *StockEnv, cfg RecoveryConfig) (*RecoveryResult, error) {
+	cfg.setDefaults()
+	engine, err := core.NewFromWorld(env.World, env.Train, core.Config{
+		Groups:     cfg.Groups,
+		CellBudget: cfg.CellBudget,
+		Algorithm:  &cluster.KMeans{Variant: cluster.Forgy},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: recovery engine: %w", err)
+	}
+	inj, err := faults.New(faults.Config{Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: recovery injector: %w", err)
+	}
+	h, err := health.New(cfg.Health)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: recovery health: %w", err)
+	}
+
+	res := &RecoveryResult{Victim: busiestSubscriber(env.World), Window: cfg.Window}
+	series := sim.NewWindowSeries(cfg.Window)
+
+	// The decision observer feeds the series and keeps the raw per-seq
+	// cost list for phase means (the decision goroutine is serial, so the
+	// list is in sequence order under the lossless Block policy).
+	var mu sync.Mutex
+	var costs []float64
+	b, err := broker.New(engine,
+		broker.WithFaults(inj),
+		broker.WithReliability(broker.ReliabilityConfig{
+			MaxRetries:  3,
+			LastResort:  8,
+			BaseBackoff: 20 * time.Microsecond,
+			MaxBackoff:  500 * time.Microsecond,
+		}),
+		broker.WithHealth(h),
+		broker.WithDecisionObserver(func(seq int64, ev workload.Event, d core.Decision, c core.Costs) {
+			series.ObserveDelivered(seq, c.Network)
+			mu.Lock()
+			costs = append(costs, c.Network)
+			mu.Unlock()
+		}))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: recovery broker: %w", err)
+	}
+	defer b.Close()
+
+	decided := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(costs)
+	}
+	meanRange := func(lo, n int) float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		if lo+n > len(costs) || n == 0 {
+			return 0
+		}
+		sum := 0.0
+		for _, c := range costs[lo : lo+n] {
+			sum += c
+		}
+		return sum / float64(n)
+	}
+	// Overload and loss counters have no per-seq hook; publish() folds
+	// their deltas into the window of the most recent sequence number.
+	var prev broker.Stats
+	publish := func(evs []workload.Event) error {
+		for _, ev := range evs {
+			if err := b.Publish(ev); err != nil {
+				series.ObserveRejected(int64(decided()))
+				continue // rejected events are part of the story, not an error
+			}
+		}
+		at := int64(decided())
+		st := b.Stats()
+		for i := prev.Shed; i < st.Shed; i++ {
+			series.ObserveShed(at)
+		}
+		for i := prev.Lost; i < st.Lost; i++ {
+			series.ObserveLost(at)
+		}
+		prev = st
+		return nil
+	}
+	waitDecided := func(n int) {
+		for decided() < n {
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	baseline := env.World.Events(cfg.PhaseEvents, cfg.Seed+10)
+	outage := env.World.Events(cfg.PhaseEvents, cfg.Seed+11)
+	probes := env.World.Events(200, cfg.Seed+12)
+
+	// Phase 1 — healthy baseline.
+	res.PhaseStarts[PhaseBaseline] = 0
+	if err := publish(baseline); err != nil {
+		return nil, err
+	}
+	waitDecided(len(baseline))
+
+	// Phase 2 — partition the victim.
+	res.PhaseStarts[PhaseOutage] = int64(decided())
+	for _, he := range env.World.Graph.Neighbors(res.Victim) {
+		inj.FailLink(res.Victim, he.To)
+	}
+	if err := publish(outage); err != nil {
+		return nil, err
+	}
+	outStart := int(res.PhaseStarts[PhaseOutage])
+	waitDecided(outStart + len(outage))
+
+	// Phase 3 — restore and let the system heal itself.
+	res.PhaseStarts[PhaseRecovery] = int64(decided())
+	for _, he := range env.World.Graph.Neighbors(res.Victim) {
+		inj.RestoreLink(res.Victim, he.To)
+	}
+	deadline := time.Now().Add(cfg.HealTimeout)
+	quiet := 0
+	for i := 0; quiet < 2; i = (i + 10) % len(probes) {
+		if err := publish(probes[i : i+10]); err != nil {
+			return nil, err
+		}
+		time.Sleep(4 * time.Millisecond)
+		// Quiet requires a fully drained pipeline (Inflight()==0): a
+		// still-retrying outage delivery could otherwise fail after the
+		// check and re-quarantine a group mid-replay.
+		ts := h.Tracker.Snapshot()
+		if ts.Open == 0 && ts.HalfOpen == 0 &&
+			b.Stats().AutoRefreshes >= 1 && b.QuarantineCount() == 0 &&
+			h.Admission.Inflight() == 0 {
+			quiet++
+		} else {
+			quiet = 0
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+	}
+	res.Healed = quiet >= 2
+
+	// Phase 4 — replay the baseline slice against the recovered system.
+	res.PhaseStarts[PhaseReplay] = int64(decided())
+	if err := publish(baseline); err != nil {
+		return nil, err
+	}
+	b.Close()
+
+	res.BaselineCost = meanRange(int(res.PhaseStarts[PhaseBaseline]), len(baseline))
+	res.OutageCost = meanRange(outStart, len(outage))
+	res.ReplayCost = meanRange(int(res.PhaseStarts[PhaseReplay]), len(baseline))
+	res.Series = series.Series()
+	res.Stats = b.Stats()
+	res.Tracker = h.Tracker.Snapshot()
+	return res, nil
+}
+
+// phaseOf maps a window's first sequence number to its phase index.
+func (r *RecoveryResult) phaseOf(startSeq int64) int {
+	phase := PhaseBaseline
+	for p := PhaseBaseline + 1; p < numPhases; p++ {
+		if startSeq >= r.PhaseStarts[p] {
+			phase = p
+		}
+	}
+	return phase
+}
+
+// RenderRecovery writes the recovery run as a summary plus an aligned
+// per-window table.
+func RenderRecovery(w io.Writer, title string, r *RecoveryResult) error {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "victim node %d; healed: %v; breaker opens %d, probes %d, auto-refreshes %d\n",
+		r.Victim, r.Healed, r.Stats.BreakerOpens, r.Stats.Probes, r.Stats.AutoRefreshes)
+	fmt.Fprintf(w, "mean decided cost: baseline %.1f → outage %.1f → replay %.1f\n",
+		r.BaselineCost, r.OutageCost, r.ReplayCost)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "window\tphase\tdelivered\tshed\trejected\tlost\tmean cost\tshed rate")
+	for _, ws := range r.Series {
+		fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%d\t%d\t%.1f\t%.3f\n",
+			ws.Window, phaseNames[r.phaseOf(ws.Window*r.Window)],
+			ws.Delivered, ws.Shed, ws.Rejected, ws.Lost, ws.MeanCost(), ws.ShedRate())
+	}
+	return tw.Flush()
+}
+
+// RenderRecoveryCSV writes the per-window series as CSV.
+func RenderRecoveryCSV(w io.Writer, r *RecoveryResult) error {
+	if _, err := fmt.Fprintln(w, "window,start_seq,phase,delivered,shed,rejected,lost,mean_cost,shed_rate"); err != nil {
+		return err
+	}
+	for _, ws := range r.Series {
+		start := ws.Window * r.Window
+		if _, err := fmt.Fprintf(w, "%d,%d,%s,%d,%d,%d,%d,%.4f,%.4f\n",
+			ws.Window, start, phaseNames[r.phaseOf(start)],
+			ws.Delivered, ws.Shed, ws.Rejected, ws.Lost, ws.MeanCost(), ws.ShedRate()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRecoverySmall(t *testing.T) {
+	env := smallEnv(t, 77)
+	res, err := RunRecovery(env, RecoveryConfig{
+		Groups:      12,
+		CellBudget:  300,
+		PhaseEvents: 80,
+		Window:      10,
+		Seed:        77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) == 0 {
+		t.Fatal("empty window series")
+	}
+	for p := 1; p < numPhases; p++ {
+		if res.PhaseStarts[p] < res.PhaseStarts[p-1] {
+			t.Fatalf("phase starts not monotone: %v", res.PhaseStarts)
+		}
+	}
+	if res.BaselineCost <= 0 {
+		t.Fatalf("degenerate baseline cost %v", res.BaselineCost)
+	}
+	if !res.Healed {
+		t.Fatalf("system did not heal: stats %+v tracker %+v", res.Stats, res.Tracker)
+	}
+	if res.Stats.BreakerOpens == 0 || res.Stats.AutoRefreshes == 0 {
+		t.Errorf("recovery ran without the health machinery: %+v", res.Stats)
+	}
+	if diff := (res.ReplayCost - res.BaselineCost) / res.BaselineCost; diff > 0.15 || diff < -0.15 {
+		t.Errorf("replay cost %.2f vs baseline %.2f (%.1f%% off)",
+			res.ReplayCost, res.BaselineCost, diff*100)
+	}
+
+	var tbl, csv strings.Builder
+	if err := RenderRecovery(&tbl, "recovery", res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.String(), "healed: true") || !strings.Contains(tbl.String(), "baseline") {
+		t.Errorf("table output incomplete:\n%s", tbl.String())
+	}
+	if res.Window != 10 {
+		t.Errorf("result window %d, want 10", res.Window)
+	}
+	if err := RenderRecoveryCSV(&csv, res); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != len(res.Series)+1 {
+		t.Errorf("CSV has %d lines, want %d", len(lines), len(res.Series)+1)
+	}
+	if !strings.HasPrefix(lines[0], "window,start_seq,phase,") {
+		t.Errorf("CSV header %q", lines[0])
+	}
+}

@@ -38,6 +38,18 @@ type Flap struct {
 	Period int64
 }
 
+// LinkOutage schedules one link failure window: the link is
+// deterministically down for every event whose sequence number lies in
+// [DownAt, UpAt), and excluded from alternate-path recomputes during the
+// window. UpAt ≤ 0 means the link never recovers. Unlike FailLink /
+// RestoreLink (runtime toggles), outages are part of the seeded schedule,
+// so recovery experiments replay identically.
+type LinkOutage struct {
+	U, V   topology.NodeID
+	DownAt int64
+	UpAt   int64
+}
+
 // Config parameterises an Injector. All probabilities are per delivery
 // attempt and must lie in [0, 1].
 type Config struct {
@@ -63,6 +75,8 @@ type Config struct {
 	Crashes []Crash
 	// Flaps is the flapping-link schedule.
 	Flaps []Flap
+	// Outages is the scheduled link-failure-window list.
+	Outages []LinkOutage
 }
 
 func (c Config) validate() error {
@@ -92,6 +106,14 @@ func (c Config) validate() error {
 			return fmt.Errorf("faults: flap (%d,%d) period %d, need > 0", f.U, f.V, f.Period)
 		}
 	}
+	for _, o := range c.Outages {
+		if o.DownAt < 0 {
+			return fmt.Errorf("faults: outage of link (%d,%d) at negative sequence %d", o.U, o.V, o.DownAt)
+		}
+		if o.UpAt > 0 && o.UpAt <= o.DownAt {
+			return fmt.Errorf("faults: outage of link (%d,%d) recovers at %d ≤ down at %d", o.U, o.V, o.UpAt, o.DownAt)
+		}
+	}
 	return nil
 }
 
@@ -104,6 +126,7 @@ type Injector struct {
 	crashes map[topology.NodeID][]Crash
 	flaps   map[topology.EdgeKey]int64 // edge → flap period
 	links   map[topology.EdgeKey]float64
+	outages map[topology.EdgeKey][]LinkOutage
 
 	mu     sync.RWMutex
 	failed map[topology.EdgeKey]bool // links failed at runtime via FailLink
@@ -123,10 +146,15 @@ func New(cfg Config) (*Injector, error) {
 		crashes: make(map[topology.NodeID][]Crash),
 		flaps:   make(map[topology.EdgeKey]int64),
 		links:   make(map[topology.EdgeKey]float64),
+		outages: make(map[topology.EdgeKey][]LinkOutage),
 		failed:  make(map[topology.EdgeKey]bool),
 	}
 	for _, cr := range cfg.Crashes {
 		inj.crashes[cr.Node] = append(inj.crashes[cr.Node], cr)
+	}
+	for _, o := range cfg.Outages {
+		k := topology.MakeEdgeKey(o.U, o.V)
+		inj.outages[k] = append(inj.outages[k], o)
 	}
 	for _, f := range cfg.Flaps {
 		inj.flaps[topology.MakeEdgeKey(f.U, f.V)] = f.Period
@@ -209,6 +237,11 @@ func (i *Injector) LinkDown(u, v topology.NodeID, seq int64) bool {
 	}
 	if period, ok := i.flaps[k]; ok && (seq/period)%2 == 1 {
 		return true
+	}
+	for _, o := range i.outages[k] {
+		if seq >= o.DownAt && (o.UpAt <= 0 || seq < o.UpAt) {
+			return true
+		}
 	}
 	return false
 }

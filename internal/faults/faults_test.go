@@ -19,6 +19,8 @@ func TestConfigValidation(t *testing.T) {
 		{Crashes: []Crash{{Node: 3, DownAt: -1}}},
 		{Crashes: []Crash{{Node: 3, DownAt: 10, UpAt: 5}}},
 		{Flaps: []Flap{{U: 0, V: 1, Period: 0}}},
+		{Outages: []LinkOutage{{U: 0, V: 1, DownAt: -2}}},
+		{Outages: []LinkOutage{{U: 0, V: 1, DownAt: 10, UpAt: 10}}},
 	}
 	for i, cfg := range bad {
 		if _, err := New(cfg); err == nil {
@@ -130,6 +132,42 @@ func TestFlapSchedule(t *testing.T) {
 		if got := inj.LinkDown(5, 2, c.seq); got != c.down {
 			t.Errorf("LinkDown(5,2,%d) = %v, want %v", c.seq, got, c.down)
 		}
+	}
+}
+
+func TestOutageSchedule(t *testing.T) {
+	inj, _ := New(Config{Seed: 1, Outages: []LinkOutage{
+		{U: 2, V: 5, DownAt: 10, UpAt: 30},
+		{U: 6, V: 7, DownAt: 5, UpAt: 0}, // never recovers
+	}})
+	for _, c := range []struct {
+		u, v topology.NodeID
+		seq  int64
+		down bool
+	}{
+		{2, 5, 9, false}, {2, 5, 10, true}, {2, 5, 29, true}, {2, 5, 30, false},
+		{5, 2, 15, true}, // undirected
+		{6, 7, 4, false}, {6, 7, 5, true}, {6, 7, 1 << 40, true},
+		{1, 2, 15, false}, // unscheduled link never down
+	} {
+		if got := inj.LinkDown(c.u, c.v, c.seq); got != c.down {
+			t.Errorf("LinkDown(%d,%d,%d) = %v, want %v", c.u, c.v, c.seq, got, c.down)
+		}
+	}
+	// The Blocked predicate sees outage windows, so alternate-path
+	// recomputes avoid the link while it is down.
+	if !inj.Blocked(15)(2, 5) {
+		t.Error("Blocked predicate misses an active outage")
+	}
+	if inj.Blocked(30)(2, 5) {
+		t.Error("Blocked predicate blocks a recovered link")
+	}
+	// A down outage link on the path deterministically drops the attempt.
+	if !inj.DropAttempt(15, 9, 0, []topology.NodeID{0, 2, 5, 9}) {
+		t.Error("attempt across outage link not dropped")
+	}
+	if inj.DropAttempt(30, 9, 0, []topology.NodeID{0, 2, 5, 9}) {
+		t.Error("attempt dropped after outage recovered")
 	}
 }
 

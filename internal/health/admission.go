@@ -1,0 +1,159 @@
+package health
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Admission is the ingress gate: a token-bucket rate limiter plus a
+// MaxInflight semaphore over the broker pipeline. The broker acquires a
+// slot per accepted publication and releases it when the event has been
+// fully fanned out (or shed), so the semaphore bounds total in-pipeline
+// work, not just the publish queue. Safe for concurrent use.
+type Admission struct {
+	policy Policy
+	clock  func() time.Time
+	met    *metrics
+
+	// slots is the inflight semaphore; len(slots) is the current depth.
+	slots chan struct{}
+
+	// Token bucket, mu-guarded: refilled lazily on each acquire.
+	mu     sync.Mutex
+	rate   float64 // tokens per second; 0 = unlimited
+	burst  float64
+	tokens float64
+	last   time.Time
+
+	// fanoutEWMA tracks the running mean fanout (interested-node count)
+	// of decided events, as float64 bits; ShedLowFanout sheds congested
+	// events whose fanout falls below it.
+	fanoutEWMA atomic.Uint64
+	alpha      float64
+}
+
+func newAdmission(cfg Config, met *metrics) *Admission {
+	return &Admission{
+		policy: cfg.Policy,
+		clock:  cfg.Clock,
+		met:    met,
+		slots:  make(chan struct{}, cfg.MaxInflight),
+		rate:   cfg.RatePerSec,
+		burst:  float64(cfg.Burst),
+		tokens: float64(cfg.Burst),
+		alpha:  cfg.EWMAAlpha,
+	}
+}
+
+// Policy returns the configured overload policy.
+func (a *Admission) Policy() Policy { return a.policy }
+
+// Capacity returns the inflight bound.
+func (a *Admission) Capacity() int { return cap(a.slots) }
+
+// Inflight returns the current number of admitted, not-yet-fanned-out
+// events.
+func (a *Admission) Inflight() int { return len(a.slots) }
+
+// Admit gates one publication. Under Block it waits for a rate-limit
+// token and an inflight slot; under RejectNewest and ShedLowFanout it
+// returns ErrOverloaded instead of waiting. On success the caller owns
+// one inflight slot and must Release it exactly once.
+func (a *Admission) Admit() error {
+	if a.rate > 0 {
+		if !a.takeToken(a.policy == Block) {
+			a.met.rateLimited.Inc()
+			a.met.rejected.Inc()
+			return ErrOverloaded
+		}
+	}
+	if a.policy == Block {
+		a.slots <- struct{}{}
+	} else {
+		select {
+		case a.slots <- struct{}{}:
+		default:
+			a.met.rejected.Inc()
+			return ErrOverloaded
+		}
+	}
+	depth := len(a.slots)
+	a.met.inflight.Set(int64(depth))
+	a.met.queueDepth.Observe(float64(depth))
+	return nil
+}
+
+// Release returns one inflight slot. Safe to call spuriously (an empty
+// semaphore is left empty).
+func (a *Admission) Release() {
+	select {
+	case <-a.slots:
+	default:
+	}
+	a.met.inflight.Set(int64(len(a.slots)))
+}
+
+// takeToken takes one rate-limit token, refilling the bucket from wall
+// time first. With block set it sleeps until a token accrues; otherwise
+// it reports false when the bucket is empty.
+func (a *Admission) takeToken(block bool) bool {
+	for {
+		a.mu.Lock()
+		now := a.clock()
+		if !a.last.IsZero() {
+			a.tokens += now.Sub(a.last).Seconds() * a.rate
+			if a.tokens > a.burst {
+				a.tokens = a.burst
+			}
+		}
+		a.last = now
+		if a.tokens >= 1 {
+			a.tokens--
+			a.mu.Unlock()
+			return true
+		}
+		deficit := 1 - a.tokens
+		a.mu.Unlock()
+		if !block {
+			return false
+		}
+		time.Sleep(time.Duration(deficit / a.rate * float64(time.Second)))
+	}
+}
+
+// NoteFanout folds one decided event's fanout into the running EWMA.
+// Called from the broker's decision stage.
+func (a *Admission) NoteFanout(n int) {
+	for {
+		old := a.fanoutEWMA.Load()
+		prev := math.Float64frombits(old)
+		next := prev + a.alpha*(float64(n)-prev)
+		if prev == 0 {
+			next = float64(n)
+		}
+		if a.fanoutEWMA.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// FanoutEWMA returns the running mean fanout (0 until the first event).
+func (a *Admission) FanoutEWMA() float64 {
+	return math.Float64frombits(a.fanoutEWMA.Load())
+}
+
+// ShouldShed reports whether a decided event with the given fanout should
+// be dropped under congestion: only the ShedLowFanout policy sheds, and
+// only events strictly below the running mean fanout (the cheap ones).
+// The caller records the shed via NoteShed when it actually drops.
+func (a *Admission) ShouldShed(fanout int) bool {
+	if a.policy != ShedLowFanout {
+		return false
+	}
+	return float64(fanout) < a.FanoutEWMA()
+}
+
+// NoteShed records one shed event.
+func (a *Admission) NoteShed() { a.met.shed.Inc() }

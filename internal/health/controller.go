@@ -1,0 +1,126 @@
+package health
+
+import (
+	"sync"
+	"time"
+)
+
+// Signals is the periodic health snapshot the broker's control loop feeds
+// the Controller: quarantine state from the engine (via the broker's
+// atomic mirror), breaker state from the Tracker, and cumulative
+// overload/loss counts.
+type Signals struct {
+	QuarantinedGroups int
+	TotalGroups       int
+	OpenBreakers      int
+	HalfOpenBreakers  int
+	// Cumulative counters; the controller differentiates successive
+	// snapshots to detect fresh failures.
+	Shed     int64
+	Rejected int64
+	Lost     int64
+	Skipped  int64
+}
+
+// quarantineFraction is the fraction of groups currently quarantined.
+func (s Signals) quarantineFraction() float64 {
+	if s.TotalGroups <= 0 {
+		return 0
+	}
+	return float64(s.QuarantinedGroups) / float64(s.TotalGroups)
+}
+
+// Controller is the self-healing policy: given periodic Signals it decides
+// when an automatic Engine.Refresh is warranted. The decision rule, in
+// order:
+//
+//   - nothing is quarantined → healthy, no refresh;
+//   - at least ForceRefreshFraction of groups quarantined → refresh even
+//     with open breakers (the system is mostly degraded to unicast;
+//     rebuilding at worst re-probes), subject to MinRefreshInterval;
+//   - otherwise wait for StableTicks consecutive ticks with every breaker
+//     closed and no new shed/lost/skipped deliveries — refreshing while
+//     paths are still dead would immediately re-quarantine the rebuilt
+//     groups — then refresh, subject to MinRefreshInterval.
+//
+// The broker owns the engine, so the Controller never refreshes anything
+// itself: Decide returning true makes the broker route a refresh request
+// to its decision goroutine.
+type Controller struct {
+	cfg   Config
+	clock func() time.Time
+
+	mu          sync.Mutex
+	lastRefresh time.Time
+	stableTicks int
+	prev        Signals
+	havePrev    bool
+	decided     int64
+}
+
+func newController(cfg Config) *Controller {
+	return &Controller{cfg: cfg, clock: cfg.Clock}
+}
+
+// Enabled reports whether the control loop should run at all.
+func (c *Controller) Enabled() bool { return c.cfg.AutoRefresh }
+
+// Interval returns the control-loop tick period.
+func (c *Controller) Interval() time.Duration { return c.cfg.CheckInterval }
+
+// WarmIters returns the Refresh warm-start iteration count for automatic
+// refreshes.
+func (c *Controller) WarmIters() int { return c.cfg.WarmIters }
+
+// Decide consumes one Signals snapshot and reports whether the broker
+// should trigger an automatic refresh now. Not safe to call concurrently
+// with itself, but guarded so tests and status dumps can race it safely.
+func (c *Controller) Decide(s Signals) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	newFailures := c.havePrev &&
+		(s.Shed > c.prev.Shed || s.Lost > c.prev.Lost || s.Skipped > c.prev.Skipped)
+	c.prev, c.havePrev = s, true
+
+	if s.QuarantinedGroups == 0 {
+		c.stableTicks = 0
+		return false
+	}
+
+	pathsHealthy := s.OpenBreakers == 0 && s.HalfOpenBreakers == 0
+	if pathsHealthy && !newFailures {
+		c.stableTicks++
+	} else {
+		c.stableTicks = 0
+	}
+
+	force := s.quarantineFraction() >= c.cfg.ForceRefreshFraction
+	if !force && c.stableTicks < c.cfg.StableTicks {
+		return false
+	}
+
+	now := c.clock()
+	if !c.lastRefresh.IsZero() && now.Sub(c.lastRefresh) < c.cfg.MinRefreshInterval {
+		return false
+	}
+	c.lastRefresh = now
+	c.stableTicks = 0
+	c.decided++
+	return true
+}
+
+// Decisions returns how many refreshes the controller has triggered.
+func (c *Controller) Decisions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.decided
+}
+
+// LastRefresh returns when the controller last triggered a refresh (zero
+// before the first).
+func (c *Controller) LastRefresh() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastRefresh
+}

@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"sort"
+	"sync"
+)
+
+// WindowStats aggregates delivery outcomes over one window of the event
+// sequence: events whose sequence number lies in
+// [Window·width, (Window+1)·width).
+type WindowStats struct {
+	// Window is the window index.
+	Window int64
+	// Delivered counts events whose fan-out completed; Cost is their total
+	// delivered cost.
+	Delivered int64
+	Cost      float64
+	// Shed, Rejected and Lost count events dropped by overload shedding,
+	// refused at admission, and abandoned by the delivery ladder.
+	Shed     int64
+	Rejected int64
+	Lost     int64
+}
+
+// MeanCost is the average delivered cost per delivered event in the window
+// (0 when nothing was delivered).
+func (w WindowStats) MeanCost() float64 {
+	if w.Delivered == 0 {
+		return 0
+	}
+	return w.Cost / float64(w.Delivered)
+}
+
+// ShedRate is the fraction of the window's events that were shed or
+// rejected rather than delivered or lost.
+func (w WindowStats) ShedRate() float64 {
+	total := w.Delivered + w.Shed + w.Rejected + w.Lost
+	if total == 0 {
+		return 0
+	}
+	return float64(w.Shed+w.Rejected) / float64(total)
+}
+
+// WindowSeries bins per-event delivery outcomes into fixed-width sequence
+// windows, producing the delivered-cost and shed-rate time series the
+// recovery experiments plot. Keying windows by event sequence rather than
+// wall time keeps the series deterministic under seeded replays. Safe for
+// concurrent use — the broker reports outcomes from several goroutines.
+type WindowSeries struct {
+	width int64
+
+	mu   sync.Mutex
+	wins map[int64]*WindowStats
+}
+
+// NewWindowSeries builds a series with the given window width (events per
+// window). Width must be ≥ 1.
+func NewWindowSeries(width int64) *WindowSeries {
+	if width < 1 {
+		width = 1
+	}
+	return &WindowSeries{width: width, wins: make(map[int64]*WindowStats)}
+}
+
+// Width returns the window width in events.
+func (s *WindowSeries) Width() int64 { return s.width }
+
+func (s *WindowSeries) win(seq int64) *WindowStats {
+	idx := seq / s.width
+	if seq < 0 {
+		idx = 0
+	}
+	w, ok := s.wins[idx]
+	if !ok {
+		w = &WindowStats{Window: idx}
+		s.wins[idx] = w
+	}
+	return w
+}
+
+// ObserveDelivered records one delivered event and its delivery cost.
+func (s *WindowSeries) ObserveDelivered(seq int64, cost float64) {
+	s.mu.Lock()
+	w := s.win(seq)
+	w.Delivered++
+	w.Cost += cost
+	s.mu.Unlock()
+}
+
+// ObserveShed records one event dropped by overload shedding.
+func (s *WindowSeries) ObserveShed(seq int64) {
+	s.mu.Lock()
+	s.win(seq).Shed++
+	s.mu.Unlock()
+}
+
+// ObserveRejected records one event refused at admission.
+func (s *WindowSeries) ObserveRejected(seq int64) {
+	s.mu.Lock()
+	s.win(seq).Rejected++
+	s.mu.Unlock()
+}
+
+// ObserveLost records one event abandoned by the delivery ladder.
+func (s *WindowSeries) ObserveLost(seq int64) {
+	s.mu.Lock()
+	s.win(seq).Lost++
+	s.mu.Unlock()
+}
+
+// Series returns the populated windows ascending by window index. Empty
+// windows between populated ones are filled in (all-zero), so the series
+// plots with a uniform x-axis.
+func (s *WindowSeries) Series() []WindowStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.wins) == 0 {
+		return nil
+	}
+	lo, hi := int64(0), int64(0)
+	first := true
+	for idx := range s.wins {
+		if first || idx < lo {
+			lo = idx
+		}
+		if first || idx > hi {
+			hi = idx
+		}
+		first = false
+	}
+	out := make([]WindowStats, 0, hi-lo+1)
+	for idx := lo; idx <= hi; idx++ {
+		if w, ok := s.wins[idx]; ok {
+			out = append(out, *w)
+		} else {
+			out = append(out, WindowStats{Window: idx})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Window < out[j].Window })
+	return out
+}

@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestWindowSeriesBinning(t *testing.T) {
+	s := NewWindowSeries(10)
+	s.ObserveDelivered(0, 4)
+	s.ObserveDelivered(9, 6)
+	s.ObserveShed(5)
+	s.ObserveDelivered(10, 8) // next window
+	s.ObserveLost(25)         // window 2
+	s.ObserveRejected(25)
+
+	got := s.Series()
+	if len(got) != 3 {
+		t.Fatalf("len(Series) = %d, want 3", len(got))
+	}
+	w0 := got[0]
+	if w0.Window != 0 || w0.Delivered != 2 || w0.Shed != 1 || w0.Cost != 10 {
+		t.Errorf("window 0 = %+v", w0)
+	}
+	if mc := w0.MeanCost(); mc != 5 {
+		t.Errorf("window 0 MeanCost = %v, want 5", mc)
+	}
+	if sr := w0.ShedRate(); sr != 1.0/3 {
+		t.Errorf("window 0 ShedRate = %v, want 1/3", sr)
+	}
+	if got[1].Window != 1 || got[1].Delivered != 1 {
+		t.Errorf("window 1 = %+v", got[1])
+	}
+	w2 := got[2]
+	if w2.Window != 2 || w2.Lost != 1 || w2.Rejected != 1 {
+		t.Errorf("window 2 = %+v", w2)
+	}
+	if mc := w2.MeanCost(); mc != 0 {
+		t.Errorf("empty-delivery MeanCost = %v, want 0", mc)
+	}
+}
+
+func TestWindowSeriesFillsGaps(t *testing.T) {
+	s := NewWindowSeries(5)
+	s.ObserveDelivered(0, 1)
+	s.ObserveDelivered(20, 1) // window 4; windows 1–3 untouched
+	got := s.Series()
+	if len(got) != 5 {
+		t.Fatalf("len(Series) = %d, want 5 (gaps filled)", len(got))
+	}
+	for i, w := range got {
+		if w.Window != int64(i) {
+			t.Errorf("window %d has index %d", i, w.Window)
+		}
+	}
+	if got[2].Delivered != 0 || got[2].ShedRate() != 0 {
+		t.Errorf("gap window not zero: %+v", got[2])
+	}
+}
+
+func TestWindowSeriesEdgeCases(t *testing.T) {
+	if got := NewWindowSeries(3).Series(); got != nil {
+		t.Errorf("empty series = %v, want nil", got)
+	}
+	// Width < 1 is clamped rather than dividing by zero.
+	s := NewWindowSeries(0)
+	if s.Width() != 1 {
+		t.Errorf("Width = %d, want clamped 1", s.Width())
+	}
+	s.ObserveDelivered(-3, 1) // negative sequences clamp to window 0
+	if got := s.Series(); len(got) != 1 || got[0].Window != 0 {
+		t.Errorf("negative-seq series = %+v", got)
+	}
+}
+
+func TestWindowSeriesConcurrent(t *testing.T) {
+	s := NewWindowSeries(100)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				seq := int64(g*500 + i)
+				s.ObserveDelivered(seq, 1)
+				s.ObserveShed(seq)
+			}
+		}(g)
+	}
+	wg.Wait()
+	var delivered, shed int64
+	for _, w := range s.Series() {
+		delivered += w.Delivered
+		shed += w.Shed
+	}
+	if delivered != 4000 || shed != 4000 {
+		t.Errorf("delivered %d shed %d, want 4000 each", delivered, shed)
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/health"
 	"repro/internal/multicast"
 	"repro/internal/noloss"
 	"repro/internal/space"
@@ -230,8 +231,49 @@ var (
 	WithTelemetry = broker.WithTelemetry
 	// WithTracer records per-event lifecycle traces.
 	WithTracer = broker.WithTracer
+	// WithHealth attaches overload protection and the self-healing control
+	// loop to a broker.
+	WithHealth = broker.WithHealth
+	// WithDecisionObserver registers a per-decision callback with priced
+	// costs (runs on the decision goroutine; keep it fast).
+	WithDecisionObserver = broker.WithDecisionObserver
 	// ErrBrokerClosed is returned by Publish after Close.
 	ErrBrokerClosed = broker.ErrClosed
+)
+
+// Health: admission control, per-destination circuit breakers and the
+// self-healing control loop (see the Failure handling lifecycle section of
+// DESIGN.md).
+type (
+	// Health bundles the overload-protection subsystem for one broker.
+	Health = health.Health
+	// HealthConfig tunes admission, breakers and the control loop.
+	HealthConfig = health.Config
+	// AdmissionPolicy selects the overload response.
+	AdmissionPolicy = health.Policy
+	// BreakerSnapshot is a point-in-time view of the circuit breakers.
+	BreakerSnapshot = health.TrackerSnapshot
+)
+
+// Overload policies.
+const (
+	// BlockPolicy is lossless backpressure: Publish waits for a slot.
+	BlockPolicy = health.Block
+	// RejectNewestPolicy fails fast with ErrOverloaded when saturated.
+	RejectNewestPolicy = health.RejectNewest
+	// ShedLowFanoutPolicy drops decided events below the mean fanout when
+	// the pipeline congests.
+	ShedLowFanoutPolicy = health.ShedLowFanout
+)
+
+// Health constructors and errors.
+var (
+	// NewHealth validates a config and builds the health subsystem.
+	NewHealth = health.New
+	// ParseAdmissionPolicy maps flag spellings to policies.
+	ParseAdmissionPolicy = health.ParsePolicy
+	// ErrOverloaded is returned by Publish under RejectNewest admission.
+	ErrOverloaded = health.ErrOverloaded
 )
 
 // Telemetry: zero-dependency metrics, per-event tracing and exporters (see
@@ -274,6 +316,8 @@ type (
 	Crash = faults.Crash
 	// Flap periodically fails one link.
 	Flap = faults.Flap
+	// LinkOutage takes one link down for a sequence-number window.
+	LinkOutage = faults.LinkOutage
 	// EdgeKey canonically identifies an undirected network edge.
 	EdgeKey = topology.EdgeKey
 )

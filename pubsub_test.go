@@ -128,6 +128,56 @@ func TestFacadeBroker(t *testing.T) {
 	}
 }
 
+func TestFacadeHealth(t *testing.T) {
+	w, train := buildWorld(t, 200, 96)
+	engine, err := pubsub.NewEngineFromWorld(w, train, pubsub.EngineConfig{
+		Groups: 10, CellBudget: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := pubsub.ParseAdmissionPolicy("reject")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol != pubsub.RejectNewestPolicy {
+		t.Fatalf("ParseAdmissionPolicy(reject) = %v", pol)
+	}
+	h, err := pubsub.NewHealth(pubsub.HealthConfig{
+		MaxInflight: 64,
+		Policy:      pubsub.BlockPolicy,
+		AutoRefresh: true,
+		Seed:        96,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decisions := 0
+	b, err := pubsub.NewBroker(engine, pubsub.WithWorkers(2), pubsub.WithHealth(h),
+		pubsub.WithDecisionObserver(func(seq int64, ev pubsub.Event, d pubsub.Decision, c pubsub.DeliveryCosts) {
+			decisions++
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range w.Events(50, 97) {
+		if err := b.Publish(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Close()
+	if decisions != 50 {
+		t.Errorf("decision observer saw %d events, want 50", decisions)
+	}
+	var snap pubsub.BreakerSnapshot = h.Tracker.Snapshot()
+	if snap.Open != 0 {
+		t.Errorf("healthy run opened %d breakers", snap.Open)
+	}
+	if st := b.Stats(); st.Rejected != 0 || st.Shed != 0 {
+		t.Errorf("lossless run rejected %d shed %d", st.Rejected, st.Shed)
+	}
+}
+
 func TestFacadeCustomWorldAndPredicates(t *testing.T) {
 	g, err := pubsub.GenerateTopology(pubsub.Net100)
 	if err != nil {
