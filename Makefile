@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: all build test tier1 race chaos bench bench-json vet staticcheck fmt
+.PHONY: all build test tier1 race chaos bench bench-json bench-baseline bench-smoke vet staticcheck fmt
+
+# Label recorded next to a bench-baseline entry in BENCH_cluster.json.
+BENCH_LABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo local)
 
 all: build tier1
 
@@ -43,6 +46,21 @@ bench:
 bench-json:
 	mkdir -p results
 	$(GO) test -json -bench=. -benchmem -run=^$$ . > results/bench.json
+
+# bench-baseline re-runs the clustering perf-trajectory benchmarks
+# (n=1200 hyper-cells, 6000 subscribers) with -count=3 and appends a
+# labelled entry to BENCH_cluster.json, with speedups computed against
+# the file's first (pre-optimisation) entry. Override the label with
+# BENCH_LABEL=mylabel.
+bench-baseline:
+	$(GO) test -run '^$$' -bench 'BenchmarkPairwiseExact$$|BenchmarkForgy$$|BenchmarkMacQueen$$|BenchmarkMSTCluster$$|BenchmarkPairwiseApprox$$' \
+		-benchmem -count=3 ./internal/cluster/ | \
+		$(GO) run ./cmd/benchrecord -file BENCH_cluster.json -label "$(BENCH_LABEL)"
+
+# bench-smoke compiles and runs every benchmark in the repo exactly once —
+# a cheap CI guard that benchmarks keep building and don't panic.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
 
 vet:
 	$(GO) vet ./...

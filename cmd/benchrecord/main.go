@@ -1,0 +1,188 @@
+// Command benchrecord appends a labelled entry to a JSON benchmark
+// trajectory file (BENCH_cluster.json at the repo root) from `go test
+// -bench` text output on stdin. Each entry stores per-benchmark mean
+// ns/op, B/op and allocs/op aggregated across -count repetitions,
+// benchstat-style, plus the speedup of every benchmark relative to the
+// file's first entry — so the trajectory reads as before/after columns.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem -count 3 ./internal/cluster/ |
+//	    go run ./cmd/benchrecord -file BENCH_cluster.json -label "post-PR"
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Stat is one benchmark's aggregate over the repetitions in a run.
+type Stat struct {
+	NsOp   float64 `json:"ns_op"`          // mean ns/op
+	MinNs  float64 `json:"min_ns_op"`      // fastest repetition
+	MaxNs  float64 `json:"max_ns_op"`      // slowest repetition
+	BOp    float64 `json:"b_op,omitempty"` // mean B/op (with -benchmem)
+	Allocs float64 `json:"allocs_op,omitempty"`
+	Count  int     `json:"count"` // number of repetitions aggregated
+	// SpeedupVsFirst is first-entry ns/op ÷ this entry's ns/op for
+	// benchmarks present in both; > 1 means faster than the baseline.
+	SpeedupVsFirst float64 `json:"speedup_vs_first,omitempty"`
+}
+
+// Entry is one labelled benchmark run.
+type Entry struct {
+	Label      string          `json:"label"`
+	Date       string          `json:"date"`
+	GoVersion  string          `json:"go_version"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Benchmarks map[string]Stat `json:"benchmarks"`
+}
+
+// File is the whole trajectory: entries in chronological order, the first
+// being the recorded baseline every later entry is compared against.
+type File struct {
+	Schema  string  `json:"schema"`
+	Entries []Entry `json:"entries"`
+}
+
+// benchLine matches go test benchmark result lines, e.g.
+// "BenchmarkForgy-8   3   41002 ns/op   160 B/op   2 allocs/op".
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+func main() {
+	file := flag.String("file", "BENCH_cluster.json", "trajectory file to update")
+	label := flag.String("label", "local", "label for this entry")
+	flag.Parse()
+
+	entry, err := parse(os.Stdin, *label)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchrecord: %v\n", err)
+		os.Exit(1)
+	}
+	if err := update(*file, entry); err != nil {
+		fmt.Fprintf(os.Stderr, "benchrecord: %v\n", err)
+		os.Exit(1)
+	}
+	names := make([]string, 0, len(entry.Benchmarks))
+	for n := range entry.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s := entry.Benchmarks[n]
+		fmt.Printf("%-40s %14.0f ns/op  ×%d\n", n, s.NsOp, s.Count)
+	}
+	fmt.Printf("recorded %d benchmark(s) as %q in %s\n", len(names), *label, *file)
+}
+
+// parse aggregates the benchmark lines on r into one entry.
+func parse(r *os.File, label string) (Entry, error) {
+	type acc struct {
+		ns, b, allocs []float64
+	}
+	accs := map[string]*acc{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		a := accs[m[1]]
+		if a == nil {
+			a = &acc{}
+			accs[m[1]] = a
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return Entry{}, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+		}
+		a.ns = append(a.ns, ns)
+		if m[3] != "" {
+			v, _ := strconv.ParseFloat(m[3], 64)
+			a.b = append(a.b, v)
+		}
+		if m[4] != "" {
+			v, _ := strconv.ParseFloat(m[4], 64)
+			a.allocs = append(a.allocs, v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Entry{}, err
+	}
+	if len(accs) == 0 {
+		return Entry{}, fmt.Errorf("no benchmark result lines on stdin")
+	}
+	e := Entry{
+		Label:      label,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: map[string]Stat{},
+	}
+	for name, a := range accs {
+		st := Stat{Count: len(a.ns), MinNs: a.ns[0], MaxNs: a.ns[0]}
+		for _, v := range a.ns {
+			st.NsOp += v
+			if v < st.MinNs {
+				st.MinNs = v
+			}
+			if v > st.MaxNs {
+				st.MaxNs = v
+			}
+		}
+		st.NsOp /= float64(len(a.ns))
+		st.BOp = mean(a.b)
+		st.Allocs = mean(a.allocs)
+		e.Benchmarks[name] = st
+	}
+	return e, nil
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// update loads the trajectory file (if present), appends the entry with
+// speedups computed against the first entry, and writes it back.
+func update(path string, entry Entry) error {
+	f := File{Schema: "bench-trajectory/v1"}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &f); err != nil {
+			return fmt.Errorf("existing %s is not a trajectory file: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	if len(f.Entries) > 0 {
+		base := f.Entries[0].Benchmarks
+		for name, st := range entry.Benchmarks {
+			if b, ok := base[name]; ok && st.NsOp > 0 {
+				st.SpeedupVsFirst = b.NsOp / st.NsOp
+				entry.Benchmarks[name] = st
+			}
+		}
+	}
+	f.Entries = append(f.Entries, entry)
+	out, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

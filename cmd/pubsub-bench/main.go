@@ -34,10 +34,15 @@
 //	-subs N      subscriptions in the §5.1 workload (default 1000)
 //	-modes N     publication mixture modes: 1, 4 or 9 (default 1)
 //	-quick       shrink all sweeps for a fast smoke run
+//	-workers N   clustering worker count inside each algorithm; 0 (the
+//	             default) resolves to GOMAXPROCS, negatives are rejected.
+//	             The effective parallelism is echoed in each run header.
 //	-csv DIR     additionally write CSV files into DIR
 //	-metrics F   write a telemetry snapshot (JSON) to F; fig7 additionally
 //	             collects per-algorithm cost distributions with
 //	             p50/p95/p99, clustering times and matcher waste ratios
+//	-cpuprofile F  write a pprof CPU profile of the run to F
+//	-memprofile F  write a pprof heap profile to F on exit
 package main
 
 import (
@@ -46,6 +51,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/cluster"
 	"repro/internal/experiments"
@@ -54,14 +61,17 @@ import (
 )
 
 type options struct {
-	seed     int64
-	events   int
-	subs     int
-	modes    int
-	quick    bool
-	parallel int
-	csvDir   string
-	metrics  string
+	seed       int64
+	events     int
+	subs       int
+	modes      int
+	quick      bool
+	parallel   int
+	workers    int
+	csvDir     string
+	metrics    string
+	cpuprofile string
+	memprofile string
 }
 
 func main() {
@@ -72,8 +82,11 @@ func main() {
 	flag.IntVar(&opt.modes, "modes", 1, "publication mixture modes (1, 4 or 9)")
 	flag.BoolVar(&opt.quick, "quick", false, "shrink sweeps for a fast run")
 	flag.IntVar(&opt.parallel, "parallel", 0, "worker count for fig7 (0 = sequential, -1 = GOMAXPROCS)")
+	flag.IntVar(&opt.workers, "workers", 0, "clustering worker count inside each algorithm (0 = GOMAXPROCS)")
 	flag.StringVar(&opt.csvDir, "csv", "", "directory for CSV output")
 	flag.StringVar(&opt.metrics, "metrics", "", "file for a JSON telemetry snapshot (fig7)")
+	flag.StringVar(&opt.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&opt.memprofile, "memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"usage: pubsub-bench [flags] table1|table2|baseline|fig7|fig8|fig9|fig10|fig11|scenarios|ablation|faults|recovery|all\n")
@@ -84,13 +97,59 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), opt); err != nil {
+	if opt.workers < 0 {
+		fmt.Fprintf(os.Stderr, "pubsub-bench: -workers %d is negative; use 0 for GOMAXPROCS\n", opt.workers)
+		os.Exit(2)
+	}
+	if err := profiledRun(flag.Arg(0), opt); err != nil {
 		fmt.Fprintf(os.Stderr, "pubsub-bench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
+// profiledRun wraps run with the optional CPU/heap profilers, keeping the
+// profile flushes out of os.Exit's way.
+func profiledRun(name string, opt options) error {
+	if opt.cpuprofile != "" {
+		f, err := os.Create(opt.cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpu profile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpu profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	err := run(name, opt)
+	if opt.memprofile != "" {
+		f, merr := os.Create(opt.memprofile)
+		if merr != nil {
+			return fmt.Errorf("mem profile: %w", merr)
+		}
+		defer f.Close()
+		runtime.GC()
+		if merr := pprof.WriteHeapProfile(f); merr != nil {
+			return fmt.Errorf("mem profile: %w", merr)
+		}
+	}
+	return err
+}
+
+// effectiveWorkers resolves the -workers flag the same way the cluster
+// package does: 0 means GOMAXPROCS.
+func (o options) effectiveWorkers() int {
+	if o.workers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.workers
+}
+
 func run(name string, opt options) error {
+	if name != "all" {
+		fmt.Printf("# %s: clustering parallelism %d worker(s) (-workers %d, 0 ⇒ GOMAXPROCS)\n",
+			name, opt.effectiveWorkers(), opt.workers)
+	}
 	switch name {
 	case "table1":
 		return runTable(opt, "Table 1 (degree 0.4 regionalism)", 0.4, "table1.csv")
@@ -147,15 +206,27 @@ func (o options) envConfig() experiments.StockEnvConfig {
 }
 
 func (o options) algorithms() []experiments.AlgorithmSpec {
+	specs := experiments.DefaultAlgorithms()
 	if o.quick {
-		return []experiments.AlgorithmSpec{
+		specs = []experiments.AlgorithmSpec{
 			{Alg: &cluster.KMeans{Variant: cluster.MacQueen}, Budget: 800},
 			{Alg: &cluster.KMeans{Variant: cluster.Forgy}, Budget: 800},
-			{Alg: cluster.MST{}, Budget: 800},
+			{Alg: &cluster.MST{}, Budget: 800},
 			{Alg: &cluster.Pairwise{Approx: true}, Budget: 500},
 		}
 	}
-	return experiments.DefaultAlgorithms()
+	// -workers pins the clustering parallelism of every algorithm; with the
+	// flag at its default 0 the algorithms keep their own default, which
+	// already resolves to GOMAXPROCS. RunFig7Parallel re-divides this when
+	// job-level parallelism is also requested.
+	if o.workers > 0 {
+		for _, s := range specs {
+			if p, ok := s.Alg.(cluster.Parallel); ok {
+				p.SetParallelism(o.workers)
+			}
+		}
+	}
+	return specs
 }
 
 func (o options) nolossConfig() noloss.Config {

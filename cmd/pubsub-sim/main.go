@@ -270,7 +270,7 @@ func run(opt options) error {
 	case "forgy":
 		cfg.Algorithm = &cluster.KMeans{Variant: cluster.Forgy}
 	case "mst":
-		cfg.Algorithm = cluster.MST{}
+		cfg.Algorithm = &cluster.MST{}
 	case "pairs":
 		cfg.Algorithm = &cluster.Pairwise{}
 	case "approx-pairs":

@@ -186,6 +186,109 @@ func (s *Set) AndNotCount(t *Set) int {
 	return c
 }
 
+// WastePair returns (|s ∖ t|, |t ∖ s|) in a single fused word loop. The
+// expected-waste distance needs both AND-NOT counts; computing them
+// together halves the memory traffic of two AndNotCount passes.
+func (s *Set) WastePair(t *Set) (sNotT, tNotS int) {
+	s.checkSame(t)
+	tw := t.words
+	for i, w := range s.words {
+		v := tw[i]
+		sNotT += bits.OnesCount64(w &^ v)
+		tNotS += bits.OnesCount64(v &^ w)
+	}
+	return sNotT, tNotS
+}
+
+// UnionWithCount sets s = s ∪ t in place and returns the resulting |s ∪ t|,
+// fusing UnionWith and Count into one pass.
+func (s *Set) UnionWithCount(t *Set) int {
+	s.checkSame(t)
+	c := 0
+	for i, w := range t.words {
+		u := s.words[i] | w
+		s.words[i] = u
+		c += bits.OnesCount64(u)
+	}
+	return c
+}
+
+// wasteBlockWords is the number of words of the streamed set processed per
+// block in WasteMany: 4 KiB, small enough to stay resident in L1 while the
+// block is replayed against every group vector.
+const wasteBlockWords = 512
+
+// WasteMany computes, for every g, the fused AND-NOT pair of a against
+// bs[g]: aNotB[g] = |a ∖ bs[g]| and bNotA[g] = |bs[g] ∖ a|. The word array
+// of a is streamed once per block across all group vectors (rather than
+// once per group), so a K-way nearest-group scan touches a's memory K×
+// less. aNotB and bNotA must have at least len(bs) entries.
+func WasteMany(a *Set, bs []*Set, aNotB, bNotA []int) {
+	if len(aNotB) < len(bs) || len(bNotA) < len(bs) {
+		panic(fmt.Sprintf("bitset: WasteMany output length %d/%d for %d sets",
+			len(aNotB), len(bNotA), len(bs)))
+	}
+	for _, t := range bs {
+		a.checkSame(t)
+	}
+	for g := range bs {
+		aNotB[g], bNotA[g] = 0, 0
+	}
+	words := a.words
+	for lo := 0; lo < len(words); lo += wasteBlockWords {
+		hi := lo + wasteBlockWords
+		if hi > len(words) {
+			hi = len(words)
+		}
+		blk := words[lo:hi]
+		for g, t := range bs {
+			tw := t.words[lo:hi]
+			ca, cb := 0, 0
+			for i, w := range blk {
+				v := tw[i]
+				ca += bits.OnesCount64(w &^ v)
+				cb += bits.OnesCount64(v &^ w)
+			}
+			aNotB[g] += ca
+			bNotA[g] += cb
+		}
+	}
+}
+
+// IntersectMany computes x[g] = |a ∩ bs[g]| for every g, streaming a's
+// word array once per block across all group vectors like WasteMany. It is
+// the cheapest batch kernel for nearest-group scans: callers that track
+// set cardinalities can recover both AND-NOT counts from the intersection
+// alone (|a ∖ b| = |a| − |a ∩ b|), paying one popcount per word instead of
+// two. x must have at least len(bs) entries.
+func IntersectMany(a *Set, bs []*Set, x []int) {
+	if len(x) < len(bs) {
+		panic(fmt.Sprintf("bitset: IntersectMany output length %d for %d sets", len(x), len(bs)))
+	}
+	for _, t := range bs {
+		a.checkSame(t)
+	}
+	for g := range bs {
+		x[g] = 0
+	}
+	words := a.words
+	for lo := 0; lo < len(words); lo += wasteBlockWords {
+		hi := lo + wasteBlockWords
+		if hi > len(words) {
+			hi = len(words)
+		}
+		blk := words[lo:hi]
+		for g, t := range bs {
+			tw := t.words[lo:hi]
+			c := 0
+			for i, w := range blk {
+				c += bits.OnesCount64(w & tw[i])
+			}
+			x[g] += c
+		}
+	}
+}
+
 // IntersectCount returns |s ∩ t| without allocating.
 func (s *Set) IntersectCount(t *Set) int {
 	s.checkSame(t)
@@ -263,22 +366,29 @@ func (s *Set) Indices() []int {
 	return out
 }
 
-// Hash returns an order-independent 64-bit FNV-1a style hash of the set's
-// contents, suitable for hyper-cell coalescing buckets. Equal sets always
-// hash equally.
+// Hash returns a 64-bit hash of the set's contents, suitable for
+// hyper-cell coalescing buckets. Equal sets always hash equally. The loop
+// folds whole words through a splitmix64-style mixer — 8× fewer multiply
+// steps than the previous byte-at-a-time FNV-1a — and is deterministic
+// across runs, so coalescing buckets are stable.
 func (s *Set) Hash() uint64 {
-	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
-	)
-	h := uint64(offset)
+	const prime = 1099511628211 // FNV-1a 64-bit prime
+	h := uint64(14695981039346656037)
 	for _, w := range s.words {
-		for b := 0; b < 8; b++ {
-			h ^= (w >> (8 * b)) & 0xff
-			h *= prime
-		}
+		h = (h ^ mix64(w)) * prime
 	}
 	return h
+}
+
+// mix64 is the splitmix64 finalizer: a cheap invertible avalanche so that
+// sparse word values still flip about half the hash bits.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // String renders the set as a compact list like "{1, 5, 9}".

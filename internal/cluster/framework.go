@@ -63,9 +63,11 @@ type Algorithm interface {
 }
 
 // Dist is the expected-waste distance between two (hyper-)cells or groups
-// with probabilities pa, pb and membership vectors sa, sb.
+// with probabilities pa, pb and membership vectors sa, sb. The two AND-NOT
+// population counts come out of one fused word loop (bitset.WastePair).
 func Dist(pa float64, sa *bitset.Set, pb float64, sb *bitset.Set) float64 {
-	return pa*float64(sa.AndNotCount(sb)) + pb*float64(sb.AndNotCount(sa))
+	aNotB, bNotA := sa.WastePair(sb)
+	return pa*float64(aNotB) + pb*float64(bNotA)
 }
 
 // BuildInput rasterises the world's subscriptions onto the grid, estimates

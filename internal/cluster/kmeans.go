@@ -29,16 +29,25 @@ func (v Variant) String() string {
 }
 
 // KMeans is the iterative cell-clustering algorithm. The zero value is a
-// MacQueen K-means with the paper's default iteration cap.
+// MacQueen K-means with the paper's default iteration cap, sharding its
+// frozen-vector distance scans across GOMAXPROCS workers.
 type KMeans struct {
 	Variant Variant
 	// MaxIters caps re-assignment passes; the paper uses 100 and observes
 	// convergence in under 20. Defaults to 100 when 0.
 	MaxIters int
+	// Parallelism is the worker count for the frozen-vector distance scans
+	// (initial seeding and the Forgy assignment pass): 0 means GOMAXPROCS,
+	// 1 forces the sequential path. Assignments are byte-identical for
+	// every worker count.
+	Parallelism int
 }
 
 // Name implements Algorithm.
 func (k *KMeans) Name() string { return k.Variant.String() }
+
+// SetParallelism implements Parallel.
+func (k *KMeans) SetParallelism(workers int) { k.Parallelism = workers }
 
 // kstate tracks the mutable cluster vectors: per-subscriber containment
 // counts (so removals are exact), the derived membership bitsets, the
@@ -47,23 +56,39 @@ type kstate struct {
 	in      *Input
 	counts  [][]int32
 	members []*bitset.Set
+	ones    []int // ones[g] = st.members[g].Count(), maintained incrementally
 	prob    []float64
 	size    []int
 	assign  Assignment
+	workers int
+	// cellOnes[ci] = in.Cells[ci].Members.Count(), precomputed once so the
+	// nearest-group scan can derive both AND-NOT counts from intersection
+	// counts alone (one popcount per word instead of two).
+	cellOnes []int
+	// xCnt is the sequential-path scratch buffer for the batched
+	// intersection scan; sharded passes allocate per-worker copies.
+	xCnt []int
 }
 
-func newKState(in *Input, k int) *kstate {
+func newKState(in *Input, k, workers int) *kstate {
 	st := &kstate{
-		in:      in,
-		counts:  make([][]int32, k),
-		members: make([]*bitset.Set, k),
-		prob:    make([]float64, k),
-		size:    make([]int, k),
-		assign:  make(Assignment, len(in.Cells)),
+		in:       in,
+		counts:   make([][]int32, k),
+		members:  make([]*bitset.Set, k),
+		ones:     make([]int, k),
+		prob:     make([]float64, k),
+		size:     make([]int, k),
+		assign:   make(Assignment, len(in.Cells)),
+		workers:  workers,
+		cellOnes: make([]int, len(in.Cells)),
+		xCnt:     make([]int, k),
 	}
 	for g := 0; g < k; g++ {
 		st.counts[g] = make([]int32, in.NumSubscribers)
 		st.members[g] = bitset.New(in.NumSubscribers)
+	}
+	for ci := range in.Cells {
+		st.cellOnes[ci] = in.Cells[ci].Members.Count()
 	}
 	for i := range st.assign {
 		st.assign[i] = -1
@@ -77,6 +102,7 @@ func (st *kstate) add(ci, g int) {
 		st.counts[g][i]++
 		if st.counts[g][i] == 1 {
 			st.members[g].Set(i)
+			st.ones[g]++
 		}
 		return true
 	})
@@ -92,6 +118,7 @@ func (st *kstate) remove(ci int) {
 		st.counts[g][i]--
 		if st.counts[g][i] == 0 {
 			st.members[g].Clear(i)
+			st.ones[g]--
 		}
 		return true
 	})
@@ -101,17 +128,79 @@ func (st *kstate) remove(ci int) {
 }
 
 // closest returns the group whose membership vector is nearest to cell ci
-// under the expected-waste distance.
+// under the expected-waste distance. Ties break to the lowest group index.
 func (st *kstate) closest(ci int) int {
+	return st.closestWith(ci, st.xCnt)
+}
+
+// closestWith is closest with caller-owned scratch (len ≥ #groups), so
+// sharded passes can evaluate cells concurrently. The cell's words are
+// streamed once against all K group vectors via the batched intersection
+// kernel instead of rescanned per group; both AND-NOT counts fall out of
+// the tracked cardinalities (|a ∖ g| = |a| − x, |g ∖ a| = |g| − x), so the
+// scan pays one popcount per word where the naive loop pays four. The
+// subtractions are exact integer arithmetic, so the distances — and the
+// chosen group — are bit-identical to the two-scan formulation.
+func (st *kstate) closestWith(ci int, xCnt []int) int {
 	cell := &st.in.Cells[ci]
+	bitset.IntersectMany(cell.Members, st.members, xCnt)
+	ca := st.cellOnes[ci]
 	best, bestD := -1, 0.0
 	for g := range st.members {
-		d := Dist(cell.Prob, cell.Members, st.prob[g], st.members[g])
+		x := xCnt[g]
+		d := cell.Prob*float64(ca-x) + st.prob[g]*float64(st.ones[g]-x)
 		if best == -1 || d < bestD {
 			best, bestD = g, d
 		}
 	}
 	return best
+}
+
+// computeTargets fills target[i] with the closest group of cell id(i),
+// evaluated against the frozen current cluster vectors and sharded across
+// the state's workers. Shards write disjoint target slots from read-only
+// state, so the result is identical for every worker count.
+func (st *kstate) computeTargets(n int, id func(int) int, target []int) {
+	parallelRange(st.workers, n, func(lo, hi int) {
+		xCnt := st.xCnt
+		if lo != 0 || hi != n { // sharded: private scratch per worker
+			xCnt = make([]int, len(st.members))
+		}
+		for i := lo; i < hi; i++ {
+			target[i] = st.closestWith(id(i), xCnt)
+		}
+	})
+}
+
+// seedWaves assigns cells id(0) … id(n-1) to their closest groups in
+// geometrically growing waves: each wave's targets are computed against the
+// vectors frozen at the wave boundary (sharded across workers), then
+// applied in ascending order. Small early waves preserve the solution
+// quality of fully incremental seeding — group vectors update often while
+// the groups are still small and malleable — while the later, large waves
+// carry the bulk of the O(n·K) distance scans and shard efficiently. The
+// wave schedule is a pure function of (n, K), so assignments are
+// byte-identical for every worker count.
+func (st *kstate) seedWaves(n int, id func(int) int) {
+	if n <= 0 {
+		return
+	}
+	wave := len(st.members) // start at K, the number of groups
+	if wave < 4 {
+		wave = 4
+	}
+	target := make([]int, 0, n)
+	for start := 0; start < n; start, wave = start+wave, wave*2 {
+		end := start + wave
+		if end > n {
+			end = n
+		}
+		target = target[:end-start]
+		st.computeTargets(end-start, func(i int) int { return id(start + i) }, target)
+		for i, g := range target {
+			st.add(id(start+i), g)
+		}
+	}
 }
 
 // Cluster implements Algorithm.
@@ -127,16 +216,15 @@ func (k *KMeans) Cluster(in *Input, groups int) (Assignment, error) {
 		maxIters = 100
 	}
 
-	st := newKState(in, groups)
+	st := newKState(in, groups, resolveWorkers(k.Parallelism))
 	// Step 0 — initial partition: the K most popular hyper-cells seed the
 	// groups (cells arrive rating-sorted from BuildInput); the remainder
-	// join their closest group.
+	// join their closest group in geometrically growing waves, sharding the
+	// distance scans across workers deterministically.
 	for g := 0; g < groups; g++ {
 		st.add(g, g)
 	}
-	for ci := groups; ci < len(in.Cells); ci++ {
-		st.add(ci, st.closest(ci))
-	}
+	st.seedWaves(len(in.Cells)-groups, func(i int) int { return groups + i })
 
 	switch k.Variant {
 	case MacQueen:
@@ -168,7 +256,7 @@ func (k *KMeans) ClusterWarm(in *Input, groups int, initial Assignment, iters in
 	if iters <= 0 {
 		iters = 1
 	}
-	st := newKState(in, groups)
+	st := newKState(in, groups, resolveWorkers(k.Parallelism))
 	var unplaced []int
 	for ci, g := range initial {
 		if g >= groups {
@@ -200,9 +288,7 @@ func (k *KMeans) ClusterWarm(in *Input, groups int, initial Assignment, iters in
 			}
 		}
 	}
-	for _, ci := range unplaced {
-		st.add(ci, st.closest(ci))
-	}
+	st.seedWaves(len(unplaced), func(i int) int { return unplaced[i] })
 	switch k.Variant {
 	case MacQueen:
 		k.runMacQueen(st, iters)
@@ -214,9 +300,50 @@ func (k *KMeans) ClusterWarm(in *Input, groups int, initial Assignment, iters in
 	return st.assign, nil
 }
 
+// cycleDetector remembers every end-of-pass assignment and reports when a
+// state recurs. Both K-means variants are deterministic maps from one
+// assignment to the next (the cluster vectors are a pure function of the
+// assignment), so a repeated state proves the iteration has entered a limit
+// cycle and will never converge — further passes are provably wasted work.
+// On inputs that do converge, detection costs one hash and one snapshot of
+// the int slice per pass, noise next to the O(n·K) distance scans.
+type cycleDetector struct {
+	hashes []uint64
+	snaps  []Assignment
+}
+
+// seen reports whether a has occurred at the end of an earlier pass, and
+// records it otherwise.
+func (c *cycleDetector) seen(a Assignment) bool {
+	var h uint64 = 14695981039346656037
+	for _, g := range a {
+		h = (h ^ uint64(uint(g))) * 1099511628211
+	}
+	for idx, ph := range c.hashes {
+		if ph != h {
+			continue
+		}
+		same := true
+		for i, g := range c.snaps[idx] {
+			if g != a[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	c.hashes = append(c.hashes, h)
+	c.snaps = append(c.snaps, append(Assignment(nil), a...))
+	return false
+}
+
 // runMacQueen re-assigns cells one at a time, updating cluster vectors
-// after every move, until a full pass moves nothing.
+// after every move, until a full pass moves nothing or the pass-to-pass
+// state starts cycling.
 func (k *KMeans) runMacQueen(st *kstate, maxIters int) {
+	var cd cycleDetector
 	for iter := 0; iter < maxIters; iter++ {
 		moved := false
 		for ci := range st.in.Cells {
@@ -231,20 +358,25 @@ func (k *KMeans) runMacQueen(st *kstate, maxIters int) {
 				moved = true
 			}
 		}
-		if !moved {
+		if !moved || cd.seen(st.assign) {
 			return
 		}
 	}
 }
 
 // runForgy computes a whole pass of assignments against frozen cluster
-// vectors, then applies the moves and updates.
+// vectors, then applies the moves and updates. The assignment pass is
+// embarrassingly parallel (the vectors are frozen), so it shards across
+// the configured workers. Forgy's synchronous updates are prone to limit
+// cycles (group masses shift wholesale between passes), so the loop also
+// stops on the first repeated end-of-pass state.
 func (k *KMeans) runForgy(st *kstate, maxIters int) {
-	target := make([]int, len(st.in.Cells))
+	n := len(st.in.Cells)
+	target := make([]int, n)
+	ident := func(i int) int { return i }
+	var cd cycleDetector
 	for iter := 0; iter < maxIters; iter++ {
-		for ci := range st.in.Cells {
-			target[ci] = st.closest(ci)
-		}
+		st.computeTargets(n, ident, target)
 		moved := false
 		for ci, want := range target {
 			cur := st.assign[ci]
@@ -255,7 +387,7 @@ func (k *KMeans) runForgy(st *kstate, maxIters int) {
 			st.add(ci, want)
 			moved = true
 		}
-		if !moved {
+		if !moved || cd.seen(st.assign) {
 			return
 		}
 	}

@@ -17,6 +17,11 @@ import (
 // trades solution quality for speed, as in the paper.
 type Pairwise struct {
 	Approx bool
+	// Parallelism is the worker count for the O(n²) distance-matrix seed
+	// and the per-merge row recomputes: 0 means GOMAXPROCS, 1 forces the
+	// sequential path. Assignments are byte-identical for every worker
+	// count (all argmin reductions tie-break by lowest index).
+	Parallelism int
 }
 
 // Name implements Algorithm.
@@ -27,46 +32,116 @@ func (p *Pairwise) Name() string {
 	return "pairs"
 }
 
+// SetParallelism implements Parallel.
+func (p *Pairwise) SetParallelism(workers int) { p.Parallelism = workers }
+
 // pairState tracks live groups during agglomeration.
 type pairState struct {
 	members []*bitset.Set
+	ones    []int // ones[i] = members[i].Count(), maintained across merges
 	prob    []float64
 	alive   []bool
-	liveIDs []int // indices of live groups, maintained compactly
+	liveIDs []int // indices of live groups, order arbitrary
+	pos     []int // pos[id] = index of id in liveIDs, -1 once merged away
+	workers int
 }
 
-func newPairState(in *Input) *pairState {
+func newPairState(in *Input, workers int) *pairState {
 	n := len(in.Cells)
 	st := &pairState{
 		members: make([]*bitset.Set, n),
+		ones:    make([]int, n),
 		prob:    make([]float64, n),
 		alive:   make([]bool, n),
 		liveIDs: make([]int, n),
+		pos:     make([]int, n),
+		workers: workers,
 	}
 	for i := range in.Cells {
 		st.members[i] = in.Cells[i].Members.Clone()
+		st.ones[i] = st.members[i].Count()
 		st.prob[i] = in.Cells[i].Prob
 		st.alive[i] = true
 		st.liveIDs[i] = i
+		st.pos[i] = i
 	}
 	return st
 }
 
+// dist is the expected-waste distance computed from the intersection count
+// and the tracked cardinalities: |a ∖ b| = |a| − |a ∩ b| is exact integer
+// arithmetic, so the value is bit-identical to the two-AND-NOT-scan form of
+// Dist while touching each word pair once instead of twice.
 func (st *pairState) dist(i, j int) float64 {
-	return Dist(st.prob[i], st.members[i], st.prob[j], st.members[j])
+	x := st.members[i].IntersectCount(st.members[j])
+	return st.prob[i]*float64(st.ones[i]-x) + st.prob[j]*float64(st.ones[j]-x)
 }
 
-// merge folds group j into group i and removes j from the live list.
+// merge folds group j into group i and removes j from the live list by
+// swap-remove through the position index — O(1) where the previous linear
+// scan cost O(n) bookkeeping per merge on top of the distance work. The
+// live order is permuted, which is fine: every consumer either tie-breaks
+// by index explicitly or only needs determinism, not a fixed order. The
+// fused union kernel refreshes the merged group's cardinality in the same
+// pass that writes it.
 func (st *pairState) merge(i, j int) {
-	st.members[i].UnionWith(st.members[j])
+	st.ones[i] = st.members[i].UnionWithCount(st.members[j])
 	st.prob[i] += st.prob[j]
 	st.alive[j] = false
-	for k, id := range st.liveIDs {
-		if id == j {
-			st.liveIDs = append(st.liveIDs[:k], st.liveIDs[k+1:]...)
-			break
-		}
+	p, last := st.pos[j], len(st.liveIDs)-1
+	moved := st.liveIDs[last]
+	st.liveIDs[p] = moved
+	st.pos[moved] = p
+	st.liveIDs = st.liveIDs[:last]
+	st.pos[j] = -1
+}
+
+// matrix is the symmetric live×live distance cache backed by one flat
+// allocation (row i is dm[i*n : (i+1)*n]).
+type matrix struct {
+	d []float32
+	n int
+}
+
+func newMatrix(n int) *matrix { return &matrix{d: make([]float32, n*n), n: n} }
+
+func (m *matrix) at(i, j int) float32 { return m.d[i*m.n+j] }
+
+func (m *matrix) set(i, j int, v float32) {
+	m.d[i*m.n+j] = v
+	m.d[j*m.n+i] = v
+}
+
+// buildMatrix seeds the full pairwise distance matrix. Rows shard across
+// workers in strided order so the triangle's uneven row lengths balance;
+// every (i, j) pair writes its own two cells, so shards never collide.
+func (st *pairState) buildMatrix(dm *matrix) {
+	m := len(st.liveIDs)
+	workers := st.workers
+	if m < minParallelItems {
+		workers = 1
 	}
+	runWorkers(workers, func(w int) {
+		for a := w; a < m; a += workers {
+			i := st.liveIDs[a]
+			for _, j := range st.liveIDs[a+1:] {
+				dm.set(i, j, float32(st.dist(i, j)))
+			}
+		}
+	})
+}
+
+// refreshRow recomputes the merged group i's distances to every live group,
+// sharded across workers (disjoint writes, frozen membership vectors).
+func (st *pairState) refreshRow(i int, dm *matrix) {
+	live := st.liveIDs
+	parallelRange(st.workers, len(live), func(lo, hi int) {
+		for _, l := range live[lo:hi] {
+			if l != i {
+				dm.set(i, l, float32(st.dist(i, l)))
+			}
+		}
+	})
 }
 
 // Cluster implements Algorithm.
@@ -79,7 +154,7 @@ func (p *Pairwise) Cluster(in *Input, k int) (Assignment, error) {
 		return singletonAssignment(n), nil
 	}
 
-	st := newPairState(in)
+	st := newPairState(in, resolveWorkers(p.Parallelism))
 	parent := make([]int, n)
 	for i := range parent {
 		parent[i] = i
@@ -108,26 +183,22 @@ func (p *Pairwise) Cluster(in *Input, k int) (Assignment, error) {
 }
 
 // runExact maintains the live×live distance matrix and each live group's
-// nearest neighbour, the classic O(n²) agglomerative implementation.
+// nearest neighbour, the classic O(n²) agglomerative implementation. All
+// minimum searches tie-break by lowest group index, so the result does not
+// depend on the live list's order or the worker count.
 func (p *Pairwise) runExact(st *pairState, parent []int, k int) {
 	n := len(st.members)
-	dm := make([][]float32, n)
-	for i := range dm {
-		dm[i] = make([]float32, n)
-	}
-	for a, i := range st.liveIDs {
-		for _, j := range st.liveIDs[a+1:] {
-			d := float32(st.dist(i, j))
-			dm[i][j] = d
-			dm[j][i] = d
-		}
-	}
+	dm := newMatrix(n)
+	st.buildMatrix(dm)
 	nn := make([]int, n) // nearest live neighbour of each live group
 	recomputeNN := func(i int) {
 		best, bestD := -1, float32(math.Inf(1))
 		for _, j := range st.liveIDs {
-			if j != i && dm[i][j] < bestD {
-				best, bestD = j, dm[i][j]
+			if j == i {
+				continue
+			}
+			if d := dm.at(i, j); d < bestD || (d == bestD && (best == -1 || j < best)) {
+				best, bestD = j, d
 			}
 		}
 		nn[i] = best
@@ -137,26 +208,24 @@ func (p *Pairwise) runExact(st *pairState, parent []int, k int) {
 	}
 
 	for len(st.liveIDs) > k {
-		// Global minimum over nearest-neighbour candidates.
+		// Global minimum over nearest-neighbour candidates, lowest pair
+		// index winning ties.
 		bi := -1
 		var bd float32
 		for _, i := range st.liveIDs {
-			if j := nn[i]; j >= 0 {
-				if bi == -1 || dm[i][j] < bd {
-					bi, bd = i, dm[i][j]
-				}
+			j := nn[i]
+			if j < 0 {
+				continue
+			}
+			d := dm.at(i, j)
+			if bi == -1 || d < bd || (d == bd && i < bi) {
+				bi, bd = i, d
 			}
 		}
 		i, j := bi, nn[bi]
 		st.merge(i, j)
 		parent[j] = i
-		for _, l := range st.liveIDs {
-			if l != i {
-				d := float32(st.dist(i, l))
-				dm[i][l] = d
-				dm[l][i] = d
-			}
-		}
+		st.refreshRow(i, dm)
 		recomputeNN(i)
 		for _, l := range st.liveIDs {
 			if l == i {
@@ -164,7 +233,7 @@ func (p *Pairwise) runExact(st *pairState, parent []int, k int) {
 			}
 			if nn[l] == i || nn[l] == j {
 				recomputeNN(l)
-			} else if dm[l][i] < dm[l][nn[l]] {
+			} else if dm.at(l, i) < dm.at(l, nn[l]) {
 				// The merged group moved closer than l's previous nearest.
 				nn[l] = i
 			}
@@ -178,20 +247,13 @@ func (p *Pairwise) runExact(st *pairState, parent []int, k int) {
 // pair that beats it. Distances are cached in a matrix (only the merged
 // group's row changes per step), so the approximation — and the speedup —
 // lies in the merge selection: unlike the exact variant it never maintains
-// nearest-neighbour lists and may pick a suboptimal pair.
+// nearest-neighbour lists and may pick a suboptimal pair. The enumeration
+// order is a pure function of the live list, which evolves identically for
+// every worker count, so results stay deterministic and worker-independent.
 func (p *Pairwise) runApprox(st *pairState, parent []int, k int) {
 	n := len(st.members)
-	dm := make([][]float32, n)
-	for i := range dm {
-		dm[i] = make([]float32, n)
-	}
-	for a, i := range st.liveIDs {
-		for _, j := range st.liveIDs[a+1:] {
-			d := float32(st.dist(i, j))
-			dm[i][j] = d
-			dm[j][i] = d
-		}
-	}
+	dm := newMatrix(n)
+	st.buildMatrix(dm)
 
 	for len(st.liveIDs) > k {
 		live := st.liveIDs
@@ -214,7 +276,7 @@ func (p *Pairwise) runApprox(st *pairState, parent []int, k int) {
 		done := false
 		for a := 0; a < m && !done; a++ {
 			ia := (a * stride) % m
-			row := dm[live[ia]]
+			row := dm.d[live[ia]*dm.n : (live[ia]+1)*dm.n]
 			for b := a + 1; b < m; b++ {
 				ib := (b * stride) % m
 				d := row[live[ib]]
@@ -232,13 +294,7 @@ func (p *Pairwise) runApprox(st *pairState, parent []int, k int) {
 		}
 		st.merge(bi, bj)
 		parent[bj] = bi
-		for _, l := range st.liveIDs {
-			if l != bi {
-				d := float32(st.dist(bi, l))
-				dm[bi][l] = d
-				dm[l][bi] = d
-			}
-		}
+		st.refreshRow(bi, dm)
 	}
 }
 
@@ -249,10 +305,13 @@ func gcd(a, b int) int {
 	return a
 }
 
-// sanity check that both modes satisfy Algorithm at compile time.
+// sanity check that both modes satisfy Algorithm (and the parallel option)
+// at compile time.
 var (
 	_ Algorithm = (*Pairwise)(nil)
 	_ Algorithm = (*KMeans)(nil)
+	_ Parallel  = (*Pairwise)(nil)
+	_ Parallel  = (*KMeans)(nil)
 )
 
 // String implements fmt.Stringer for diagnostics.

@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallel is implemented by algorithms whose distance scans shard across
+// worker goroutines. All implementations in this package guarantee
+// assignments byte-identical to the sequential (1-worker) path: sharded
+// passes only ever write disjoint slots computed from frozen state, and
+// every argmin reduction breaks ties by lowest index.
+type Parallel interface {
+	// SetParallelism sets the worker count: 0 means GOMAXPROCS, 1 forces
+	// the sequential path. Values below zero are clamped to 1.
+	SetParallelism(workers int)
+}
+
+// resolveWorkers maps a Parallelism knob to an effective worker count.
+func resolveWorkers(p int) int {
+	if p == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if p < 1 {
+		return 1
+	}
+	return p
+}
+
+// minParallelItems gates worker dispatch: below this many items a sharded
+// pass runs inline, because goroutine startup would cost more than the
+// scan. The results are identical either way.
+const minParallelItems = 256
+
+// runWorkers runs fn(w) for every w in [0, workers) concurrently and waits
+// for all of them; workers ≤ 1 calls fn(0) inline.
+func runWorkers(workers int, fn func(w int)) {
+	if workers <= 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	fn(0)
+	wg.Wait()
+}
+
+// parallelRange splits [0, n) into at most `workers` contiguous chunks and
+// runs fn on each concurrently. Small ranges run inline.
+func parallelRange(workers, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if n < minParallelItems || workers <= 1 {
+		fn(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	runWorkers(workers, func(w int) {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		if lo < hi {
+			fn(lo, hi)
+		}
+	})
+}

@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// workerCounts is the parallelism sweep every equivalence test runs:
+// forced-sequential, two workers, and the GOMAXPROCS default. On a
+// single-core machine the last two still exercise the goroutine fan-out
+// paths (runWorkers spawns regardless of available cores).
+func workerCounts() []int {
+	ws := []int{1, 2}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 2 {
+		ws = append(ws, p)
+	}
+	return ws
+}
+
+func assignmentsEqual(a, b Assignment) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParallelEquivalence verifies the determinism contract: for every
+// clustering algorithm, every worker count produces assignments
+// byte-identical to the forced-sequential path.
+func TestParallelEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	in := noisyInput(r, 6, 60, 5) // 360 cells — large enough to shard
+	algs := []struct {
+		name string
+		mk   func(workers int) Algorithm
+	}{
+		{"k-means", func(w int) Algorithm { return &KMeans{Variant: MacQueen, Parallelism: w} }},
+		{"forgy", func(w int) Algorithm { return &KMeans{Variant: Forgy, Parallelism: w} }},
+		{"pairwise-exact", func(w int) Algorithm { return &Pairwise{Parallelism: w} }},
+		{"pairwise-approx", func(w int) Algorithm { return &Pairwise{Approx: true, Parallelism: w} }},
+		{"mst", func(w int) Algorithm { return &MST{Parallelism: w} }},
+	}
+	for _, alg := range algs {
+		for _, k := range []int{2, 7, 25} {
+			t.Run(fmt.Sprintf("%s/k=%d", alg.name, k), func(t *testing.T) {
+				want, err := alg.mk(1).Cluster(in, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				validAssignment(t, want, len(in.Cells), k, alg.name)
+				for _, w := range workerCounts()[1:] {
+					got, err := alg.mk(w).Cluster(in, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !assignmentsEqual(want, got) {
+						t.Fatalf("workers=%d diverges from sequential", w)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestParallelEquivalenceWarm covers ClusterWarm: partial warm starts
+// (some cells unplaced with -1) must also be deterministic across worker
+// counts, for both K-means variants.
+func TestParallelEquivalenceWarm(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	in := noisyInput(r, 5, 70, 4) // 350 cells
+	const k = 9
+	// A warm start that is partly stale and partly unplaced.
+	initial := make(Assignment, len(in.Cells))
+	for i := range initial {
+		switch {
+		case i%7 == 0:
+			initial[i] = -1
+		default:
+			initial[i] = r.Intn(k)
+		}
+	}
+	for _, variant := range []Variant{MacQueen, Forgy} {
+		t.Run(variant.String(), func(t *testing.T) {
+			seq := &KMeans{Variant: variant, Parallelism: 1}
+			want, err := seq.ClusterWarm(in, k, initial, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			validAssignment(t, want, len(in.Cells), k, variant.String())
+			for _, w := range workerCounts()[1:] {
+				par := &KMeans{Variant: variant, Parallelism: w}
+				got, err := par.ClusterWarm(in, k, initial, 5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !assignmentsEqual(want, got) {
+					t.Fatalf("workers=%d diverges from sequential", w)
+				}
+			}
+		})
+	}
+}
+
+// TestSetParallelism checks the Parallel interface plumbing on every
+// algorithm that advertises it.
+func TestSetParallelism(t *testing.T) {
+	for _, p := range []Parallel{&KMeans{}, &Pairwise{}, &MST{}} {
+		p.SetParallelism(3)
+	}
+	km := &KMeans{}
+	km.SetParallelism(5)
+	if km.Parallelism != 5 {
+		t.Errorf("KMeans.SetParallelism: got %d, want 5", km.Parallelism)
+	}
+	pw := &Pairwise{}
+	pw.SetParallelism(2)
+	if pw.Parallelism != 2 {
+		t.Errorf("Pairwise.SetParallelism: got %d, want 2", pw.Parallelism)
+	}
+	ms := &MST{}
+	ms.SetParallelism(4)
+	if ms.Parallelism != 4 {
+		t.Errorf("MST.SetParallelism: got %d, want 4", ms.Parallelism)
+	}
+}
+
+func TestResolveWorkers(t *testing.T) {
+	if got := resolveWorkers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("resolveWorkers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := resolveWorkers(-3); got != 1 {
+		t.Errorf("resolveWorkers(-3) = %d, want 1", got)
+	}
+	if got := resolveWorkers(6); got != 6 {
+		t.Errorf("resolveWorkers(6) = %d, want 6", got)
+	}
+}
+
+// TestParallelRangeCoversAll checks the sharding helper partitions
+// [0, n) exactly — every index visited once, no overlap — for awkward
+// worker/size combinations.
+func TestParallelRangeCoversAll(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		for _, n := range []int{0, 1, minParallelItems - 1, minParallelItems, minParallelItems + 13, 1000} {
+			seen := make([]int32, n)
+			parallelRange(workers, n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					seen[i]++
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}

@@ -54,6 +54,11 @@ type Config struct {
 	// network-supported framework, and delivers by the cheapest. Without
 	// it, a routed group is always multicast (modulo Threshold).
 	DynamicMethod bool
+	// Parallelism pins the clustering worker count used by rebuilds and
+	// Refresh: values > 0 are applied to Algorithm when it implements
+	// cluster.Parallel; 0 keeps the algorithm's own setting (whose zero
+	// value already means GOMAXPROCS). Negative values are rejected.
+	Parallelism int
 }
 
 func (c Config) validate() error {
@@ -62,6 +67,9 @@ func (c Config) validate() error {
 	}
 	if c.Threshold < 0 || c.Threshold > 1 {
 		return fmt.Errorf("core: Threshold = %v, need [0,1]", c.Threshold)
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("core: Parallelism = %d, need ≥ 0", c.Parallelism)
 	}
 	return nil
 }
@@ -153,6 +161,11 @@ func New(g *topology.Graph, axes []space.Axis, subs []workload.Subscription, tra
 	}
 	if cfg.Algorithm == nil {
 		cfg.Algorithm = &cluster.KMeans{Variant: cluster.Forgy}
+	}
+	if cfg.Parallelism > 0 {
+		if p, ok := cfg.Algorithm.(cluster.Parallel); ok {
+			p.SetParallelism(cfg.Parallelism)
+		}
 	}
 	e := &Engine{
 		cfg:   cfg,

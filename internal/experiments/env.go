@@ -154,7 +154,7 @@ func DefaultAlgorithms() []AlgorithmSpec {
 	return []AlgorithmSpec{
 		{Alg: &cluster.KMeans{Variant: cluster.MacQueen}, Budget: 6000},
 		{Alg: &cluster.KMeans{Variant: cluster.Forgy}, Budget: 6000},
-		{Alg: cluster.MST{}, Budget: 6000},
+		{Alg: &cluster.MST{}, Budget: 6000},
 		{Alg: &cluster.Pairwise{}, Budget: 2000, MaxBudget: 2000},
 		{Alg: &cluster.Pairwise{Approx: true}, Budget: 2000, MaxBudget: 2000},
 	}

@@ -43,6 +43,12 @@ func (c *inputCache) get(budget int) (*cluster.Input, error) {
 // clustering Input per budget is built once and shared read-only. workers
 // ≤ 0 selects GOMAXPROCS. Results are identical to the sequential runner
 // and returned in the same order.
+//
+// Job-level and clustering-level parallelism compose: every spec algorithm
+// implementing cluster.Parallel is pinned to ≈ GOMAXPROCS/workers inner
+// workers (at least 1) so the two layers together saturate the machine
+// without oversubscribing it. The specs are mutated in place, once, before
+// any job runs.
 func RunFig7Parallel(env *StockEnv, ks []int, specs []AlgorithmSpec, nolossCfg noloss.Config, workers int) ([]Fig7Point, error) {
 	if len(ks) == 0 {
 		ks = DefaultKs()
@@ -52,6 +58,15 @@ func RunFig7Parallel(env *StockEnv, ks []int, specs []AlgorithmSpec, nolossCfg n
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	inner := runtime.GOMAXPROCS(0) / workers
+	if inner < 1 {
+		inner = 1
+	}
+	for _, spec := range specs {
+		if p, ok := spec.Alg.(cluster.Parallel); ok {
+			p.SetParallelism(inner)
+		}
 	}
 
 	type job struct {

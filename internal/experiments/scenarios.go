@@ -61,7 +61,7 @@ func ScenarioSpecs() []AlgorithmSpec {
 	return []AlgorithmSpec{
 		{Alg: &cluster.KMeans{Variant: cluster.MacQueen}, Budget: 3000},
 		{Alg: &cluster.KMeans{Variant: cluster.Forgy}, Budget: 3000},
-		{Alg: cluster.MST{}, Budget: 3000},
+		{Alg: &cluster.MST{}, Budget: 3000},
 	}
 }
 
