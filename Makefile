@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 race chaos bench bench-json bench-baseline bench-smoke vet staticcheck fmt
+.PHONY: all build test tier1 race chaos bench bench-json bench-baseline bench-decide bench-smoke vet staticcheck fmt
 
 # Label recorded next to a bench-baseline entry in BENCH_cluster.json.
 BENCH_LABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo local)
@@ -56,6 +56,14 @@ bench-baseline:
 	$(GO) test -run '^$$' -bench 'BenchmarkPairwiseExact$$|BenchmarkForgy$$|BenchmarkMacQueen$$|BenchmarkMSTCluster$$|BenchmarkPairwiseApprox$$' \
 		-benchmem -count=3 ./internal/cluster/ | \
 		$(GO) run ./cmd/benchrecord -file BENCH_cluster.json -label "$(BENCH_LABEL)"
+
+# bench-decide measures the snapshot decision plane's publish→decide
+# throughput at 1, 2 and 4 workers and appends a labelled entry to
+# BENCH_cluster.json. Worker scaling only shows on multi-core hosts;
+# the recorded GOMAXPROCS qualifies each entry.
+bench-decide:
+	$(GO) test -run '^$$' -bench 'BenchmarkPublishDecide' -benchmem -count=3 ./internal/broker/ | \
+		$(GO) run ./cmd/benchrecord -file BENCH_cluster.json -label "$(BENCH_LABEL)-decide"
 
 # bench-smoke compiles and runs every benchmark in the repo exactly once —
 # a cheap CI guard that benchmarks keep building and don't panic.

@@ -25,6 +25,8 @@
 //	          auto-refresh, with delivered cost and shed rate per window;
 //	          writes results/recovery.csv and results/recovery_metrics.json
 //	          unless -csv / -metrics override the destinations
+//	churn     live Subscribe/Unsubscribe churn against the snapshot
+//	          decision plane: swap counts and churn-op latency per rate
 //	all       run everything above in order
 //
 // Flags:
@@ -37,6 +39,8 @@
 //	-workers N   clustering worker count inside each algorithm; 0 (the
 //	             default) resolves to GOMAXPROCS, negatives are rejected.
 //	             The effective parallelism is echoed in each run header.
+//	-churn-rate R      churn: single ops-per-event rate (0 = built-in sweep)
+//	-decide-workers N  churn: broker decision workers (0 = GOMAXPROCS)
 //	-csv DIR     additionally write CSV files into DIR
 //	-metrics F   write a telemetry snapshot (JSON) to F; fig7 additionally
 //	             collects per-algorithm cost distributions with
@@ -61,17 +65,19 @@ import (
 )
 
 type options struct {
-	seed       int64
-	events     int
-	subs       int
-	modes      int
-	quick      bool
-	parallel   int
-	workers    int
-	csvDir     string
-	metrics    string
-	cpuprofile string
-	memprofile string
+	seed          int64
+	events        int
+	subs          int
+	modes         int
+	quick         bool
+	parallel      int
+	workers       int
+	churnRate     float64
+	decideWorkers int
+	csvDir        string
+	metrics       string
+	cpuprofile    string
+	memprofile    string
 }
 
 func main() {
@@ -83,13 +89,15 @@ func main() {
 	flag.BoolVar(&opt.quick, "quick", false, "shrink sweeps for a fast run")
 	flag.IntVar(&opt.parallel, "parallel", 0, "worker count for fig7 (0 = sequential, -1 = GOMAXPROCS)")
 	flag.IntVar(&opt.workers, "workers", 0, "clustering worker count inside each algorithm (0 = GOMAXPROCS)")
+	flag.Float64Var(&opt.churnRate, "churn-rate", 0, "churn: single ops-per-event rate (0 = built-in sweep)")
+	flag.IntVar(&opt.decideWorkers, "decide-workers", 0, "churn: broker decision workers (0 = GOMAXPROCS)")
 	flag.StringVar(&opt.csvDir, "csv", "", "directory for CSV output")
 	flag.StringVar(&opt.metrics, "metrics", "", "file for a JSON telemetry snapshot (fig7)")
 	flag.StringVar(&opt.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&opt.memprofile, "memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: pubsub-bench [flags] table1|table2|baseline|fig7|fig8|fig9|fig10|fig11|scenarios|ablation|faults|recovery|all\n")
+			"usage: pubsub-bench [flags] table1|table2|baseline|fig7|fig8|fig9|fig10|fig11|scenarios|ablation|faults|recovery|churn|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -177,8 +185,10 @@ func run(name string, opt options) error {
 		return runFaults(opt)
 	case "recovery":
 		return runRecovery(opt)
+	case "churn":
+		return runChurn(opt)
 	case "all":
-		for _, n := range []string{"table1", "table2", "baseline", "fig7", "fig8", "fig9", "fig10", "scenarios", "interest", "frontier", "ablation", "faults", "recovery"} {
+		for _, n := range []string{"table1", "table2", "baseline", "fig7", "fig8", "fig9", "fig10", "scenarios", "interest", "frontier", "ablation", "faults", "recovery", "churn"} {
 			if err := run(n, opt); err != nil {
 				return fmt.Errorf("%s: %w", n, err)
 			}
@@ -590,6 +600,41 @@ func runFaults(opt options) error {
 	}
 	return opt.writeCSV("faults.csv", func(f *os.File) error {
 		return experiments.RenderFaultSweepCSV(f, pts)
+	})
+}
+
+// runChurn drives live subscription churn through the snapshot decision
+// plane: Poisson Subscribe/Unsubscribe ops interleaved with the evaluation
+// event stream, reporting swap counts and churn-op latency per rate.
+func runChurn(opt options) error {
+	env, err := experiments.NewStockEnv(opt.envConfig())
+	if err != nil {
+		return err
+	}
+	cfg := experiments.ChurnSweepConfig{
+		DecideWorkers: opt.decideWorkers,
+		Seed:          opt.seed + 400,
+	}
+	if opt.churnRate > 0 {
+		cfg.Rates = []float64{opt.churnRate}
+	}
+	if opt.quick {
+		cfg.Groups = 20
+		cfg.CellBudget = 400
+		if opt.churnRate == 0 {
+			cfg.Rates = []float64{0.05, 0.5}
+		}
+	}
+	pts, err := experiments.RunChurn(env, cfg)
+	if err != nil {
+		return err
+	}
+	if err := experiments.RenderChurn(os.Stdout,
+		"Churn sweep: live Subscribe/Unsubscribe vs event rate (snapshot decision plane)", pts); err != nil {
+		return err
+	}
+	return opt.writeCSV("churn.csv", func(f *os.File) error {
+		return experiments.RenderChurnCSV(f, pts)
 	})
 }
 

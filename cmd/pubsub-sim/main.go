@@ -47,6 +47,15 @@
 //	-auto-refresh    let the control loop re-cluster automatically when
 //	                 failures quarantine groups
 //
+// Churn flags (a positive -churn-rate also enables the broker replay and
+// interleaves live Subscribe/Unsubscribe operations with the event stream;
+// every operation publishes a fresh decision snapshot):
+//
+//	-churn-rate R       expected churn operations per published event,
+//	                    scheduled as a Poisson process (0 = none)
+//	-decide-workers N   concurrent decision workers reading the snapshot
+//	                    (0 = GOMAXPROCS, 1 = serial in publish order)
+//
 // Observability flags (see the Observability section of DESIGN.md):
 //
 //	-http ADDR     after the replay, serve /metrics (Prometheus),
@@ -106,6 +115,9 @@ type options struct {
 	shedPolicy  string
 	autoRefresh bool
 
+	churnRate     float64
+	decideWorkers int
+
 	httpAddr  string
 	traceRate float64
 	traceCap  int
@@ -124,6 +136,12 @@ func (o options) validate() error {
 	}
 	if o.retries < 0 {
 		return fmt.Errorf("-retries = %d: must be ≥ 0", o.retries)
+	}
+	if o.churnRate < 0 {
+		return fmt.Errorf("-churn-rate = %v: must be ≥ 0", o.churnRate)
+	}
+	if o.decideWorkers < 0 {
+		return fmt.Errorf("-decide-workers = %d: must be ≥ 0 (0 = GOMAXPROCS)", o.decideWorkers)
 	}
 	if o.maxInflight < 0 {
 		return fmt.Errorf("-max-inflight = %d: must be ≥ 0", o.maxInflight)
@@ -193,6 +211,8 @@ func main() {
 	flag.IntVar(&opt.maxInflight, "max-inflight", 0, "admission bound on in-pipeline events (0 = unlimited)")
 	flag.StringVar(&opt.shedPolicy, "shed-policy", "", "overload policy: block, reject or shed")
 	flag.BoolVar(&opt.autoRefresh, "auto-refresh", false, "re-cluster automatically when failures quarantine groups")
+	flag.Float64Var(&opt.churnRate, "churn-rate", 0, "live Subscribe/Unsubscribe ops per event during the broker replay (0 = none)")
+	flag.IntVar(&opt.decideWorkers, "decide-workers", 0, "broker decision workers (0 = GOMAXPROCS, 1 = serial ordered)")
 	flag.StringVar(&opt.httpAddr, "http", "", "serve /metrics, /trace and /debug/pprof/ on this address after the replay")
 	flag.Float64Var(&opt.traceRate, "trace-rate", 1, "fraction of published events traced (deterministic sampling)")
 	flag.IntVar(&opt.traceCap, "trace-cap", 1024, "trace ring-buffer capacity")
@@ -328,7 +348,7 @@ func run(opt options) error {
 	fmt.Printf("            app-level multicast %.0f (%.1f%% improvement)\n",
 		almAvg, sim.Improvement(base, almAvg))
 
-	if opt.faultsRequested() || opt.healthRequested() {
+	if opt.faultsRequested() || opt.healthRequested() || opt.churnRate > 0 {
 		if err := runFaulty(opt, engine, eval, totals, n, reg, tracer); err != nil {
 			return err
 		}
@@ -387,6 +407,7 @@ func runFaulty(opt options, engine *core.Engine, eval []workload.Event, totals c
 		broker.WithReliability(broker.ReliabilityConfig{MaxRetries: opt.retries}),
 		broker.WithTelemetry(reg), // nil keeps the broker's private registry
 		broker.WithTracer(tracer),
+		broker.WithDecideWorkers(opt.decideWorkers),
 	}
 	if hc := opt.healthConfig(); hc != nil {
 		h, err := health.New(*hc)
@@ -399,7 +420,38 @@ func runFaulty(opt options, engine *core.Engine, eval []workload.Event, totals c
 	if err != nil {
 		return err
 	}
-	for _, ev := range eval {
+	var churn []sim.ChurnOp
+	if opt.churnRate > 0 {
+		churn, err = sim.GenerateChurn(engine.World(), sim.ChurnConfig{
+			Rate: opt.churnRate, Events: len(eval), Seed: opt.seed + 400,
+		})
+		if err != nil {
+			b.Close()
+			return err
+		}
+	}
+	var slots []int // live churned subscriptions, insertion order
+	next := 0
+	for i, ev := range eval {
+		for next < len(churn) && churn[next].BeforeEvent <= i {
+			op := churn[next]
+			if op.Subscribe {
+				slot, err := b.Subscribe(op.Sub)
+				if err != nil {
+					b.Close()
+					return err
+				}
+				slots = append(slots, slot)
+			} else {
+				slot := slots[op.Target]
+				slots = append(slots[:op.Target], slots[op.Target+1:]...)
+				if err := b.Unsubscribe(slot); err != nil {
+					b.Close()
+					return err
+				}
+			}
+			next++
+		}
 		switch err := b.Publish(ev); {
 		case err == nil:
 		case errors.Is(err, health.ErrOverloaded):
@@ -422,6 +474,10 @@ func runFaulty(opt options, engine *core.Engine, eval []workload.Event, totals c
 		if _, ok := engine.World().SubscriberIndex(topology.NodeID(opt.crashNode)); !ok {
 			fmt.Printf("note:       node %d holds no subscriptions; the crash cannot affect deliveries\n", opt.crashNode)
 		}
+	}
+	if opt.churnRate > 0 {
+		fmt.Printf("churn:      rate %.2f ops/event: %d subscribes, %d unsubscribes, %d snapshot swaps (%d decision workers)\n",
+			opt.churnRate, st.Subscribes, st.Unsubscribes, st.SnapshotSwaps, b.DecideWorkers())
 	}
 	fmt.Printf("broker:     %d deliveries, %d retries, %d redelivered, %d deduped\n",
 		st.Deliveries, st.Retries, st.Redelivered, st.Deduped)

@@ -1,8 +1,8 @@
 // Package broker turns the Engine's per-event delivery *decisions* into
 // actual message deliveries over an in-process fabric: every network node
-// gets an inbox goroutine, publications flow through a decision stage that
-// owns the Engine, and a fan-out worker pool places one copy of each event
-// in every destination inbox (group members, remainder top-ups, or unicast
+// gets an inbox goroutine, publications flow through a sharded decision
+// plane, and a fan-out worker pool places one copy of each event in every
+// destination inbox (group members, remainder top-ups, or unicast
 // targets).
 //
 // The broker exists to validate delivery *semantics* end to end — the cost
@@ -17,10 +17,36 @@
 //   - waste: deliveries to uninterested group members are counted, and a
 //     No-Loss engine produces exactly zero of them.
 //
+// # Snapshot decision plane
+//
+// Decisions are served RCU-style. The engine builds an immutable
+// core.DecisionSnapshot (cloned subscription index, group tables,
+// quarantine set); the broker publishes it through an atomic pointer and N
+// decision workers (default GOMAXPROCS) take lock-free loads, so Decide
+// throughput scales with cores while decisions stay byte-identical per
+// snapshot. All engine *mutations* — subscription churn via
+// Broker.Subscribe/Unsubscribe, quarantines reported by fan-out workers,
+// and controller-triggered auto-refreshes — run on a single writer
+// goroutine that mutates the private engine and swaps the snapshot
+// atomically. Each publication captures the snapshot current at Publish
+// and drains against it; a new subscriber is covered from the moment Subscribe
+// returns (the swap happens before the reply), topped up by unicast until
+// the next group rebuild folds it in — the paper's never-lose invariant.
+//
+// Pipeline shape (all stdlib, structured shutdown):
+//
+//	Publish() → seq assignment → publishCh → N decision workers (snapshot reads)
+//	          → fanoutCh → M fan-out workers → per-node inboxes
+//	          → per-node consumer goroutines → Stats
+//	Subscribe()/Unsubscribe()/quarantines/auto-refresh → writer goroutine
+//	          → engine mutation → snapshot swap
+//
 // With a faults.Injector attached (WithFaults), the broker layers a
 // reliability protocol over the lossy fabric:
 //
-//   - every publication carries a sequence number; receivers dedup on it;
+//   - every publication carries a sequence number (assigned at Publish, so
+//     it orders events even across concurrent decision workers); receivers
+//     dedup on it within a sliding window;
 //   - dropped attempts are retried with exponential backoff + deterministic
 //     jitter, bounded per delivery (MaxRetries) and per event (RetryBudget);
 //   - when the primary route exhausts its retries, the delivery degrades to
@@ -28,18 +54,8 @@
 //     recompute with failed links removed;
 //   - when even the degraded path fails — destination crashed or
 //     partitioned — the delivery is abandoned and the routed group is
-//     quarantined, so the Engine's decision stage falls back to unicast for
-//     its members until the next Refresh.
-//
-// Pipeline shape (all stdlib, structured shutdown):
-//
-//	Publish() → publishCh → decision goroutine (owns *core.Engine)
-//	          → fanoutCh  → N fan-out workers → per-node inboxes
-//	          → per-node consumer goroutines → Stats
-//
-// Fan-out workers report persistent failures back to the decision goroutine
-// over a non-blocking quarantine channel; the decision goroutine is the only
-// one that touches the Engine.
+//     quarantined, so the decision plane falls back to unicast for its
+//     members until the next Refresh.
 //
 // With a health.Health attached (WithHealth), the broker closes the
 // remaining feedback loops:
@@ -47,14 +63,15 @@
 //   - Publish passes through admission control — a token-bucket rate
 //     limiter plus a MaxInflight semaphore over the whole pipeline — and
 //     under the RejectNewest/ShedLowFanout policies returns
-//     health.ErrOverloaded instead of queueing unbounded work;
+//     health.ErrOverloaded instead of queueing unbounded work; each
+//     admitted event carries a strict one-shot release token;
 //   - each destination gets a circuit breaker fed by delivery outcomes and
 //     ack latencies; deliveries to an open breaker are skipped outright
 //     (and the routed group quarantined) instead of burning retries on a
 //     known-dead path, with jittered probes re-closing the breaker once
 //     the destination recovers;
 //   - a control-loop goroutine watches quarantine fraction, breaker state
-//     and shed/loss counts, and — with hysteresis — asks the decision
+//     and shed/loss counts, and — with hysteresis — asks the writer
 //     goroutine to run an automatic Engine.Refresh, un-quarantining
 //     recovered groups without operator intervention.
 package broker
@@ -62,6 +79,7 @@ package broker
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -76,14 +94,14 @@ import (
 	"repro/internal/workload"
 )
 
-// ErrClosed is returned by Publish after Close.
+// ErrClosed is returned by Publish, Subscribe and Unsubscribe after Close.
 var ErrClosed = errors.New("broker: publish after close")
 
 // Delivery is one message copy arriving at a node.
 type Delivery struct {
 	Event workload.Event
-	// Seq is the publication sequence number assigned by the decision
-	// stage; receivers dedup on it.
+	// Seq is the publication sequence number assigned at Publish;
+	// receivers dedup on it.
 	Seq    int64
 	Method multicast.Method
 	Group  int // -1 for unicast deliveries
@@ -104,6 +122,21 @@ type Delivery struct {
 	trace *telemetry.EventTrace
 }
 
+// queued is one admitted publication in flight to the decision plane.
+type queued struct {
+	seq int64
+	ev  workload.Event
+	// snap is the decision snapshot current at Publish time. Deciding
+	// against it (rather than re-loading at decide time) pins the
+	// never-lose contract to the Publish call: an event accepted while a
+	// subscription was live is matched against a snapshot containing it,
+	// even if the subscriber leaves before the queue drains.
+	snap *core.DecisionSnapshot
+	// tok is the event's admission token (nil without WithHealth);
+	// released exactly once when the event leaves the pipeline.
+	tok *health.Token
+}
+
 // routed couples a decided event with its destinations.
 type routed struct {
 	seq        int64
@@ -114,9 +147,12 @@ type routed struct {
 	t0 time.Time
 	// trace is the event's sampled lifecycle trace, nil when untraced.
 	trace *telemetry.EventTrace
-	// nodes snapshots the routed group's member nodes at decision time, so
-	// fan-out workers never read the engine — the decision goroutine may
-	// rebuild it (auto-refresh) while earlier events are still in flight.
+	// tok is the admission token carried from Publish.
+	tok *health.Token
+	// nodes are the delivery targets beyond Remainder/Interested: the
+	// routed group's members (NetworkMulticast) or every inbox node
+	// (Broadcast), captured at decision time from the snapshot so fan-out
+	// never reads mutable state. Read-only.
 	nodes []topology.NodeID
 	// paths maps each destination to its primary routing path (publisher's
 	// SPT); only populated under fault injection.
@@ -136,6 +172,11 @@ type Stats struct {
 	Deliveries int64 // message copies accepted at inboxes (post-dedup)
 	Wasted     int64 // copies delivered to uninterested nodes
 
+	// Churn / snapshot counters.
+	Subscribes    int64 // live subscriptions added via Broker.Subscribe
+	Unsubscribes  int64 // live subscriptions removed via Broker.Unsubscribe
+	SnapshotSwaps int64 // decision-snapshot publications since start
+
 	// Reliability counters — all zero without fault injection.
 	Retries     int64 // retransmission attempts after a dropped attempt
 	Redelivered int64 // deliveries that succeeded only after ≥ 1 retry
@@ -146,13 +187,14 @@ type Stats struct {
 	Lost        int64 // deliveries abandoned for live nodes (violations)
 
 	// Overload / self-healing counters — all zero without WithHealth.
-	Shed           int64 // decided events dropped by ShedLowFanout
-	Rejected       int64 // publishes refused with health.ErrOverloaded
-	RateLimited    int64 // rejections specifically from the token bucket
-	BreakerOpens   int64 // breaker open transitions
-	BreakerSkipped int64 // deliveries skipped on an open breaker
-	Probes         int64 // half-open probe deliveries admitted
-	AutoRefreshes  int64 // automatic engine refreshes triggered
+	Shed            int64 // decided events dropped by ShedLowFanout
+	Rejected        int64 // publishes refused with health.ErrOverloaded
+	RateLimited     int64 // rejections specifically from the token bucket
+	ReleaseSpurious int64 // double-releases caught by strict admission tokens
+	BreakerOpens    int64 // breaker open transitions
+	BreakerSkipped  int64 // deliveries skipped on an open breaker
+	Probes          int64 // half-open probe deliveries admitted
+	AutoRefreshes   int64 // automatic engine refreshes triggered
 
 	PerNode map[topology.NodeID]int64
 }
@@ -168,6 +210,13 @@ type metrics struct {
 	broadcast  *telemetry.Counter
 	deliveries *telemetry.Counter
 	wasted     *telemetry.Counter
+
+	subscribes   *telemetry.Counter
+	unsubscribes *telemetry.Counter
+	swaps        *telemetry.Counter
+	snapVersion  *telemetry.Gauge
+	// snapAge is the replaced snapshot's service lifetime at each swap, ns.
+	snapAge *telemetry.Histogram
 
 	retries     *telemetry.Counter
 	redelivered *telemetry.Counter
@@ -193,6 +242,11 @@ func newMetrics(s *telemetry.Scope) metrics {
 		broadcast:      s.Counter("broadcast_events"),
 		deliveries:     s.Counter("deliveries"),
 		wasted:         s.Counter("wasted"),
+		subscribes:     s.Counter("subscribes"),
+		unsubscribes:   s.Counter("unsubscribes"),
+		swaps:          s.Counter("snapshot_swaps"),
+		snapVersion:    s.Gauge("snapshot_version"),
+		snapAge:        s.Histogram("snapshot_age_ns", telemetry.LatencyBuckets()),
 		retries:        s.Counter("retries"),
 		redelivered:    s.Counter("redelivered"),
 		deduped:        s.Counter("deduped"),
@@ -224,6 +278,13 @@ type ReliabilityConfig struct {
 	// deterministic jitter.
 	BaseBackoff time.Duration
 	MaxBackoff  time.Duration
+	// DedupWindow is the per-consumer dedup memory, in sequence numbers
+	// (default 4096): a receiver remembers the last DedupWindow seqs and
+	// treats anything older as already seen. Duplicates only arise from
+	// immediate retransmission, so the window bounds dedup memory at
+	// 8·DedupWindow bytes per consumer instead of growing for the life of
+	// the broker.
+	DedupWindow int
 }
 
 // Validate rejects nonsensical reliability tunings. Zero fields are legal
@@ -248,6 +309,9 @@ func (rc ReliabilityConfig) Validate() error {
 	if rc.BaseBackoff > 0 && rc.MaxBackoff > 0 && rc.MaxBackoff < rc.BaseBackoff {
 		return fmt.Errorf("broker: MaxBackoff %v < BaseBackoff %v", rc.MaxBackoff, rc.BaseBackoff)
 	}
+	if rc.DedupWindow < 0 {
+		return fmt.Errorf("broker: DedupWindow = %d, need ≥ 0", rc.DedupWindow)
+	}
 	return nil
 }
 
@@ -267,40 +331,73 @@ func (rc *ReliabilityConfig) setDefaults() {
 	if rc.MaxBackoff <= 0 {
 		rc.MaxBackoff = 2 * time.Millisecond
 	}
+	if rc.DedupWindow <= 0 {
+		rc.DedupWindow = 4096
+	}
+}
+
+// routeTable is the immutable inbox/counter directory published through an
+// atomic pointer. The writer goroutine replaces it wholesale when a
+// Subscribe introduces a node that had no inbox at start — the counters
+// grow dynamically instead of being frozen at New (which would nil-deref
+// for post-start subscribers).
+type routeTable struct {
+	inboxes map[topology.NodeID]chan Delivery
+	perNode map[topology.NodeID]*atomic.Int64
+}
+
+// churnReq is one Subscribe/Unsubscribe request bound for the writer.
+type churnReq struct {
+	sub   *workload.Subscription // non-nil ⇒ subscribe, else unsubscribe
+	slot  int                    // unsubscribe target
+	reply chan churnResp
+}
+
+type churnResp struct {
+	slot int
+	err  error
 }
 
 // Broker is the delivery fabric. Create with New, feed with Publish, stop
-// with Close. Safe for concurrent Publish calls.
+// with Close. Safe for concurrent Publish, Subscribe and Unsubscribe.
 type Broker struct {
-	engine  *core.Engine
-	graph   *topology.Graph
-	workers int
+	engine        *core.Engine
+	graph         *topology.Graph
+	workers       int // fan-out workers
+	decideWorkers int // decision workers; 0 = GOMAXPROCS
 
 	inj    *faults.Injector
 	rel    ReliabilityConfig
 	health *health.Health
 
-	publishCh    chan workload.Event
+	// snap is the published decision snapshot: decision workers take
+	// lock-free loads, only the writer goroutine stores.
+	snap atomic.Pointer[core.DecisionSnapshot]
+	// seq numbers publications at ingress, so sequence order matches
+	// publish order even across concurrent decision workers.
+	seq atomic.Int64
+	// routes is the current inbox/counter directory (see routeTable).
+	routes atomic.Pointer[routeTable]
+
+	publishCh    chan queued
 	fanoutCh     chan routed
 	quarantineCh chan int
 	// refreshCh carries auto-refresh requests (the warm-iteration count)
-	// from the control loop to the decision goroutine, which is the only
-	// one allowed to touch the engine.
+	// from the control loop to the writer goroutine. One request may be
+	// pending; requestRefresh replaces it so the newest value wins.
 	refreshCh chan int
-	inboxes   map[topology.NodeID]chan Delivery
-
-	// quarCount and groupCount mirror the engine's quarantined/total group
-	// counts so the control loop can read them without touching the engine;
-	// only the decision goroutine writes them.
-	quarCount  atomic.Int64
-	groupCount atomic.Int64
+	// writerCh carries churn requests to the writer goroutine.
+	writerCh   chan churnReq
+	writerStop chan struct{}
 
 	// observer, when set, sees every accepted delivery after stats
 	// accounting.
 	observer func(topology.NodeID, Delivery)
 	// decisionObs, when set, sees every decided event (with its priced
-	// costs) on the decision goroutine, before fan-out. Shed events are not
-	// reported — they never reach fan-out.
+	// costs) on a decision worker, before fan-out. Shed events are not
+	// reported — they never reach fan-out. With more than one decision
+	// worker callbacks run concurrently and may arrive out of sequence
+	// order; pin WithDecideWorkers(1) for a serial, ordered stream.
 	decisionObs func(seq int64, ev workload.Event, d core.Decision, c core.Costs)
 
 	// reg owns the broker's metrics; private unless WithTelemetry supplies
@@ -308,17 +405,20 @@ type Broker struct {
 	reg    *telemetry.Registry
 	tracer *telemetry.Tracer
 	ctr    metrics
-	// perNode shards delivery counts one atomic per consumer, so the hot
-	// path never contends on a shared map.
-	perNode map[topology.NodeID]*atomic.Int64
+	// decideNs holds one decide-latency histogram per decision worker
+	// ("decide_w<i>_ns"), so per-worker skew is visible.
+	decideNs []*telemetry.Histogram
 	// quarantineSent dedups quarantine requests per group.
 	quarantineSent sync.Map
+	// lastSwap is the previous snapshot publication time (writer-only).
+	lastSwap time.Time
 
 	closeMu sync.RWMutex
 	closed  bool
 
 	decisionWG sync.WaitGroup
 	fanoutWG   sync.WaitGroup
+	writerWG   sync.WaitGroup
 	consumerWG sync.WaitGroup
 	closeOnce  sync.Once
 
@@ -334,6 +434,14 @@ type Option func(*Broker)
 // WithWorkers sets the fan-out worker count (default 4).
 func WithWorkers(n int) Option {
 	return func(b *Broker) { b.workers = n }
+}
+
+// WithDecideWorkers sets the decision worker count: 0 (the default) means
+// GOMAXPROCS, 1 forces a serial decision stage. Decisions are
+// byte-identical per snapshot for every worker count; only throughput and
+// the interleaving of fan-out change.
+func WithDecideWorkers(n int) Option {
+	return func(b *Broker) { b.decideWorkers = n }
 }
 
 // WithObserver registers a callback invoked for every accepted delivery
@@ -378,16 +486,17 @@ func WithHealth(h *health.Health) Option {
 }
 
 // WithDecisionObserver registers a callback invoked on the decision
-// goroutine for every decided event with its priced delivery costs —
+// workers for every decided event with its priced delivery costs —
 // the hook recovery experiments use to build cost-over-time series.
 // Pricing each decision costs extra model lookups, so attach it only when
-// the series is wanted.
+// the series is wanted. Combine with WithDecideWorkers(1) when the
+// consumer needs the callbacks serial and in sequence order.
 func WithDecisionObserver(fn func(seq int64, ev workload.Event, d core.Decision, c core.Costs)) Option {
 	return func(b *Broker) { b.decisionObs = fn }
 }
 
 // New starts a broker over an engine. The engine must not be used by the
-// caller until Close returns (the decision goroutine owns it).
+// caller until Close returns (the writer goroutine owns it).
 func New(engine *core.Engine, opts ...Option) (*Broker, error) {
 	if engine == nil {
 		return nil, fmt.Errorf("broker: nil engine")
@@ -396,13 +505,18 @@ func New(engine *core.Engine, opts ...Option) (*Broker, error) {
 		engine:  engine,
 		graph:   engine.Model().Graph(),
 		workers: 4,
-		inboxes: make(map[topology.NodeID]chan Delivery),
 	}
 	for _, opt := range opts {
 		opt(b)
 	}
 	if b.workers < 1 {
 		return nil, fmt.Errorf("broker: %d workers", b.workers)
+	}
+	if b.decideWorkers < 0 {
+		return nil, fmt.Errorf("broker: %d decide workers", b.decideWorkers)
+	}
+	if b.decideWorkers == 0 {
+		b.decideWorkers = runtime.GOMAXPROCS(0)
 	}
 	if err := b.rel.Validate(); err != nil {
 		return nil, err
@@ -411,7 +525,12 @@ func New(engine *core.Engine, opts ...Option) (*Broker, error) {
 	if b.reg == nil {
 		b.reg = telemetry.NewRegistry()
 	}
-	b.ctr = newMetrics(b.reg.Scope("broker"))
+	scope := b.reg.Scope("broker")
+	b.ctr = newMetrics(scope)
+	b.decideNs = make([]*telemetry.Histogram, b.decideWorkers)
+	for i := range b.decideNs {
+		b.decideNs[i] = scope.Histogram(fmt.Sprintf("decide_w%d_ns", i), telemetry.LatencyBuckets())
+	}
 	b.quarantineCh = make(chan int, 128)
 	// Size the publish queue at least MaxInflight so that under the
 	// rejecting policies an admitted event never blocks on the channel
@@ -420,34 +539,47 @@ func New(engine *core.Engine, opts ...Option) (*Broker, error) {
 	if b.health != nil && b.health.Admission.Capacity() > queue {
 		queue = b.health.Admission.Capacity()
 	}
-	b.publishCh = make(chan workload.Event, queue)
+	b.publishCh = make(chan queued, queue)
 	b.fanoutCh = make(chan routed, 64)
 	b.refreshCh = make(chan int, 1)
-	b.groupCount.Store(int64(engine.NumGroups()))
+	b.writerCh = make(chan churnReq, 16)
+	b.writerStop = make(chan struct{})
 	if b.health != nil {
 		b.health.Instrument(b.reg)
 	}
 
-	// One inbox + consumer per subscriber node. Both maps are fully
-	// populated before any consumer starts: consumers read them
-	// concurrently and must only ever see the final, read-only state.
-	b.perNode = make(map[topology.NodeID]*atomic.Int64, len(engine.World().SubscriberNodes))
-	for _, n := range engine.World().SubscriberNodes {
-		b.inboxes[n] = make(chan Delivery, 32)
-		b.perNode[n] = new(atomic.Int64)
+	// Initial snapshot and route table. Consumers only ever see fully
+	// populated, immutable tables.
+	snap := engine.Snapshot()
+	b.snap.Store(snap)
+	b.ctr.snapVersion.Set(snap.Version())
+	b.lastSwap = time.Now()
+	rt := &routeTable{
+		inboxes: make(map[topology.NodeID]chan Delivery, len(engine.World().SubscriberNodes)),
+		perNode: make(map[topology.NodeID]*atomic.Int64, len(engine.World().SubscriberNodes)),
 	}
-	for n, ch := range b.inboxes {
+	for _, n := range engine.World().SubscriberNodes {
+		rt.inboxes[n] = make(chan Delivery, 32)
+		rt.perNode[n] = new(atomic.Int64)
+	}
+	b.routes.Store(rt)
+	for n, ch := range rt.inboxes {
 		b.consumerWG.Add(1)
-		go b.consume(n, ch)
+		go b.consume(n, ch, rt.perNode[n])
 	}
 
-	b.decisionWG.Add(1)
-	go b.decide()
+	for i := 0; i < b.decideWorkers; i++ {
+		b.decisionWG.Add(1)
+		go b.decideLoop(i, engine.NewSPTView())
+	}
 
 	for i := 0; i < b.workers; i++ {
 		b.fanoutWG.Add(1)
 		go b.fanout()
 	}
+
+	b.writerWG.Add(1)
+	go b.writer()
 
 	if b.health != nil && b.health.Controller.Enabled() {
 		b.controlStop = make(chan struct{})
@@ -462,23 +594,68 @@ func New(engine *core.Engine, opts ...Option) (*Broker, error) {
 // been closed. With health attached, the event first passes admission
 // control: under the RejectNewest and ShedLowFanout policies a saturated
 // pipeline or an empty rate-limit bucket returns health.ErrOverloaded
-// instead of blocking. Safe to race with Close.
+// instead of blocking; a Block-policy wait interrupted by Close returns
+// ErrClosed. Safe to race with Close.
 func (b *Broker) Publish(ev workload.Event) error {
 	b.closeMu.RLock()
 	defer b.closeMu.RUnlock()
 	if b.closed {
 		return ErrClosed
 	}
+	var tok *health.Token
 	if b.health != nil {
 		// Admit while holding the close lock: Close cannot complete until
 		// this Publish returns, so an admitted event always reaches the
 		// pipeline and its inflight slot is always released by fan-out.
-		if err := b.health.Admission.Admit(); err != nil {
+		// Close unblocks a waiting Admit (it closes admission first, before
+		// taking the write lock), so this cannot deadlock shutdown.
+		var err error
+		tok, err = b.health.Admission.Admit()
+		if err != nil {
+			if errors.Is(err, health.ErrClosed) {
+				return ErrClosed
+			}
 			return err
 		}
 	}
-	b.publishCh <- ev
+	b.publishCh <- queued{seq: b.seq.Add(1) - 1, ev: ev, snap: b.snap.Load(), tok: tok}
 	return nil
+}
+
+// Subscribe registers a new subscription with the running broker and
+// returns its slot id. When Subscribe returns, the subscription is part of
+// the published decision snapshot: every event published afterwards that
+// matches it will be delivered (by unicast top-up until the next group
+// rebuild folds the subscriber into a group — never lost). A subscriber
+// node that had no inbox gets one, with its delivery counter grown
+// dynamically.
+func (b *Broker) Subscribe(s workload.Subscription) (int, error) {
+	b.closeMu.RLock()
+	defer b.closeMu.RUnlock()
+	if b.closed {
+		return 0, ErrClosed
+	}
+	reply := make(chan churnResp, 1)
+	b.writerCh <- churnReq{sub: &s, reply: reply}
+	resp := <-reply
+	return resp.slot, resp.err
+}
+
+// Unsubscribe removes a live subscription by slot id. When Unsubscribe
+// returns, the published snapshot no longer matches the subscription:
+// events published afterwards are not delivered to it. Events decided
+// published earlier may still arrive (each drains against the snapshot
+// captured at its Publish).
+func (b *Broker) Unsubscribe(slot int) error {
+	b.closeMu.RLock()
+	defer b.closeMu.RUnlock()
+	if b.closed {
+		return ErrClosed
+	}
+	reply := make(chan churnResp, 1)
+	b.writerCh <- churnReq{slot: slot, reply: reply}
+	resp := <-reply
+	return resp.err
 }
 
 // Close drains the pipeline and stops all goroutines. Safe to call more
@@ -490,6 +667,11 @@ func (b *Broker) Close() {
 			close(b.controlStop)
 			b.controlWG.Wait()
 		}
+		if b.health != nil {
+			// Unblock Publish calls waiting inside Admit before taking the
+			// write lock they hold read-side.
+			b.health.Admission.Close()
+		}
 		b.closeMu.Lock()
 		b.closed = true
 		b.closeMu.Unlock()
@@ -497,7 +679,13 @@ func (b *Broker) Close() {
 		b.decisionWG.Wait()
 		close(b.fanoutCh)
 		b.fanoutWG.Wait()
-		for _, ch := range b.inboxes {
+		// Stop the writer after fan-out: it must stay alive to serve the
+		// quarantine requests fan-out workers file. It drains pending
+		// quarantines before exiting, then hands the engine back.
+		close(b.writerStop)
+		b.writerWG.Wait()
+		rt := b.routes.Load()
+		for _, ch := range rt.inboxes {
 			close(ch)
 		}
 		b.consumerWG.Wait()
@@ -509,33 +697,38 @@ func (b *Broker) Close() {
 // is an atomic load of the corresponding "broker"-scope counter, so
 // successive snapshots are monotone per counter even mid-run.
 func (b *Broker) Stats() Stats {
+	rt := b.routes.Load()
 	out := Stats{
-		Published:   b.ctr.published.Value(),
-		Multicast:   b.ctr.multicast.Value(),
-		Unicast:     b.ctr.unicast.Value(),
-		Broadcast:   b.ctr.broadcast.Value(),
-		Deliveries:  b.ctr.deliveries.Value(),
-		Wasted:      b.ctr.wasted.Value(),
-		Retries:     b.ctr.retries.Value(),
-		Redelivered: b.ctr.redelivered.Value(),
-		Deduped:     b.ctr.deduped.Value(),
-		Degraded:    b.ctr.degraded.Value(),
-		Quarantined: b.ctr.quarantined.Value(),
-		Offline:     b.ctr.offline.Value(),
-		Lost:        b.ctr.lost.Value(),
-		PerNode:     make(map[topology.NodeID]int64, len(b.perNode)),
+		Published:     b.ctr.published.Value(),
+		Multicast:     b.ctr.multicast.Value(),
+		Unicast:       b.ctr.unicast.Value(),
+		Broadcast:     b.ctr.broadcast.Value(),
+		Deliveries:    b.ctr.deliveries.Value(),
+		Wasted:        b.ctr.wasted.Value(),
+		Subscribes:    b.ctr.subscribes.Value(),
+		Unsubscribes:  b.ctr.unsubscribes.Value(),
+		SnapshotSwaps: b.ctr.swaps.Value(),
+		Retries:       b.ctr.retries.Value(),
+		Redelivered:   b.ctr.redelivered.Value(),
+		Deduped:       b.ctr.deduped.Value(),
+		Degraded:      b.ctr.degraded.Value(),
+		Quarantined:   b.ctr.quarantined.Value(),
+		Offline:       b.ctr.offline.Value(),
+		Lost:          b.ctr.lost.Value(),
+		PerNode:       make(map[topology.NodeID]int64, len(rt.perNode)),
 	}
 	if b.health != nil {
 		hc := b.health.CounterSnapshot()
 		out.Shed = hc.Shed
 		out.Rejected = hc.Rejected
 		out.RateLimited = hc.RateLimited
+		out.ReleaseSpurious = hc.ReleaseSpurious
 		out.BreakerOpens = hc.BreakerOpen
 		out.BreakerSkipped = hc.Skipped
 		out.Probes = hc.Probes
 		out.AutoRefreshes = hc.Refreshes
 	}
-	for n, c := range b.perNode {
+	for n, c := range rt.perNode {
 		out.PerNode[n] = c.Load()
 	}
 	return out
@@ -544,42 +737,41 @@ func (b *Broker) Stats() Stats {
 // Health exposes the attached health subsystem (nil without WithHealth).
 func (b *Broker) Health() *health.Health { return b.health }
 
-// QuarantineCount reports how many groups are currently quarantined. It
-// reads the decision goroutine's atomic mirror, so it is safe to call
-// while the broker runs (the engine itself is not).
-func (b *Broker) QuarantineCount() int { return int(b.quarCount.Load()) }
+// QuarantineCount reports how many groups the published decision snapshot
+// quarantines. Safe to call while the broker runs.
+func (b *Broker) QuarantineCount() int { return b.snap.Load().NumQuarantined() }
+
+// SnapshotVersion returns the published decision snapshot's build number.
+func (b *Broker) SnapshotVersion() int64 { return b.snap.Load().Version() }
+
+// DecideWorkers returns the resolved decision-worker count (never 0: the
+// WithDecideWorkers(0) default resolves to GOMAXPROCS at New).
+func (b *Broker) DecideWorkers() int { return b.decideWorkers }
 
 // Telemetry exposes the broker's metrics registry — the shared one passed
 // via WithTelemetry, or the private default.
 func (b *Broker) Telemetry() *telemetry.Registry { return b.reg }
 
-// decide is the single goroutine owning the engine. Besides publications
-// it services auto-refresh requests from the control loop, so the engine
-// heals even while traffic flows.
-func (b *Broker) decide() {
+// decideLoop is one decision worker: it drains admitted publications and
+// decides each against a lock-free load of the published snapshot, using
+// its private SPT view for cost queries.
+func (b *Broker) decideLoop(w int, view *multicast.SPTView) {
 	defer b.decisionWG.Done()
-	var seq int64
-	for {
-		select {
-		case ev, ok := <-b.publishCh:
-			if !ok {
-				b.applyQuarantines()
-				return
-			}
-			b.decideOne(ev, &seq)
-		case wi := <-b.refreshCh:
-			b.autoRefresh(wi)
-		}
+	for q := range b.publishCh {
+		b.decideOne(q, w, view)
 	}
 }
 
-// decideOne routes one publication through the decision stage.
-func (b *Broker) decideOne(ev workload.Event, seq *int64) {
-	b.applyQuarantines()
-	trace := b.tracer.Begin(*seq)
+// decideOne routes one publication through the decision stage, against the
+// snapshot captured when the event was published.
+func (b *Broker) decideOne(q queued, w int, view *multicast.SPTView) {
+	snap := q.snap
+	trace := b.tracer.Begin(q.seq)
 	t0 := time.Now()
-	d := b.engine.Decide(ev)
-	trace.Add("decide", t0, time.Since(t0), -1, d.Group, 0, methodNote(d.Method))
+	d := snap.Decide(q.ev, view)
+	dt := time.Since(t0)
+	b.decideNs[w].ObserveDuration(dt)
+	trace.Add("decide", t0, dt, -1, d.Group, 0, methodNote(d.Method))
 	interested := make(map[topology.NodeID]bool, len(d.Interested))
 	for _, n := range d.Interested {
 		interested[n] = true
@@ -593,18 +785,26 @@ func (b *Broker) decideOne(ev workload.Event, seq *int64) {
 	default:
 		b.ctr.unicast.Add(1)
 	}
-	r := routed{seq: *seq, ev: ev, d: d, interested: interested, t0: t0, trace: trace}
-	if d.Method == multicast.NetworkMulticast {
-		// Snapshot the group's members now: fan-out workers must not read
-		// the engine, which this goroutine may refresh at any time.
-		r.nodes = b.engine.Group(d.Group).Nodes
+	r := routed{seq: q.seq, ev: q.ev, d: d, interested: interested, t0: t0, trace: trace, tok: q.tok}
+	switch d.Method {
+	case multicast.NetworkMulticast:
+		// The snapshot's group tables are immutable; share the member
+		// slice instead of copying — fan-out only reads it.
+		r.nodes = snap.GroupNodes(d.Group)
+	case multicast.Broadcast:
+		// Freeze the flood targets now so fan-out and routing paths agree
+		// even if a Subscribe grows the route table in between.
+		rt := b.routes.Load()
+		r.nodes = make([]topology.NodeID, 0, len(rt.inboxes))
+		for n := range rt.inboxes {
+			r.nodes = append(r.nodes, n)
+		}
 	}
 	if b.inj != nil {
-		r.paths = b.routePaths(ev, d)
+		r.paths = routePaths(view, &r)
 		r.budget = new(atomic.Int64)
 		r.budget.Store(b.rel.RetryBudget)
 	}
-	*seq++
 	if b.health != nil {
 		b.health.Admission.NoteFanout(len(d.Interested))
 	}
@@ -618,7 +818,7 @@ func (b *Broker) decideOne(ev workload.Event, seq *int64) {
 		default:
 			if b.health.Admission.ShouldShed(len(d.Interested)) {
 				b.health.Admission.NoteShed()
-				b.health.Admission.Release()
+				q.tok.Release()
 				trace.Add("shed", enq, time.Since(enq), -1, d.Group, 0, "low-fanout")
 				return
 			}
@@ -629,20 +829,173 @@ func (b *Broker) decideOne(ev workload.Event, seq *int64) {
 	}
 	trace.Add("enqueue", enq, time.Since(enq), -1, d.Group, 0, "")
 	if b.decisionObs != nil {
-		b.decisionObs(r.seq, ev, d, b.engine.CostOf(ev, d))
+		b.decisionObs(r.seq, q.ev, d, snap.CostOf(q.ev, d, view))
 	}
 }
 
-// autoRefresh runs one controller-triggered engine refresh on the decision
+// writer is the single goroutine that owns the engine after New: all
+// mutations — subscription churn, quarantines, auto-refreshes — land here,
+// and every visible change is published as a fresh immutable snapshot that
+// the decision workers pick up on their next load.
+func (b *Broker) writer() {
+	defer b.writerWG.Done()
+	for {
+		select {
+		case req := <-b.writerCh:
+			b.handleChurn(req)
+		case g := <-b.quarantineCh:
+			b.applyQuarantines(g)
+		case wi := <-b.refreshCh:
+			b.autoRefresh(wi)
+		case <-b.writerStop:
+			// Apply any quarantines still queued so post-Close state
+			// reflects every reported failure, then hand the engine back.
+			for {
+				select {
+				case g := <-b.quarantineCh:
+					b.applyQuarantines(g)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// handleChurn applies one churn request — plus any others already queued,
+// coalesced into a single snapshot swap — and replies after the swap, so
+// the caller's Subscribe/Unsubscribe return happens-after the snapshot
+// covering its change is live.
+func (b *Broker) handleChurn(first churnReq) {
+	reqs := []churnReq{first}
+	for len(reqs) < 32 {
+		select {
+		case r := <-b.writerCh:
+			reqs = append(reqs, r)
+		default:
+			goto apply
+		}
+	}
+apply:
+	resps := make([]churnResp, len(reqs))
+	var newOwners []topology.NodeID
+	for i, r := range reqs {
+		if r.sub != nil {
+			slot, err := b.engine.AddSubscription(*r.sub)
+			resps[i] = churnResp{slot: slot, err: err}
+			if err == nil {
+				b.ctr.subscribes.Inc()
+				newOwners = append(newOwners, r.sub.Owner)
+			}
+		} else {
+			err := b.engine.RemoveSubscription(r.slot)
+			resps[i] = churnResp{err: err}
+			if err == nil {
+				b.ctr.unsubscribes.Inc()
+			}
+		}
+	}
+	// Routes first, snapshot second: once a decision can match the new
+	// subscriber, its inbox must already exist.
+	b.ensureRoutes(newOwners)
+	b.publishSnapshot()
+	for i, r := range reqs {
+		r.reply <- resps[i]
+	}
+}
+
+// ensureRoutes grows the route table (copy-on-write) with inboxes,
+// counters and consumer goroutines for owners not yet present.
+func (b *Broker) ensureRoutes(owners []topology.NodeID) {
+	rt := b.routes.Load()
+	var missing []topology.NodeID
+	for _, n := range owners {
+		if _, ok := rt.inboxes[n]; !ok {
+			missing = append(missing, n)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	nrt := &routeTable{
+		inboxes: make(map[topology.NodeID]chan Delivery, len(rt.inboxes)+len(missing)),
+		perNode: make(map[topology.NodeID]*atomic.Int64, len(rt.perNode)+len(missing)),
+	}
+	for n, ch := range rt.inboxes {
+		nrt.inboxes[n] = ch
+		nrt.perNode[n] = rt.perNode[n]
+	}
+	for _, n := range missing {
+		if _, ok := nrt.inboxes[n]; ok {
+			continue // duplicate owner within one batch
+		}
+		ch := make(chan Delivery, 32)
+		nrt.inboxes[n] = ch
+		nrt.perNode[n] = new(atomic.Int64)
+		b.consumerWG.Add(1)
+		go b.consume(n, ch, nrt.perNode[n])
+	}
+	b.routes.Store(nrt)
+}
+
+// publishSnapshot swaps in a fresh decision snapshot if the engine's state
+// changed, recording the swap and the retired snapshot's service lifetime.
+func (b *Broker) publishSnapshot() {
+	s := b.engine.Snapshot()
+	if s == b.snap.Load() {
+		return
+	}
+	b.snap.Store(s)
+	now := time.Now()
+	b.ctr.snapAge.ObserveDuration(now.Sub(b.lastSwap))
+	b.lastSwap = now
+	b.ctr.swaps.Inc()
+	b.ctr.snapVersion.Set(s.Version())
+}
+
+// applyQuarantines applies one quarantine request plus any others already
+// queued, then publishes the (cheap, structure-sharing) snapshot swap.
+// Requests referencing groups that no longer exist — an auto-refresh may
+// have shrunk the group count while the request was in flight — are
+// dropped.
+func (b *Broker) applyQuarantines(first int) {
+	g := first
+	for {
+		if g < b.engine.NumGroups() && !b.engine.Quarantined(g) {
+			b.engine.Quarantine(g)
+		}
+		select {
+		case g = <-b.quarantineCh:
+		default:
+			b.publishSnapshot()
+			return
+		}
+	}
+}
+
+// autoRefresh runs one controller-triggered engine refresh on the writer
 // goroutine.
 func (b *Broker) autoRefresh(warmIters int) {
-	b.applyQuarantines()
-	if b.engine.NumQuarantined() == 0 {
-		return // healed some other way; nothing to rebuild
+	// Fold in quarantines that raced the refresh request.
+	for {
+		select {
+		case g := <-b.quarantineCh:
+			if g < b.engine.NumGroups() && !b.engine.Quarantined(g) {
+				b.engine.Quarantine(g)
+			}
+			continue
+		default:
+		}
+		break
+	}
+	if b.engine.NumQuarantined() == 0 && !b.engine.Stale() {
+		b.publishSnapshot() // nothing to rebuild; still surface drained state
+		return
 	}
 	if err := b.engine.Refresh(warmIters); err != nil {
 		// Refresh can fail legitimately (e.g. zero live subscriptions);
 		// leave the quarantines in place and let the loop retry later.
+		b.publishSnapshot()
 		return
 	}
 	// The rebuilt groups start with a clean slate: allow future failures to
@@ -651,14 +1004,13 @@ func (b *Broker) autoRefresh(warmIters int) {
 		b.quarantineSent.Delete(k)
 		return true
 	})
-	b.quarCount.Store(int64(b.engine.NumQuarantined()))
-	b.groupCount.Store(int64(b.engine.NumGroups()))
+	b.publishSnapshot()
 	b.health.NoteAutoRefresh()
 }
 
 // controlLoop is the self-healing loop: every CheckInterval it snapshots
 // the health signals and, when the controller decides the system is both
-// degraded and stable enough to rebuild, asks the decision goroutine to
+// degraded and stable enough to rebuild, asks the writer goroutine to
 // refresh the engine.
 func (b *Broker) controlLoop() {
 	defer b.controlWG.Done()
@@ -675,14 +1027,14 @@ func (b *Broker) controlLoop() {
 }
 
 // controlTick gathers one Signals snapshot and forwards a refresh request
-// when warranted. The send never blocks: refreshCh holds one pending
-// request and a second would be redundant.
+// when warranted.
 func (b *Broker) controlTick() {
 	hc := b.health.CounterSnapshot()
 	ts := b.health.Tracker.Snapshot()
+	snap := b.snap.Load()
 	s := health.Signals{
-		QuarantinedGroups: int(b.quarCount.Load()),
-		TotalGroups:       int(b.groupCount.Load()),
+		QuarantinedGroups: snap.NumQuarantined(),
+		TotalGroups:       snap.NumGroups(),
 		OpenBreakers:      ts.Open,
 		HalfOpenBreakers:  ts.HalfOpen,
 		Shed:              hc.Shed,
@@ -691,8 +1043,23 @@ func (b *Broker) controlTick() {
 		Skipped:           hc.Skipped,
 	}
 	if b.health.Controller.Decide(s) {
+		b.requestRefresh(b.health.Controller.WarmIters())
+	}
+}
+
+// requestRefresh queues a refresh for the writer. refreshCh holds a single
+// pending request; when one is already queued the stale value is drained
+// and replaced so the latest warm-iteration count wins (a plain
+// non-blocking send would silently keep the stale one).
+func (b *Broker) requestRefresh(warmIters int) {
+	for {
 		select {
-		case b.refreshCh <- b.health.Controller.WarmIters():
+		case b.refreshCh <- warmIters:
+			return
+		default:
+		}
+		select {
+		case <-b.refreshCh:
 		default:
 		}
 	}
@@ -710,29 +1077,10 @@ func methodNote(m multicast.Method) string {
 	}
 }
 
-// applyQuarantines drains pending quarantine requests from the fan-out
-// workers and applies them to the engine (which only this goroutine may
-// touch). Requests referencing groups that no longer exist — an
-// auto-refresh may have shrunk the group count while the request was in
-// flight — are dropped.
-func (b *Broker) applyQuarantines() {
-	for {
-		select {
-		case g := <-b.quarantineCh:
-			if g < b.engine.NumGroups() && !b.engine.Quarantined(g) {
-				b.engine.Quarantine(g)
-			}
-			b.quarCount.Store(int64(b.engine.NumQuarantined()))
-		default:
-			return
-		}
-	}
-}
-
-// requestQuarantine asks the decision stage to quarantine a group. The
-// send never blocks (the decision goroutine may itself be blocked feeding
-// fanoutCh); at-most-once per group is guaranteed by quarantineSent, and a
-// full channel simply drops the request — a later failure will retry.
+// requestQuarantine asks the writer goroutine to quarantine a group. The
+// send never blocks; at-most-once per group is guaranteed by
+// quarantineSent, and a full channel simply drops the request — a later
+// failure will retry.
 func (b *Broker) requestQuarantine(group int) {
 	if group < 0 {
 		return
@@ -749,30 +1097,27 @@ func (b *Broker) requestQuarantine(group int) {
 }
 
 // routePaths resolves each destination's primary routing path along the
-// publisher's shortest-path tree. Runs on the decision goroutine (the SPT
-// cache inside the model is not concurrency-safe).
-func (b *Broker) routePaths(ev workload.Event, d core.Decision) map[topology.NodeID][]topology.NodeID {
-	spt := b.engine.Model().SPT(ev.Pub)
+// publisher's shortest-path tree, using the decision worker's private SPT
+// view. Destinations come from the routed event itself (its frozen node
+// sets), never from mutable broker state.
+func routePaths(view *multicast.SPTView, r *routed) map[topology.NodeID][]topology.NodeID {
+	spt := view.SPT(r.ev.Pub)
 	paths := make(map[topology.NodeID][]topology.NodeID)
 	add := func(n topology.NodeID) {
 		if _, ok := paths[n]; !ok {
 			paths[n] = spt.PathTo(n)
 		}
 	}
-	switch d.Method {
-	case multicast.Broadcast:
-		for n := range b.inboxes {
+	switch r.d.Method {
+	case multicast.Broadcast, multicast.NetworkMulticast:
+		for _, n := range r.nodes {
 			add(n)
 		}
-	case multicast.NetworkMulticast:
-		for _, n := range b.engine.Group(d.Group).Nodes {
-			add(n)
-		}
-		for _, n := range d.Remainder {
+		for _, n := range r.d.Remainder {
 			add(n)
 		}
 	default:
-		for _, n := range d.Interested {
+		for _, n := range r.d.Interested {
 			add(n)
 		}
 	}
@@ -780,26 +1125,26 @@ func (b *Broker) routePaths(ev workload.Event, d core.Decision) map[topology.Nod
 }
 
 // fanout places one copy per destination inbox. Each fully fanned-out
-// event releases its admission slot — the point where the inflight bound
+// event releases its admission token — the point where the inflight bound
 // stops counting it.
 func (b *Broker) fanout() {
 	defer b.fanoutWG.Done()
 	for r := range b.fanoutCh {
 		b.fanoutOne(r)
-		if b.health != nil {
-			b.health.Admission.Release()
-		}
+		r.tok.Release()
 	}
 }
 
 // fanoutOne delivers one routed event to all its destinations.
 func (b *Broker) fanoutOne(r routed) {
+	rt := b.routes.Load()
 	if r.d.Method == multicast.Broadcast {
-		// Flooding: every subscriber node receives a copy (non-subscriber
-		// nodes have no inbox and are represented by waste accounting at
-		// the cost level, not the delivery level).
-		for n := range b.inboxes {
-			b.deliver(r, n, Delivery{
+		// Flooding: every subscriber node captured at decision time
+		// receives a copy (non-subscriber nodes have no inbox and are
+		// represented by waste accounting at the cost level, not the
+		// delivery level).
+		for _, n := range r.nodes {
+			b.deliver(rt, r, n, Delivery{
 				Event:      r.ev,
 				Seq:        r.seq,
 				Method:     multicast.Broadcast,
@@ -811,7 +1156,7 @@ func (b *Broker) fanoutOne(r routed) {
 	}
 	if r.d.Method == multicast.NetworkMulticast {
 		for _, n := range r.nodes {
-			b.deliver(r, n, Delivery{
+			b.deliver(rt, r, n, Delivery{
 				Event:      r.ev,
 				Seq:        r.seq,
 				Method:     multicast.NetworkMulticast,
@@ -820,7 +1165,7 @@ func (b *Broker) fanoutOne(r routed) {
 			})
 		}
 		for _, n := range r.d.Remainder {
-			b.deliver(r, n, Delivery{
+			b.deliver(rt, r, n, Delivery{
 				Event:      r.ev,
 				Seq:        r.seq,
 				Method:     multicast.Unicast,
@@ -831,7 +1176,7 @@ func (b *Broker) fanoutOne(r routed) {
 		return
 	}
 	for _, n := range r.d.Interested {
-		b.deliver(r, n, Delivery{
+		b.deliver(rt, r, n, Delivery{
 			Event:      r.ev,
 			Seq:        r.seq,
 			Method:     multicast.Unicast,
@@ -844,10 +1189,10 @@ func (b *Broker) fanoutOne(r routed) {
 // deliver places a copy in a node's inbox; unknown nodes (non-subscribers)
 // are counted but have no inbox. Under fault injection it runs the
 // reliability protocol.
-func (b *Broker) deliver(r routed, n topology.NodeID, d Delivery) {
+func (b *Broker) deliver(rt *routeTable, r routed, n topology.NodeID, d Delivery) {
 	d.born = r.t0
 	d.trace = r.trace
-	ch, ok := b.inboxes[n]
+	ch, ok := rt.inboxes[n]
 	if !ok {
 		// A group may reference a node that stopped subscribing between
 		// refreshes; count the waste, nothing to deliver to.
@@ -1000,23 +1345,19 @@ func (b *Broker) backoff(seq int64, n topology.NodeID, attempt int) {
 	b.ctr.backoffWait.ObserveDuration(wait)
 }
 
-// consume drains one node's inbox, dedups on sequence number, and accounts
-// deliveries.
-func (b *Broker) consume(n topology.NodeID, ch <-chan Delivery) {
+// consume drains one node's inbox, dedups on sequence number within a
+// bounded sliding window, and accounts deliveries.
+func (b *Broker) consume(n topology.NodeID, ch <-chan Delivery, pn *atomic.Int64) {
 	defer b.consumerWG.Done()
-	pn := b.perNode[n]
-	var seen map[int64]bool
+	var seen *seqWindow
 	if b.inj != nil {
-		seen = make(map[int64]bool)
+		seen = newSeqWindow(b.rel.DedupWindow)
 	}
 	for d := range ch {
-		if seen != nil {
-			if seen[d.Seq] {
-				b.ctr.deduped.Add(1)
-				d.trace.Add("dedup", time.Now(), 0, int64(n), d.Group, d.Attempt, "")
-				continue
-			}
-			seen[d.Seq] = true
+		if seen != nil && !seen.admit(d.Seq) {
+			b.ctr.deduped.Add(1)
+			d.trace.Add("dedup", time.Now(), 0, int64(n), d.Group, d.Attempt, "")
+			continue
 		}
 		b.ctr.deliveries.Add(1)
 		pn.Add(1)

@@ -64,10 +64,10 @@ func TestChaosRecovery(t *testing.T) {
 	}
 
 	// The decision observer records each decided event's network cost, in
-	// sequence order (the decision goroutine is serial).
+	// sequence order (WithDecideWorkers(1) pins a serial decision stage).
 	var mu sync.Mutex
 	var costs []float64
-	b, err := New(e, WithWorkers(4), WithFaults(inj), WithReliability(fastRel()),
+	b, err := New(e, WithWorkers(4), WithDecideWorkers(1), WithFaults(inj), WithReliability(fastRel()),
 		WithHealth(h),
 		WithDecisionObserver(func(seq int64, ev workload.Event, d core.Decision, c core.Costs) {
 			mu.Lock()

@@ -1,0 +1,53 @@
+package broker
+
+// seqWindow is a fixed-footprint sliding-window duplicate detector over
+// publication sequence numbers. It replaces the old unbounded
+// map[int64]bool per consumer: memory is exactly one int64 slot per window
+// position for the life of the broker, regardless of how many events flow.
+//
+// The window covers the last size sequence numbers ending at the highest
+// value admitted so far. Within any size consecutive sequence numbers the
+// residues seq % size are unique, so one slot per residue suffices: a slot
+// holding seq means "seq was seen", and overwriting it when a newer number
+// with the same residue arrives is exactly the window sliding forward.
+// Sequence numbers at or below max-size have fallen out of the window and
+// are conservatively treated as duplicates — duplicates only arise from
+// immediate retransmission, so a correctly sized window never misclassifies
+// a first delivery.
+//
+// Not safe for concurrent use; each consumer goroutine owns one.
+type seqWindow struct {
+	slots []int64
+	max   int64 // highest sequence number admitted; -1 before the first
+}
+
+func newSeqWindow(size int) *seqWindow {
+	if size < 1 {
+		size = 1
+	}
+	w := &seqWindow{slots: make([]int64, size), max: -1}
+	for i := range w.slots {
+		w.slots[i] = -1
+	}
+	return w
+}
+
+// admit reports whether seq is new (true) or a duplicate / fallen out of
+// the window (false), and records it. Allocation-free.
+func (w *seqWindow) admit(seq int64) bool {
+	if seq < 0 {
+		return false
+	}
+	if w.max >= int64(len(w.slots)) && seq <= w.max-int64(len(w.slots)) {
+		return false // below the window: assume seen
+	}
+	i := seq % int64(len(w.slots))
+	if w.slots[i] == seq {
+		return false
+	}
+	w.slots[i] = seq
+	if seq > w.max {
+		w.max = seq
+	}
+	return true
+}

@@ -1,0 +1,126 @@
+package broker
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSeqWindowBasic(t *testing.T) {
+	w := newSeqWindow(4)
+	for seq := int64(0); seq < 4; seq++ {
+		if !w.admit(seq) {
+			t.Fatalf("fresh seq %d rejected", seq)
+		}
+		if w.admit(seq) {
+			t.Fatalf("duplicate seq %d admitted", seq)
+		}
+	}
+	// Sliding forward reuses residues without confusing distinct seqs.
+	if !w.admit(4) {
+		t.Fatal("seq 4 rejected")
+	}
+	if w.admit(4) {
+		t.Fatal("duplicate seq 4 admitted")
+	}
+	// 0 has fallen out of the window (max-W = 0): treated as seen.
+	if w.admit(0) {
+		t.Fatal("below-window seq 0 admitted")
+	}
+	// 1..3 are still inside and already seen.
+	for seq := int64(1); seq < 4; seq++ {
+		if w.admit(seq) {
+			t.Fatalf("in-window duplicate %d admitted", seq)
+		}
+	}
+	if w.admit(-1) {
+		t.Fatal("negative seq admitted")
+	}
+}
+
+func TestSeqWindowOutOfOrder(t *testing.T) {
+	w := newSeqWindow(8)
+	// Arrivals out of order within the window are each admitted once.
+	for _, seq := range []int64{5, 2, 7, 0, 3} {
+		if !w.admit(seq) {
+			t.Fatalf("seq %d rejected", seq)
+		}
+	}
+	for _, seq := range []int64{5, 2, 7, 0, 3} {
+		if w.admit(seq) {
+			t.Fatalf("duplicate %d admitted", seq)
+		}
+	}
+	// Unseen in-window seqs still pass.
+	for _, seq := range []int64{1, 4, 6} {
+		if !w.admit(seq) {
+			t.Fatalf("unseen in-window %d rejected", seq)
+		}
+	}
+}
+
+// TestSeqWindowExactlyOnceStream: a long shuffled-with-duplicates stream
+// must be admitted exactly once per distinct sequence number, as long as
+// reordering stays inside the window — the dedup property the reliability
+// protocol needs.
+func TestSeqWindowExactlyOnceStream(t *testing.T) {
+	const window = 64
+	w := newSeqWindow(window)
+	rng := rand.New(rand.NewSource(700))
+	admitted := map[int64]int{}
+	// Deliver seqs 0..9999 shuffled within blocks of 32 (so reordering
+	// distance stays well inside the window) with 20% immediate duplicates.
+	base := make([]int64, 10000)
+	for i := range base {
+		base[i] = int64(i)
+	}
+	for s := 0; s < len(base); s += 32 {
+		blk := base[s:min(s+32, len(base))]
+		rng.Shuffle(len(blk), func(i, j int) { blk[i], blk[j] = blk[j], blk[i] })
+	}
+	for _, seq := range base {
+		if w.admit(seq) {
+			admitted[seq]++
+		}
+		if rng.Float64() < 0.2 && w.admit(seq) {
+			admitted[seq]++ // immediate duplicate must never land
+			t.Fatalf("immediate duplicate of %d admitted", seq)
+		}
+	}
+	for seq := int64(0); seq < 10000; seq++ {
+		if admitted[seq] != 1 {
+			t.Fatalf("seq %d admitted %d times", seq, admitted[seq])
+		}
+	}
+}
+
+// TestSeqWindowFixedFootprint: the detector's memory is fixed at
+// construction — admitting millions of sequence numbers allocates nothing.
+// The old map[int64]bool grew one entry per event for the broker's
+// lifetime.
+func TestSeqWindowFixedFootprint(t *testing.T) {
+	w := newSeqWindow(4096)
+	seq := int64(0)
+	allocs := testing.AllocsPerRun(200000, func() {
+		w.admit(seq)
+		seq++
+	})
+	if allocs != 0 {
+		t.Fatalf("admit allocates %.1f per call; dedup memory is not flat", allocs)
+	}
+	if len(w.slots) != 4096 {
+		t.Fatalf("window resized to %d", len(w.slots))
+	}
+}
+
+func TestSeqWindowTinySize(t *testing.T) {
+	w := newSeqWindow(0) // clamps to 1: "remember only the latest"
+	if !w.admit(10) || w.admit(10) {
+		t.Fatal("size-1 window broken")
+	}
+	if !w.admit(11) {
+		t.Fatal("size-1 window rejected the next seq")
+	}
+	if w.admit(10) {
+		t.Fatal("size-1 window re-admitted an old seq")
+	}
+}

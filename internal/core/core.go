@@ -106,6 +106,19 @@ type Engine struct {
 
 	stale bool // groups no longer reflect the current subscriptions
 
+	// shared is the concurrency-safe SPT cache backing DecisionSnapshot
+	// cost queries; the engine's private model keeps its own cache for the
+	// single-threaded path.
+	shared *multicast.SharedSPTs
+
+	// Snapshot cache: lastSnap is reused until one of the dirty flags
+	// marks the corresponding state as changed (see Snapshot).
+	lastSnap    *DecisionSnapshot
+	snapVersion int64
+	dirtySubs   bool // tree / subscription slice changed
+	dirtyGroups bool // group tables, overlays or indexes changed
+	dirtyQuar   bool // quarantine set changed
+
 	tel engineTelemetry
 }
 
@@ -168,12 +181,13 @@ func New(g *topology.Graph, axes []space.Axis, subs []workload.Subscription, tra
 		}
 	}
 	e := &Engine{
-		cfg:   cfg,
-		graph: g,
-		axes:  append([]space.Axis(nil), axes...),
-		subs:  append([]workload.Subscription(nil), subs...),
-		train: train,
-		model: multicast.NewModel(g),
+		cfg:    cfg,
+		graph:  g,
+		axes:   append([]space.Axis(nil), axes...),
+		subs:   append([]workload.Subscription(nil), subs...),
+		train:  train,
+		model:  multicast.NewModel(g),
+		shared: multicast.NewSharedSPTs(g),
 	}
 	if err := e.rebuild(); err != nil {
 		return nil, err
@@ -193,6 +207,13 @@ func NewFromWorld(w *workload.World, train []workload.Event, cfg Config) (*Engin
 func (e *Engine) clearQuarantines() {
 	e.tel.quarantineClears.Add(int64(len(e.quarantined)))
 	e.quarantined = nil
+	e.dirtyQuar = true
+}
+
+// markRebuilt flags every snapshot-visible structure as changed after a
+// full index/group reconstruction.
+func (e *Engine) markRebuilt() {
+	e.dirtySubs, e.dirtyGroups, e.dirtyQuar = true, true, true
 }
 
 // rebuild reconstructs every index and the multicast groups from scratch.
@@ -235,6 +256,7 @@ func (e *Engine) rebuild() error {
 			e.overlays[i] = e.model.BuildOverlay(e.groupNodes[i])
 		}
 		e.clearQuarantines()
+		e.markRebuilt()
 		e.tel.liveGroups.Set(int64(len(e.groupNodes)))
 		e.stale = false
 		return nil
@@ -277,6 +299,7 @@ func (e *Engine) adoptGridAssignment(in *cluster.Input, assign cluster.Assignmen
 		e.overlays[i] = e.model.BuildOverlay(e.groupNodes[i])
 	}
 	e.clearQuarantines()
+	e.markRebuilt()
 	e.tel.liveGroups.Set(int64(len(e.groupNodes)))
 	e.stale = false
 	return nil
@@ -322,6 +345,7 @@ func (e *Engine) Quarantine(g int) {
 	}
 	if !e.quarantined[g] {
 		e.tel.quarantines.Inc()
+		e.dirtyQuar = true
 	}
 	e.quarantined[g] = true
 }

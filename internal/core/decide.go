@@ -5,7 +5,10 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/cluster"
+	"repro/internal/matching"
 	"repro/internal/multicast"
+	"repro/internal/rtree"
 	"repro/internal/topology"
 	"repro/internal/workload"
 )
@@ -27,6 +30,61 @@ type Decision struct {
 	MatchedSubs []int
 }
 
+// costModel is the cost-query surface a delivery decision needs. Both
+// *multicast.Model (the engine's private, single-threaded model) and
+// *multicast.SPTView (a decision worker's view over the shared SPT cache)
+// implement it, and — being backed by the same Dijkstra trees — return
+// bit-identical numbers, so decisions are identical whichever path prices
+// them.
+type costModel interface {
+	Dist(u, v topology.NodeID) float64
+	BroadcastCost(pub topology.NodeID) float64
+	SPTCoverCost(pub topology.NodeID, targets []topology.NodeID) float64
+	ALMCost(pub topology.NodeID, o multicast.Overlay) float64
+}
+
+// decider is the frozen state one delivery decision reads: the
+// subscription index, the group tables and the quarantine set. The Engine
+// builds a decider over its live state for the single-threaded path;
+// DecisionSnapshot freezes one (cloned tree, frozen subscription slice,
+// copied quarantine map) for lock-free concurrent reads.
+//
+// Invariant: decision code must never read world.Subs — a writer may be
+// appending to it concurrently — only the frozen subs slice.
+type decider struct {
+	threshold float64
+	dynamic   bool
+
+	world *workload.World // SubscriberIndex/SubscriberNodes only
+	subs  []workload.Subscription
+	tree  *rtree.Tree
+
+	gridIdx *matching.GridIndex
+	gridRes *cluster.Result
+	nlIdx   *matching.NoLossIndex
+
+	groupNodes  [][]topology.NodeID
+	overlays    []multicast.Overlay
+	quarantined map[int]bool
+}
+
+// dec builds a decider over the engine's live state.
+func (e *Engine) dec() decider {
+	return decider{
+		threshold:   e.cfg.Threshold,
+		dynamic:     e.cfg.DynamicMethod,
+		world:       e.world,
+		subs:        e.world.Subs,
+		tree:        e.tree,
+		gridIdx:     e.gridIdx,
+		gridRes:     e.gridRes,
+		nlIdx:       e.nlIdx,
+		groupNodes:  e.groupNodes,
+		overlays:    e.overlays,
+		quarantined: e.quarantined,
+	}
+}
+
 // Decide matches the event and plans its delivery per Figures 5/6. With
 // Config.DynamicMethod it additionally compares the group-multicast,
 // unicast and broadcast prices and downgrades or upgrades the method to
@@ -37,22 +95,29 @@ func (e *Engine) Decide(ev workload.Event) Decision {
 		defer e.tel.decideNs.Start()()
 		e.tel.decides.Inc()
 	}
-	d := e.decideStatic(ev)
-	if !e.cfg.DynamicMethod {
+	dc := e.dec()
+	return dc.decide(ev, e.model)
+}
+
+// decide runs the full decision: static routing plus (when enabled) the
+// dynamic method comparison.
+func (dc *decider) decide(ev workload.Event, cost costModel) Decision {
+	d := dc.decideStatic(ev)
+	if !dc.dynamic {
 		return d
 	}
-	return e.pickMethod(ev, d)
+	return dc.pickMethod(ev, d, cost)
 }
 
 // decideStatic is the Fig 5/6 routing without method re-selection.
-func (e *Engine) decideStatic(ev workload.Event) Decision {
+func (dc *decider) decideStatic(ev workload.Event) Decision {
 	d := Decision{Group: -1, Method: multicast.Unicast}
-	hits := e.tree.SearchPoint(ev.Point)
+	hits := dc.tree.SearchPoint(ev.Point)
 	sort.Ints(hits)
 	d.MatchedSubs = hits
 	seen := map[topology.NodeID]bool{}
 	for _, si := range hits {
-		n := e.world.Subs[si].Owner
+		n := dc.subs[si].Owner
 		if !seen[n] {
 			seen[n] = true
 			d.Interested = append(d.Interested, n)
@@ -62,10 +127,10 @@ func (e *Engine) decideStatic(ev workload.Event) Decision {
 
 	var g int
 	var ok bool
-	if e.nlIdx != nil {
-		g, ok = e.nlIdx.GroupFor(ev.Point)
+	if dc.nlIdx != nil {
+		g, ok = dc.nlIdx.GroupFor(ev.Point)
 	} else {
-		g, ok = e.gridIdx.GroupFor(ev.Point)
+		g, ok = dc.gridIdx.GroupFor(ev.Point)
 	}
 	if !ok {
 		return d
@@ -73,20 +138,20 @@ func (e *Engine) decideStatic(ev workload.Event) Decision {
 	// Quarantined groups (persistent delivery failures reported by the
 	// broker) are bypassed: affected members fall back to unicast until
 	// Refresh rebuilds the groups.
-	if e.quarantined[g] {
+	if dc.quarantined[g] {
 		return d
 	}
 
 	// Threshold rule (Fig 5): multicast only when enough of the group is
 	// interested.
-	if e.cfg.Threshold > 0 && len(e.groupNodes[g]) > 0 {
+	if dc.threshold > 0 && len(dc.groupNodes[g]) > 0 {
 		inGroup := 0
 		for _, n := range d.Interested {
-			if e.memberOf(g, n) {
+			if dc.memberOf(g, n) {
 				inGroup++
 			}
 		}
-		if float64(inGroup)/float64(len(e.groupNodes[g])) < e.cfg.Threshold {
+		if float64(inGroup)/float64(len(dc.groupNodes[g])) < dc.threshold {
 			return d
 		}
 	}
@@ -94,22 +159,22 @@ func (e *Engine) decideStatic(ev workload.Event) Decision {
 	d.Method = multicast.NetworkMulticast
 	d.Group = g
 	for _, n := range d.Interested {
-		if !e.memberOf(g, n) {
+		if !dc.memberOf(g, n) {
 			d.Remainder = append(d.Remainder, n)
 		}
 	}
 	return d
 }
 
-func (e *Engine) memberOf(g int, n topology.NodeID) bool {
-	idx, ok := e.world.SubscriberIndex(n)
+func (dc *decider) memberOf(g int, n topology.NodeID) bool {
+	idx, ok := dc.world.SubscriberIndex(n)
 	if !ok {
 		return false
 	}
-	if e.nlIdx != nil {
-		return e.nlIdx.Groups()[g].Members.Test(idx)
+	if dc.nlIdx != nil {
+		return dc.nlIdx.Groups()[g].Members.Test(idx)
 	}
-	return e.gridRes.Groups[g].Members.Test(idx)
+	return dc.gridRes.Groups[g].Members.Test(idx)
 }
 
 // Costs prices a decision under both multicast frameworks.
@@ -121,18 +186,18 @@ type Costs struct {
 // pickMethod downgrades or upgrades a routed decision to the cheapest of
 // group multicast, per-node unicast and broadcast, priced under the
 // network-supported framework.
-func (e *Engine) pickMethod(ev workload.Event, d Decision) Decision {
+func (dc *decider) pickMethod(ev workload.Event, d Decision, cost costModel) Decision {
 	unicast := 0.0
 	for _, n := range d.Interested {
-		unicast += e.model.Dist(ev.Pub, n)
+		unicast += cost.Dist(ev.Pub, n)
 	}
-	bcast := e.model.BroadcastCost(ev.Pub)
+	bcast := cost.BroadcastCost(ev.Pub)
 
 	group := math.Inf(1)
 	if d.Method == multicast.NetworkMulticast && d.Group >= 0 {
-		group = e.model.SPTCoverCost(ev.Pub, e.groupNodes[d.Group])
+		group = cost.SPTCoverCost(ev.Pub, dc.groupNodes[d.Group])
 		for _, n := range d.Remainder {
-			group += e.model.Dist(ev.Pub, n)
+			group += cost.Dist(ev.Pub, n)
 		}
 	}
 
@@ -151,27 +216,33 @@ func (e *Engine) pickMethod(ev workload.Event, d Decision) Decision {
 	return d
 }
 
-// CostOf prices a decision for the given event.
-func (e *Engine) CostOf(ev workload.Event, d Decision) Costs {
+// costOf prices a decision for the given event.
+func (dc *decider) costOf(ev workload.Event, d Decision, cost costModel) Costs {
 	if d.Method == multicast.Broadcast {
-		b := e.model.BroadcastCost(ev.Pub)
+		b := cost.BroadcastCost(ev.Pub)
 		return Costs{Network: b, AppLevel: b}
 	}
 	if d.Method == multicast.Unicast || d.Group < 0 {
 		u := 0.0
 		for _, n := range d.Interested {
-			u += e.model.Dist(ev.Pub, n)
+			u += cost.Dist(ev.Pub, n)
 		}
 		return Costs{Network: u, AppLevel: u}
 	}
 	top := 0.0
 	for _, n := range d.Remainder {
-		top += e.model.Dist(ev.Pub, n)
+		top += cost.Dist(ev.Pub, n)
 	}
 	return Costs{
-		Network:  e.model.SPTCoverCost(ev.Pub, e.groupNodes[d.Group]) + top,
-		AppLevel: e.model.ALMCost(ev.Pub, e.overlays[d.Group]) + top,
+		Network:  cost.SPTCoverCost(ev.Pub, dc.groupNodes[d.Group]) + top,
+		AppLevel: cost.ALMCost(ev.Pub, dc.overlays[d.Group]) + top,
 	}
+}
+
+// CostOf prices a decision for the given event.
+func (e *Engine) CostOf(ev workload.Event, d Decision) Costs {
+	dc := e.dec()
+	return dc.costOf(ev, d, e.model)
 }
 
 // Publish decides and prices one event in a single call.

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// ChurnPoint is one row of the churn sweep: broker accounting and churn-op
+// application latency under one Poisson churn rate.
+type ChurnPoint struct {
+	// Rate is the expected churn operations per published event.
+	Rate float64
+	// Ops is the number of churn operations actually applied.
+	Ops int
+	// PeakAlive is the largest simultaneous count of churned subscriptions.
+	PeakAlive int
+	Stats     broker.Stats
+
+	// OpLatencyMean/P99 measure the blocking Subscribe/Unsubscribe call —
+	// engine mutation plus copy-on-write snapshot publication, as seen by
+	// the subscriber.
+	OpLatencyMean time.Duration
+	OpLatencyP99  time.Duration
+	// SwapsPerOp is snapshot publications per churn op (< 1 when the
+	// writer coalesces, ≈ 1 under serial churn).
+	SwapsPerOp float64
+}
+
+// ChurnSweepConfig parameterises the churn sweep.
+type ChurnSweepConfig struct {
+	Rates         []float64 // churn ops per event (default 0.01, 0.05, 0.1, 0.5)
+	Groups        int       // engine multicast groups K (default 40)
+	CellBudget    int       // clustering cell budget (default 1500)
+	DecideWorkers int       // broker decision workers (default 0 = GOMAXPROCS)
+	Seed          int64
+}
+
+func (c *ChurnSweepConfig) setDefaults() {
+	if len(c.Rates) == 0 {
+		c.Rates = []float64{0.01, 0.05, 0.1, 0.5}
+	}
+	if c.Groups == 0 {
+		c.Groups = 40
+	}
+	if c.CellBudget == 0 {
+		c.CellBudget = 1500
+	}
+}
+
+// RunChurn replays the evaluation events through a live broker while a
+// Poisson schedule of Subscribe/Unsubscribe operations churns the
+// subscription set — the paper's dynamic-subscription scenario executed
+// against the snapshot decision plane instead of a rebuilt-offline engine.
+// Every point rebuilds the engine so churned state cannot leak across
+// rates.
+func RunChurn(env *StockEnv, cfg ChurnSweepConfig) ([]ChurnPoint, error) {
+	cfg.setDefaults()
+	pts := make([]ChurnPoint, 0, len(cfg.Rates))
+	for _, rate := range cfg.Rates {
+		engine, err := core.NewFromWorld(env.World, env.Train, core.Config{
+			Groups:     cfg.Groups,
+			CellBudget: cfg.CellBudget,
+			Algorithm:  &cluster.KMeans{Variant: cluster.Forgy},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: churn engine: %w", err)
+		}
+		ops, err := sim.GenerateChurn(env.World, sim.ChurnConfig{
+			Rate: rate, Events: len(env.Eval), Seed: cfg.Seed + 7,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: churn schedule: %w", err)
+		}
+		b, err := broker.New(engine, broker.WithDecideWorkers(cfg.DecideWorkers))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: churn broker: %w", err)
+		}
+
+		var slots []int // live churned subscriptions, insertion order
+		var opNs []float64
+		next := 0
+		for i, ev := range env.Eval {
+			for next < len(ops) && ops[next].BeforeEvent <= i {
+				op := ops[next]
+				start := time.Now()
+				if op.Subscribe {
+					slot, err := b.Subscribe(op.Sub)
+					if err != nil {
+						b.Close()
+						return nil, fmt.Errorf("experiments: churn subscribe: %w", err)
+					}
+					slots = append(slots, slot)
+				} else {
+					slot := slots[op.Target]
+					slots = append(slots[:op.Target], slots[op.Target+1:]...)
+					if err := b.Unsubscribe(slot); err != nil {
+						b.Close()
+						return nil, fmt.Errorf("experiments: churn unsubscribe: %w", err)
+					}
+				}
+				opNs = append(opNs, float64(time.Since(start).Nanoseconds()))
+				next++
+			}
+			if err := b.Publish(ev); err != nil {
+				b.Close()
+				return nil, fmt.Errorf("experiments: churn publish: %w", err)
+			}
+		}
+		b.Close()
+		st := b.Stats()
+
+		pt := ChurnPoint{
+			Rate:      rate,
+			Ops:       next,
+			PeakAlive: sim.SummarizeChurn(ops).PeakAlive,
+			Stats:     st,
+		}
+		if len(opNs) > 0 {
+			sort.Float64s(opNs)
+			var sum float64
+			for _, v := range opNs {
+				sum += v
+			}
+			pt.OpLatencyMean = time.Duration(sum / float64(len(opNs)))
+			pt.OpLatencyP99 = time.Duration(opNs[(len(opNs)*99)/100])
+			pt.SwapsPerOp = float64(st.SnapshotSwaps) / float64(len(opNs))
+		}
+		pts = append(pts, pt)
+	}
+	return pts, nil
+}
+
+// RenderChurn writes the churn sweep as an aligned text table.
+func RenderChurn(w io.Writer, title string, pts []ChurnPoint) error {
+	fmt.Fprintf(w, "%s\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "rate\tops\tpeak alive\tsubs\tunsubs\tswaps\tswaps/op\tdeliveries\twasted\top mean\top p99")
+	for _, p := range pts {
+		fmt.Fprintf(tw, "%.2f\t%d\t%d\t%d\t%d\t%d\t%.2f\t%d\t%d\t%v\t%v\n",
+			p.Rate, p.Ops, p.PeakAlive, p.Stats.Subscribes, p.Stats.Unsubscribes,
+			p.Stats.SnapshotSwaps, p.SwapsPerOp, p.Stats.Deliveries, p.Stats.Wasted,
+			p.OpLatencyMean.Round(time.Microsecond), p.OpLatencyP99.Round(time.Microsecond))
+	}
+	return tw.Flush()
+}
+
+// RenderChurnCSV writes the churn sweep as CSV.
+func RenderChurnCSV(w io.Writer, pts []ChurnPoint) error {
+	if _, err := fmt.Fprintln(w, "rate,ops,peak_alive,subscribes,unsubscribes,snapshot_swaps,swaps_per_op,published,deliveries,wasted,op_mean_ns,op_p99_ns"); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if _, err := fmt.Fprintf(w, "%.4f,%d,%d,%d,%d,%d,%.4f,%d,%d,%d,%d,%d\n",
+			p.Rate, p.Ops, p.PeakAlive, p.Stats.Subscribes, p.Stats.Unsubscribes,
+			p.Stats.SnapshotSwaps, p.SwapsPerOp, p.Stats.Published, p.Stats.Deliveries,
+			p.Stats.Wasted, p.OpLatencyMean.Nanoseconds(), p.OpLatencyP99.Nanoseconds()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunChurnSmall(t *testing.T) {
+	env := smallEnv(t, 84)
+	pts, err := RunChurn(env, ChurnSweepConfig{
+		Rates:         []float64{0.05, 0.5},
+		Groups:        20,
+		CellBudget:    400,
+		DecideWorkers: 1,
+		Seed:          85,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.Stats.Published != int64(len(env.Eval)) {
+			t.Errorf("rate %.2f published %d events, want %d", p.Rate, p.Stats.Published, len(env.Eval))
+		}
+		if p.Ops == 0 {
+			t.Errorf("rate %.2f applied no churn ops", p.Rate)
+		}
+		if int(p.Stats.Subscribes+p.Stats.Unsubscribes) != p.Ops {
+			t.Errorf("rate %.2f: broker saw %d+%d churn ops, schedule had %d",
+				p.Rate, p.Stats.Subscribes, p.Stats.Unsubscribes, p.Ops)
+		}
+		// Every churn op forces at least one swap; the writer may coalesce a
+		// batch into one, so swaps ∈ [1, ops] per op on this serial driver.
+		if p.Stats.SnapshotSwaps == 0 || p.Stats.SnapshotSwaps > int64(p.Ops) {
+			t.Errorf("rate %.2f: %d swaps for %d ops", p.Rate, p.Stats.SnapshotSwaps, p.Ops)
+		}
+		if p.OpLatencyP99 < p.OpLatencyMean {
+			t.Errorf("rate %.2f: p99 %v below mean %v", p.Rate, p.OpLatencyP99, p.OpLatencyMean)
+		}
+	}
+	// Higher rate ⇒ more ops (Poisson means scale linearly; 10× apart is
+	// far outside noise for this horizon).
+	if pts[1].Ops <= pts[0].Ops {
+		t.Errorf("ops did not grow with rate: %d @ %.2f vs %d @ %.2f",
+			pts[0].Ops, pts[0].Rate, pts[1].Ops, pts[1].Rate)
+	}
+
+	var tab, csv strings.Builder
+	if err := RenderChurn(&tab, "churn sweep", pts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tab.String(), "swaps/op") {
+		t.Error("table missing header")
+	}
+	if err := RenderChurnCSV(&csv, pts); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(csv.String(), "\n"); got != 3 {
+		t.Errorf("CSV has %d lines, want 3", got)
+	}
+}

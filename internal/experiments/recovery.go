@@ -152,11 +152,13 @@ func RunRecovery(env *StockEnv, cfg RecoveryConfig) (*RecoveryResult, error) {
 	series := sim.NewWindowSeries(cfg.Window)
 
 	// The decision observer feeds the series and keeps the raw per-seq
-	// cost list for phase means (the decision goroutine is serial, so the
-	// list is in sequence order under the lossless Block policy).
+	// cost list for phase means; WithDecideWorkers(1) pins a serial
+	// decision stage so the list is in sequence order under the lossless
+	// Block policy.
 	var mu sync.Mutex
 	var costs []float64
 	b, err := broker.New(engine,
+		broker.WithDecideWorkers(1),
 		broker.WithFaults(inj),
 		broker.WithReliability(broker.ReliabilityConfig{
 			MaxRetries:  3,

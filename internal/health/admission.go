@@ -20,6 +20,11 @@ type Admission struct {
 	// slots is the inflight semaphore; len(slots) is the current depth.
 	slots chan struct{}
 
+	// closeCh interrupts Block-policy waits (token-bucket sleeps and slot
+	// acquisition); after Close every Admit returns ErrClosed.
+	closeCh   chan struct{}
+	closeOnce sync.Once
+
 	// Token bucket, mu-guarded: refilled lazily on each acquire.
 	mu     sync.Mutex
 	rate   float64 // tokens per second; 0 = unlimited
@@ -36,14 +41,15 @@ type Admission struct {
 
 func newAdmission(cfg Config, met *metrics) *Admission {
 	return &Admission{
-		policy: cfg.Policy,
-		clock:  cfg.Clock,
-		met:    met,
-		slots:  make(chan struct{}, cfg.MaxInflight),
-		rate:   cfg.RatePerSec,
-		burst:  float64(cfg.Burst),
-		tokens: float64(cfg.Burst),
-		alpha:  cfg.EWMAAlpha,
+		policy:  cfg.Policy,
+		clock:   cfg.Clock,
+		met:     met,
+		slots:   make(chan struct{}, cfg.MaxInflight),
+		closeCh: make(chan struct{}),
+		rate:    cfg.RatePerSec,
+		burst:   float64(cfg.Burst),
+		tokens:  float64(cfg.Burst),
+		alpha:   cfg.EWMAAlpha,
 	}
 }
 
@@ -57,48 +63,86 @@ func (a *Admission) Capacity() int { return cap(a.slots) }
 // events.
 func (a *Admission) Inflight() int { return len(a.slots) }
 
+// Token is one admitted publication's claim on an inflight slot. Release
+// it exactly once when the event leaves the pipeline; release is strict —
+// a second Release on the same token is counted (release_spurious) and
+// ignored rather than freeing another publisher's slot.
+type Token struct {
+	a        *Admission
+	released atomic.Bool
+}
+
+// Release returns the token's inflight slot. Exactly-once is enforced per
+// token: spurious repeats only bump the release_spurious counter and never
+// break the MaxInflight bound. Safe on a nil token (no-op), so callers
+// without admission attached can release unconditionally.
+func (t *Token) Release() {
+	if t == nil {
+		return
+	}
+	if !t.released.CompareAndSwap(false, true) {
+		t.a.met.releaseSpurious.Inc()
+		return
+	}
+	<-t.a.slots
+	t.a.met.inflight.Set(int64(len(t.a.slots)))
+}
+
 // Admit gates one publication. Under Block it waits for a rate-limit
 // token and an inflight slot; under RejectNewest and ShedLowFanout it
 // returns ErrOverloaded instead of waiting. On success the caller owns
-// one inflight slot and must Release it exactly once.
-func (a *Admission) Admit() error {
+// one inflight slot through the returned Token and must Release it
+// exactly once. After Close, Admit returns ErrClosed (and any Block
+// waiter unblocks with the same error).
+func (a *Admission) Admit() (*Token, error) {
+	select {
+	case <-a.closeCh:
+		return nil, ErrClosed
+	default:
+	}
 	if a.rate > 0 {
-		if !a.takeToken(a.policy == Block) {
-			a.met.rateLimited.Inc()
-			a.met.rejected.Inc()
-			return ErrOverloaded
+		if err := a.takeToken(a.policy == Block); err != nil {
+			if err == ErrOverloaded {
+				a.met.rateLimited.Inc()
+				a.met.rejected.Inc()
+			}
+			return nil, err
 		}
 	}
 	if a.policy == Block {
-		a.slots <- struct{}{}
+		select {
+		case a.slots <- struct{}{}:
+		case <-a.closeCh:
+			return nil, ErrClosed
+		}
 	} else {
 		select {
 		case a.slots <- struct{}{}:
 		default:
 			a.met.rejected.Inc()
-			return ErrOverloaded
+			return nil, ErrOverloaded
 		}
 	}
 	depth := len(a.slots)
 	a.met.inflight.Set(int64(depth))
 	a.met.queueDepth.Observe(float64(depth))
-	return nil
+	return &Token{a: a}, nil
 }
 
-// Release returns one inflight slot. Safe to call spuriously (an empty
-// semaphore is left empty).
-func (a *Admission) Release() {
-	select {
-	case <-a.slots:
-	default:
-	}
-	a.met.inflight.Set(int64(len(a.slots)))
+// Close interrupts all Block-policy waiters (token-bucket sleeps and slot
+// waits), which return ErrClosed, and makes every later Admit fail fast
+// with ErrClosed. Idempotent and safe for concurrent use; the broker calls
+// it at the start of its shutdown so no Publish can stall past Close.
+func (a *Admission) Close() {
+	a.closeOnce.Do(func() { close(a.closeCh) })
 }
 
-// takeToken takes one rate-limit token, refilling the bucket from wall
-// time first. With block set it sleeps until a token accrues; otherwise
-// it reports false when the bucket is empty.
-func (a *Admission) takeToken(block bool) bool {
+// takeToken takes one rate-limit token, refilling the bucket from the
+// configured clock first. With block set it waits on a timer — racing the
+// close channel, so Close interrupts the wait — and recomputes the deficit
+// on every wake (the injected clock may have advanced differently from the
+// timer). Without block it returns ErrOverloaded when the bucket is empty.
+func (a *Admission) takeToken(block bool) error {
 	for {
 		a.mu.Lock()
 		now := a.clock()
@@ -112,14 +156,20 @@ func (a *Admission) takeToken(block bool) bool {
 		if a.tokens >= 1 {
 			a.tokens--
 			a.mu.Unlock()
-			return true
+			return nil
 		}
 		deficit := 1 - a.tokens
 		a.mu.Unlock()
 		if !block {
-			return false
+			return ErrOverloaded
 		}
-		time.Sleep(time.Duration(deficit / a.rate * float64(time.Second)))
+		timer := time.NewTimer(time.Duration(deficit / a.rate * float64(time.Second)))
+		select {
+		case <-timer.C:
+		case <-a.closeCh:
+			timer.Stop()
+			return ErrClosed
+		}
 	}
 }
 

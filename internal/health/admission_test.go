@@ -1,0 +1,111 @@
+package health
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAdmissionCloseUnblocksSlotWait: a Block-policy Admit waiting for an
+// inflight slot must return ErrClosed promptly when Close is called —
+// previously shutdown could deadlock behind such a waiter.
+func TestAdmissionCloseUnblocksSlotWait(t *testing.T) {
+	h := newTestHealth(t, Config{MaxInflight: 1, Policy: Block})
+	a := h.Admission
+	tok, err := a.Admit()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := a.Admit() // blocks: the only slot is taken
+		errCh <- err
+	}()
+	// Give the waiter time to park on the slot channel.
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case err := <-errCh:
+		t.Fatalf("second Admit returned early: %v", err)
+	default:
+	}
+
+	a.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("unblocked Admit err = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not unblock the waiting Admit")
+	}
+
+	// Later admits fail fast, release still works, Close is idempotent.
+	if _, err := a.Admit(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close Admit err = %v, want ErrClosed", err)
+	}
+	tok.Release()
+	a.Close()
+}
+
+// TestAdmissionCloseUnblocksRateWait: a Block-policy Admit sleeping for a
+// rate-limit token must also be interrupted by Close. The old
+// implementation slept in a bare time.Sleep that nothing could interrupt.
+func TestAdmissionCloseUnblocksRateWait(t *testing.T) {
+	// 1 token burst, then 0.02 tokens/sec ⇒ the second Admit would sleep
+	// ~50s waiting for the bucket. Close must cut that short.
+	h := newTestHealth(t, Config{MaxInflight: 8, Policy: Block, RatePerSec: 0.02, Burst: 1})
+	a := h.Admission
+	if _, err := a.Admit(); err != nil {
+		t.Fatal(err)
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := a.Admit()
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	start := time.Now()
+	a.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("unblocked Admit err = %v, want ErrClosed", err)
+		}
+		if waited := time.Since(start); waited > 2*time.Second {
+			t.Fatalf("Close took %v to interrupt the rate wait", waited)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not interrupt the token-bucket sleep")
+	}
+}
+
+// TestTokenReleaseConcurrent: racing releases of the same token free the
+// slot exactly once; the extras are counted as spurious.
+func TestTokenReleaseConcurrent(t *testing.T) {
+	h := newTestHealth(t, Config{MaxInflight: 4, Policy: RejectNewest})
+	a := h.Admission
+	for round := 0; round < 50; round++ {
+		tok, err := a.Admit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				tok.Release()
+			}()
+		}
+		wg.Wait()
+		if got := a.Inflight(); got != 0 {
+			t.Fatalf("round %d: inflight = %d after concurrent release", round, got)
+		}
+	}
+	if got := h.CounterSnapshot().ReleaseSpurious; got != 50*3 {
+		t.Errorf("release_spurious = %d, want %d", got, 50*3)
+	}
+}

@@ -52,6 +52,10 @@ import (
 // rate limiter is out of tokens.
 var ErrOverloaded = errors.New("health: overloaded")
 
+// ErrClosed is returned by Admission.Admit after Admission.Close: the
+// owning broker is shutting down and no further publications are admitted.
+var ErrClosed = errors.New("health: closed")
+
 // Policy selects what admission does when the pipeline is saturated.
 type Policy int
 
@@ -266,14 +270,15 @@ func (c Config) Validate() error {
 // until Instrument runs; every instrument is nil-safe, so an
 // un-instrumented Health records nothing at no cost.
 type metrics struct {
-	shed        *telemetry.Counter // events dropped by ShedLowFanout
-	rejected    *telemetry.Counter // publishes refused with ErrOverloaded
-	rateLimited *telemetry.Counter // rejections specifically from the token bucket
-	breakerOpen *telemetry.Counter // closed/half-open → open transitions
-	breakerClos *telemetry.Counter // half-open → closed transitions
-	skips       *telemetry.Counter // deliveries skipped on an open breaker
-	probes      *telemetry.Counter // half-open probe deliveries admitted
-	autoRefresh *telemetry.Counter // refreshes triggered by the controller
+	shed            *telemetry.Counter // events dropped by ShedLowFanout
+	rejected        *telemetry.Counter // publishes refused with ErrOverloaded
+	rateLimited     *telemetry.Counter // rejections specifically from the token bucket
+	releaseSpurious *telemetry.Counter // repeated Token.Release calls (bug tripwire)
+	breakerOpen     *telemetry.Counter // closed/half-open → open transitions
+	breakerClos     *telemetry.Counter // half-open → closed transitions
+	skips           *telemetry.Counter // deliveries skipped on an open breaker
+	probes          *telemetry.Counter // half-open probe deliveries admitted
+	autoRefresh     *telemetry.Counter // refreshes triggered by the controller
 
 	openBreakers     *telemetry.Gauge
 	halfOpenBreakers *telemetry.Gauge
@@ -323,6 +328,7 @@ func (h *Health) Instrument(reg *telemetry.Registry) {
 		shed:             s.Counter("shed_events"),
 		rejected:         s.Counter("rejected_events"),
 		rateLimited:      s.Counter("rate_limited"),
+		releaseSpurious:  s.Counter("release_spurious"),
 		breakerOpen:      s.Counter("breaker_open"),
 		breakerClos:      s.Counter("breaker_close"),
 		skips:            s.Counter("breaker_skips"),
@@ -347,25 +353,27 @@ func (h *Health) NoteSkip() { h.met.skips.Inc() }
 // Counters returns the cumulative overload/self-healing counts — the
 // broker folds these into its Stats snapshot.
 type Counters struct {
-	Shed        int64
-	Rejected    int64
-	RateLimited int64
-	BreakerOpen int64
-	Skipped     int64
-	Probes      int64
-	Refreshes   int64
+	Shed            int64
+	Rejected        int64
+	RateLimited     int64
+	ReleaseSpurious int64
+	BreakerOpen     int64
+	Skipped         int64
+	Probes          int64
+	Refreshes       int64
 }
 
 // CounterSnapshot reads the cumulative counters.
 func (h *Health) CounterSnapshot() Counters {
 	return Counters{
-		Shed:        h.met.shed.Value(),
-		Rejected:    h.met.rejected.Value(),
-		RateLimited: h.met.rateLimited.Value(),
-		BreakerOpen: h.met.breakerOpen.Value(),
-		Skipped:     h.met.skips.Value(),
-		Probes:      h.met.probes.Value(),
-		Refreshes:   h.met.autoRefresh.Value(),
+		Shed:            h.met.shed.Value(),
+		Rejected:        h.met.rejected.Value(),
+		RateLimited:     h.met.rateLimited.Value(),
+		ReleaseSpurious: h.met.releaseSpurious.Value(),
+		BreakerOpen:     h.met.breakerOpen.Value(),
+		Skipped:         h.met.skips.Value(),
+		Probes:          h.met.probes.Value(),
+		Refreshes:       h.met.autoRefresh.Value(),
 	}
 }
 

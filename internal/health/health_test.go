@@ -91,31 +91,45 @@ func TestParsePolicy(t *testing.T) {
 func TestAdmissionRejectNewest(t *testing.T) {
 	h := newTestHealth(t, Config{MaxInflight: 3, Policy: RejectNewest})
 	a := h.Admission
+	toks := make([]*Token, 0, 3)
 	for i := 0; i < 3; i++ {
-		if err := a.Admit(); err != nil {
+		tok, err := a.Admit()
+		if err != nil {
 			t.Fatalf("admit %d: %v", i, err)
 		}
+		toks = append(toks, tok)
 	}
-	if err := a.Admit(); !errors.Is(err, ErrOverloaded) {
+	if _, err := a.Admit(); !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("4th admit err = %v, want ErrOverloaded", err)
 	}
 	if a.Inflight() != 3 {
 		t.Fatalf("inflight = %d", a.Inflight())
 	}
-	a.Release()
-	if err := a.Admit(); err != nil {
+	toks[0].Release()
+	tok, err := a.Admit()
+	if err != nil {
 		t.Fatalf("admit after release: %v", err)
 	}
 	if got := h.CounterSnapshot().Rejected; got != 1 {
 		t.Errorf("rejected counter = %d, want 1", got)
 	}
-	// Spurious releases must not underflow.
+	// Release is strict: repeats on an already-released token are counted
+	// and ignored, never freeing another publisher's slot.
+	toks[1].Release()
+	toks[2].Release()
+	tok.Release()
 	for i := 0; i < 10; i++ {
-		a.Release()
+		toks[0].Release()
 	}
 	if a.Inflight() != 0 {
 		t.Errorf("inflight after drain = %d", a.Inflight())
 	}
+	if got := h.CounterSnapshot().ReleaseSpurious; got != 10 {
+		t.Errorf("release_spurious = %d, want 10", got)
+	}
+	// A nil token is a no-op from any call site.
+	var nilTok *Token
+	nilTok.Release()
 }
 
 func TestAdmissionRateLimit(t *testing.T) {
@@ -126,11 +140,11 @@ func TestAdmissionRateLimit(t *testing.T) {
 	a := h.Admission
 	// Burst of 2 passes, third is rate-limited.
 	for i := 0; i < 2; i++ {
-		if err := a.Admit(); err != nil {
+		if _, err := a.Admit(); err != nil {
 			t.Fatalf("burst admit %d: %v", i, err)
 		}
 	}
-	if err := a.Admit(); !errors.Is(err, ErrOverloaded) {
+	if _, err := a.Admit(); !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("over-rate admit err = %v", err)
 	}
 	if got := h.CounterSnapshot().RateLimited; got != 1 {
@@ -138,10 +152,10 @@ func TestAdmissionRateLimit(t *testing.T) {
 	}
 	// 100ms accrues exactly one token at 10/s.
 	clk.Advance(100 * time.Millisecond)
-	if err := a.Admit(); err != nil {
+	if _, err := a.Admit(); err != nil {
 		t.Fatalf("admit after refill: %v", err)
 	}
-	if err := a.Admit(); !errors.Is(err, ErrOverloaded) {
+	if _, err := a.Admit(); !errors.Is(err, ErrOverloaded) {
 		t.Fatal("second admit within the same refill window passed")
 	}
 }

@@ -186,22 +186,5 @@ func overlayMST(m *Model, members []topology.NodeID) (float64, [][2]int) {
 // publisher's cheapest unicast hop into the overlay plus the full overlay
 // tree. A publisher that is itself a member enters for free.
 func (m *Model) ALMCost(pub topology.NodeID, o Overlay) float64 {
-	if len(o.Members) == 0 {
-		return 0
-	}
-	entry := math.Inf(1)
-	spt := m.SPT(pub)
-	for _, v := range o.Members {
-		if v == pub {
-			entry = 0
-			break
-		}
-		if d := spt.Dist[v]; d < entry {
-			entry = d
-		}
-	}
-	if math.IsInf(entry, 1) {
-		return 0 // group unreachable; nothing deliverable
-	}
-	return entry + o.TreeCost
+	return almCost(m.SPT(pub), o)
 }

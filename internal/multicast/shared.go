@@ -1,0 +1,115 @@
+package multicast
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// SharedSPTs is a concurrency-safe shortest-path-tree cache: one SPT per
+// publisher root, filled lazily with a compare-and-swap. Dijkstra is
+// deterministic on an immutable graph, so two goroutines racing to fill
+// the same root compute identical trees and whichever CAS wins is
+// indistinguishable from the other. Readers take lock-free atomic loads.
+type SharedSPTs struct {
+	g    *topology.Graph
+	spts []atomic.Pointer[routing.SPT]
+}
+
+// NewSharedSPTs creates a shared cache over g. The graph must not be
+// mutated afterwards.
+func NewSharedSPTs(g *topology.Graph) *SharedSPTs {
+	return &SharedSPTs{g: g, spts: make([]atomic.Pointer[routing.SPT], g.NumNodes())}
+}
+
+// Graph returns the underlying network.
+func (s *SharedSPTs) Graph() *topology.Graph { return s.g }
+
+// SPT returns the shortest-path tree rooted at root, computing and caching
+// it on first use. Safe for concurrent use.
+func (s *SharedSPTs) SPT(root topology.NodeID) *routing.SPT {
+	if t := s.spts[root].Load(); t != nil {
+		return t
+	}
+	t := routing.Dijkstra(s.g, root)
+	if !s.spts[root].CompareAndSwap(nil, t) {
+		return s.spts[root].Load() // lost the race; identical tree
+	}
+	return t
+}
+
+// NewView creates a per-goroutine view over the shared cache. Views are
+// cheap; create one per decision worker.
+func (s *SharedSPTs) NewView() *SPTView {
+	return &SPTView{shared: s, covs: make([]*routing.Coverer, s.g.NumNodes())}
+}
+
+// SPTView is one goroutine's window onto a SharedSPTs cache. SPTs are
+// shared (they are immutable after construction) but each view owns its
+// Coverers, whose epoch-stamped scratch state is not concurrency-safe.
+// A view is NOT safe for concurrent use; a SharedSPTs and its SPTs are.
+//
+// SPTView implements the same cost queries as Model (Dist, BroadcastCost,
+// SPTCoverCost, ALMCost) and, being backed by the same Dijkstra trees,
+// returns bit-identical results.
+type SPTView struct {
+	shared *SharedSPTs
+	covs   []*routing.Coverer
+}
+
+// SPT returns the (shared, immutable) tree rooted at root.
+func (v *SPTView) SPT(root topology.NodeID) *routing.SPT {
+	return v.shared.SPT(root)
+}
+
+func (v *SPTView) coverer(root topology.NodeID) *routing.Coverer {
+	if v.covs[root] == nil {
+		v.covs[root] = routing.NewCoverer(v.SPT(root))
+	}
+	return v.covs[root]
+}
+
+// Dist returns the shortest-path distance between two nodes.
+func (v *SPTView) Dist(u, w topology.NodeID) float64 {
+	return v.SPT(u).Dist[w]
+}
+
+// BroadcastCost is the cost of flooding the network from pub.
+func (v *SPTView) BroadcastCost(pub topology.NodeID) float64 {
+	return v.SPT(pub).TreeCost()
+}
+
+// SPTCoverCost is the cost of pub's SPT pruned to the target set.
+func (v *SPTView) SPTCoverCost(pub topology.NodeID, targets []topology.NodeID) float64 {
+	return v.coverer(pub).Cost(targets)
+}
+
+// ALMCost is the application-level multicast delivery cost to the overlay.
+func (v *SPTView) ALMCost(pub topology.NodeID, o Overlay) float64 {
+	return almCost(v.SPT(pub), o)
+}
+
+// almCost prices one ALM delivery against the publisher's SPT: the
+// cheapest unicast hop into the overlay plus the full overlay tree. Shared
+// by Model and SPTView so both return identical numbers.
+func almCost(spt *routing.SPT, o Overlay) float64 {
+	if len(o.Members) == 0 {
+		return 0
+	}
+	entry := math.Inf(1)
+	for _, v := range o.Members {
+		if v == spt.Root {
+			entry = 0
+			break
+		}
+		if d := spt.Dist[v]; d < entry {
+			entry = d
+		}
+	}
+	if math.IsInf(entry, 1) {
+		return 0 // group unreachable; nothing deliverable
+	}
+	return entry + o.TreeCost
+}

@@ -1,0 +1,27 @@
+package rtree
+
+// Clone returns an independent copy of the tree: every node is copied, so
+// Insert/Delete on either tree never touches the other. Rectangles are
+// shared — the tree never mutates a stored rect in place (MBR adjustments
+// always install freshly built rects), so sharing them is safe and keeps a
+// clone at O(nodes) extra memory. The snapshot decision plane clones the
+// subscription index this way on every churn-dirty snapshot build.
+func (t *Tree) Clone() *Tree {
+	return &Tree{dim: t.dim, size: t.size, root: cloneNode(t.root, nil)}
+}
+
+func cloneNode(n *node, parent *node) *node {
+	c := &node{
+		leaf:    n.leaf,
+		level:   n.level,
+		parent:  parent,
+		entries: make([]entry, len(n.entries)),
+	}
+	copy(c.entries, n.entries)
+	if !n.leaf {
+		for i := range c.entries {
+			c.entries[i].child = cloneNode(c.entries[i].child, c)
+		}
+	}
+	return c
+}

@@ -1,0 +1,118 @@
+package rtree
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/space"
+)
+
+func sortedHits(t *Tree, p space.Point) []int {
+	hits := t.SearchPoint(p)
+	sort.Ints(hits)
+	return hits
+}
+
+// TestCloneIsolation: a clone must answer queries identically at clone
+// time and stay frozen while the original keeps mutating — including
+// through node splits, which reshuffle entries across the shared-nothing
+// node copies.
+func TestCloneIsolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(600))
+	const dim = 3
+	tr := New(dim)
+	rects := make([]space.Rect, 0, 400)
+	for i := 0; i < 200; i++ {
+		r := randRect(rng, dim)
+		rects = append(rects, r)
+		if err := tr.Insert(r, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cl := tr.Clone()
+	if cl.Len() != tr.Len() {
+		t.Fatalf("clone Len = %d, want %d", cl.Len(), tr.Len())
+	}
+
+	// Record the clone's answers on a probe set.
+	probes := make([]space.Point, 100)
+	for i := range probes {
+		p := make(space.Point, dim)
+		for d := range p {
+			p[d] = rng.Float64() * 24
+		}
+		probes[i] = p
+	}
+	before := make([][]int, len(probes))
+	for i, p := range probes {
+		before[i] = sortedHits(cl, p)
+		if want := sortedHits(tr, p); !reflect.DeepEqual(before[i], want) {
+			t.Fatalf("clone diverged from original at clone time: %v vs %v", before[i], want)
+		}
+	}
+
+	// Mutate the original hard: force splits with 200 more inserts, delete
+	// half the originals.
+	for i := 200; i < 400; i++ {
+		r := randRect(rng, dim)
+		rects = append(rects, r)
+		if err := tr.Insert(r, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i += 2 {
+		if !tr.Delete(rects[i], i) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+
+	for i, p := range probes {
+		if got := sortedHits(cl, p); !reflect.DeepEqual(got, before[i]) {
+			t.Fatalf("clone drifted after original mutated: probe %d %v vs %v", i, got, before[i])
+		}
+	}
+
+	// And the other direction: mutating the clone leaves the original alone.
+	live := map[int]bool{}
+	for i := 1; i < 400; i += 2 {
+		live[i] = true
+	}
+	for i := 200; i < 400; i += 2 {
+		live[i] = true
+	}
+	snapshot := make([][]int, len(probes))
+	for i, p := range probes {
+		snapshot[i] = sortedHits(tr, p)
+	}
+	for i := 1; i < 100; i += 2 {
+		if !cl.Delete(rects[i], i) {
+			t.Fatalf("clone delete %d failed", i)
+		}
+	}
+	for i, p := range probes {
+		if got := sortedHits(tr, p); !reflect.DeepEqual(got, snapshot[i]) {
+			t.Fatalf("original drifted after clone mutated: probe %d", i)
+		}
+	}
+}
+
+// TestCloneEmpty: cloning an empty tree works and the clone is usable.
+func TestCloneEmpty(t *testing.T) {
+	tr := New(2)
+	cl := tr.Clone()
+	if cl.Len() != 0 {
+		t.Fatalf("empty clone Len = %d", cl.Len())
+	}
+	if err := cl.Insert(space.Rect{space.Span(0, 1), space.Span(0, 1)}, 7); err != nil {
+		t.Fatal(err)
+	}
+	if hits := tr.SearchPoint(space.Point{0.5, 0.5}); len(hits) != 0 {
+		t.Fatal("insert on clone leaked into original")
+	}
+	if hits := cl.SearchPoint(space.Point{0.5, 0.5}); len(hits) != 1 || hits[0] != 7 {
+		t.Fatalf("clone insert lost: %v", hits)
+	}
+}

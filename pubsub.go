@@ -221,6 +221,9 @@ var (
 	NewBroker = broker.New
 	// WithWorkers sets the broker's fan-out worker count.
 	WithWorkers = broker.WithWorkers
+	// WithDecideWorkers sets the decision worker count (0 = GOMAXPROCS;
+	// 1 pins a serial, sequence-ordered decision stage).
+	WithDecideWorkers = broker.WithDecideWorkers
 	// WithObserver registers a per-delivery callback.
 	WithObserver = broker.WithObserver
 	// WithFaults plugs a fault injector into the delivery fabric.
@@ -235,7 +238,8 @@ var (
 	// loop to a broker.
 	WithHealth = broker.WithHealth
 	// WithDecisionObserver registers a per-decision callback with priced
-	// costs (runs on the decision goroutine; keep it fast).
+	// costs (runs on the decision workers; keep it fast, and pin
+	// WithDecideWorkers(1) when it must see decisions in sequence order).
 	WithDecisionObserver = broker.WithDecisionObserver
 	// ErrBrokerClosed is returned by Publish after Close.
 	ErrBrokerClosed = broker.ErrClosed

@@ -153,7 +153,9 @@ func TestFacadeHealth(t *testing.T) {
 		t.Fatal(err)
 	}
 	decisions := 0
-	b, err := pubsub.NewBroker(engine, pubsub.WithWorkers(2), pubsub.WithHealth(h),
+	// WithDecideWorkers(1) keeps the observer single-threaded.
+	b, err := pubsub.NewBroker(engine, pubsub.WithWorkers(2), pubsub.WithDecideWorkers(1),
+		pubsub.WithHealth(h),
 		pubsub.WithDecisionObserver(func(seq int64, ev pubsub.Event, d pubsub.Decision, c pubsub.DeliveryCosts) {
 			decisions++
 		}))
