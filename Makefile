@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 race chaos bench bench-json bench-baseline bench-decide bench-smoke vet staticcheck fmt
+.PHONY: all build test tier1 race chaos chaos-recovery bench bench-json bench-baseline bench-decide bench-recovery bench-smoke vet staticcheck fmt
 
 # Label recorded next to a bench-baseline entry in BENCH_cluster.json.
 BENCH_LABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo local)
@@ -36,7 +36,13 @@ race:
 # the race detector, including the heavy recovery scenarios skipped by
 # tier1's -short.
 chaos:
-	$(GO) test -race -count=2 ./internal/broker/ ./internal/faults/ ./internal/health/
+	$(GO) test -race -count=2 ./internal/broker/ ./internal/faults/ ./internal/health/ ./internal/durable/
+
+# chaos-recovery is the crash–restart subset: every durability and
+# crash-matrix scenario, twice, under the race detector. CI runs it as
+# its own job so a dedup/journal race is named by the job that fails.
+chaos-recovery:
+	$(GO) test -race -count=2 -run 'Durable|CrashRestart' ./internal/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -64,6 +70,14 @@ bench-baseline:
 bench-decide:
 	$(GO) test -run '^$$' -bench 'BenchmarkPublishDecide' -benchmem -count=3 ./internal/broker/ | \
 		$(GO) run ./cmd/benchrecord -file BENCH_cluster.json -label "$(BENCH_LABEL)-decide"
+
+# bench-recovery measures the durability layer — journal append throughput
+# (buffered and per-record fsync) and cold-recovery time over a
+# 10k-subscription checkpoint plus a 1k-record journal tail — and appends
+# a labelled entry to BENCH_cluster.json.
+bench-recovery:
+	$(GO) test -run '^$$' -bench 'BenchmarkJournalAppend|BenchmarkColdRecovery' -benchmem -count=3 ./internal/durable/ | \
+		$(GO) run ./cmd/benchrecord -file BENCH_cluster.json -label "$(BENCH_LABEL)-recovery"
 
 # bench-smoke compiles and runs every benchmark in the repo exactly once —
 # a cheap CI guard that benchmarks keep building and don't panic.

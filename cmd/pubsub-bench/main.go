@@ -27,6 +27,9 @@
 //	          unless -csv / -metrics override the destinations
 //	churn     live Subscribe/Unsubscribe churn against the snapshot
 //	          decision plane: swap counts and churn-op latency per rate
+//	durable   crash–restart durability timeline: clean incarnation →
+//	          scheduled mid-stream crash → journal-replay recovery, with
+//	          preserved counters and recovery stats per incarnation
 //	all       run everything above in order
 //
 // Flags:
@@ -41,6 +44,9 @@
 //	             The effective parallelism is echoed in each run header.
 //	-churn-rate R      churn: single ops-per-event rate (0 = built-in sweep)
 //	-decide-workers N  churn: broker decision workers (0 = GOMAXPROCS)
+//	-data-dir DIR      durable: broker state directory (default: a fresh
+//	                   temp directory, removed afterwards); SIGINT/SIGTERM
+//	                   close the live broker cleanly before exiting
 //	-csv DIR     additionally write CSV files into DIR
 //	-metrics F   write a telemetry snapshot (JSON) to F; fig7 additionally
 //	             collects per-algorithm cost distributions with
@@ -54,9 +60,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+	"syscall"
 
 	"repro/internal/cluster"
 	"repro/internal/experiments"
@@ -74,6 +84,7 @@ type options struct {
 	workers       int
 	churnRate     float64
 	decideWorkers int
+	dataDir       string
 	csvDir        string
 	metrics       string
 	cpuprofile    string
@@ -91,13 +102,14 @@ func main() {
 	flag.IntVar(&opt.workers, "workers", 0, "clustering worker count inside each algorithm (0 = GOMAXPROCS)")
 	flag.Float64Var(&opt.churnRate, "churn-rate", 0, "churn: single ops-per-event rate (0 = built-in sweep)")
 	flag.IntVar(&opt.decideWorkers, "decide-workers", 0, "churn: broker decision workers (0 = GOMAXPROCS)")
+	flag.StringVar(&opt.dataDir, "data-dir", "", "durable: broker state directory (default: fresh temp dir)")
 	flag.StringVar(&opt.csvDir, "csv", "", "directory for CSV output")
 	flag.StringVar(&opt.metrics, "metrics", "", "file for a JSON telemetry snapshot (fig7)")
 	flag.StringVar(&opt.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&opt.memprofile, "memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: pubsub-bench [flags] table1|table2|baseline|fig7|fig8|fig9|fig10|fig11|scenarios|ablation|faults|recovery|churn|all\n")
+			"usage: pubsub-bench [flags] table1|table2|baseline|fig7|fig8|fig9|fig10|fig11|scenarios|ablation|faults|recovery|churn|durable|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -187,8 +199,10 @@ func run(name string, opt options) error {
 		return runRecovery(opt)
 	case "churn":
 		return runChurn(opt)
+	case "durable":
+		return runDurable(opt)
 	case "all":
-		for _, n := range []string{"table1", "table2", "baseline", "fig7", "fig8", "fig9", "fig10", "scenarios", "interest", "frontier", "ablation", "faults", "recovery", "churn"} {
+		for _, n := range []string{"table1", "table2", "baseline", "fig7", "fig8", "fig9", "fig10", "scenarios", "interest", "frontier", "ablation", "faults", "recovery", "churn", "durable"} {
 			if err := run(n, opt); err != nil {
 				return fmt.Errorf("%s: %w", n, err)
 			}
@@ -694,4 +708,64 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// activeCloser holds the close function of the currently open durable
+// broker (nil when none); the SIGINT/SIGTERM handler invokes it so an
+// interrupted run writes a final checkpoint instead of dying mid-stream.
+var activeCloser atomic.Value // of func()
+
+// installSignalHandler arms SIGINT/SIGTERM to close the active durable
+// broker before exiting. Installed once, on the first durable run.
+var installSignalHandler = sync.OnceFunc(func() {
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		if f, ok := activeCloser.Load().(func()); ok && f != nil {
+			fmt.Fprintln(os.Stderr, "pubsub-bench: interrupted; closing broker")
+			f()
+		}
+		os.Exit(1)
+	}()
+})
+
+// runDurable drives the crash–restart durability timeline: a clean broker
+// incarnation (checkpoint on close), one killed mid-stream by a scheduled
+// crash, and a recovery incarnation replaying the journal tail.
+func runDurable(opt options) error {
+	installSignalHandler()
+	env, err := experiments.NewStockEnv(opt.envConfig())
+	if err != nil {
+		return err
+	}
+	dir := opt.dataDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "pubsub-durable-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	cfg := experiments.DurableConfig{
+		RegisterCloser: func(f func()) {
+			if f == nil {
+				activeCloser.Store(func() {})
+			} else {
+				activeCloser.Store(f)
+			}
+		},
+	}
+	if opt.quick {
+		cfg.Groups = 12
+		cfg.CellBudget = 300
+		cfg.CrashAtAppend = 80
+	}
+	res, err := experiments.RunDurable(env, dir, cfg)
+	if err != nil {
+		return err
+	}
+	return experiments.RenderDurable(os.Stdout,
+		"Durable broker: clean run → mid-stream crash → journal-replay recovery", res)
 }

@@ -56,6 +56,13 @@
 //	-decide-workers N   concurrent decision workers reading the snapshot
 //	                    (0 = GOMAXPROCS, 1 = serial in publish order)
 //
+// Durability flags (see the Durability & recovery section of DESIGN.md):
+//
+//	-data-dir DIR  persist broker state (write-ahead journal + checkpoints)
+//	               in DIR and recover it on the next run; also enables the
+//	               broker replay. SIGINT/SIGTERM close the broker cleanly,
+//	               writing a final checkpoint before the process exits.
+//
 // Observability flags (see the Observability section of DESIGN.md):
 //
 //	-http ADDR     after the replay, serve /metrics (Prometheus),
@@ -74,6 +81,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/broker"
@@ -117,6 +127,8 @@ type options struct {
 
 	churnRate     float64
 	decideWorkers int
+
+	dataDir string
 
 	httpAddr  string
 	traceRate float64
@@ -213,6 +225,7 @@ func main() {
 	flag.BoolVar(&opt.autoRefresh, "auto-refresh", false, "re-cluster automatically when failures quarantine groups")
 	flag.Float64Var(&opt.churnRate, "churn-rate", 0, "live Subscribe/Unsubscribe ops per event during the broker replay (0 = none)")
 	flag.IntVar(&opt.decideWorkers, "decide-workers", 0, "broker decision workers (0 = GOMAXPROCS, 1 = serial ordered)")
+	flag.StringVar(&opt.dataDir, "data-dir", "", "durable broker state directory: journal + checkpoints, recovered on restart")
 	flag.StringVar(&opt.httpAddr, "http", "", "serve /metrics, /trace and /debug/pprof/ on this address after the replay")
 	flag.Float64Var(&opt.traceRate, "trace-rate", 1, "fraction of published events traced (deterministic sampling)")
 	flag.IntVar(&opt.traceCap, "trace-cap", 1024, "trace ring-buffer capacity")
@@ -348,7 +361,7 @@ func run(opt options) error {
 	fmt.Printf("            app-level multicast %.0f (%.1f%% improvement)\n",
 		almAvg, sim.Improvement(base, almAvg))
 
-	if opt.faultsRequested() || opt.healthRequested() || opt.churnRate > 0 {
+	if opt.faultsRequested() || opt.healthRequested() || opt.churnRate > 0 || opt.dataDir != "" {
 		if err := runFaulty(opt, engine, eval, totals, n, reg, tracer); err != nil {
 			return err
 		}
@@ -372,6 +385,32 @@ func serveTelemetry(opt options, reg *telemetry.Registry, tracer *telemetry.Trac
 		return srv.Close()
 	}
 	select {}
+}
+
+// closeOnSignal installs a SIGINT/SIGTERM handler that closes the broker
+// before the process exits — for a durable broker Close writes a final
+// checkpoint, so an interrupted run restarts from a clean snapshot instead
+// of dying mid-write and replaying the journal. The returned function
+// disarms the handler and performs the same close-exactly-once for the
+// normal shutdown path; both paths share one sync.Once.
+func closeOnSignal(b *broker.Broker) func() {
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	var once sync.Once
+	closeBroker := func() { once.Do(b.Close) }
+	go func() {
+		if _, ok := <-sigs; !ok {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "pubsub-sim: interrupted; closing broker")
+		closeBroker()
+		os.Exit(1)
+	}()
+	return func() {
+		signal.Stop(sigs)
+		close(sigs)
+		closeBroker()
+	}
 }
 
 // runFaulty replays the evaluation stream through a live broker under the
@@ -416,9 +455,28 @@ func runFaulty(opt options, engine *core.Engine, eval []workload.Event, totals c
 		}
 		opts = append(opts, broker.WithHealth(h))
 	}
-	b, err := broker.New(engine, opts...)
+	var b *broker.Broker
+	if opt.dataDir != "" {
+		b, err = broker.Open(opt.dataDir, engine, opts...)
+	} else {
+		b, err = broker.New(engine, opts...)
+	}
 	if err != nil {
 		return err
+	}
+	// closeBroker is shared between the normal path and the signal handler:
+	// whichever runs first performs the real Close (for a durable broker
+	// that writes a final checkpoint), the other is a no-op.
+	closeBroker := closeOnSignal(b)
+	if opt.dataDir != "" {
+		rec := b.Recovery()
+		fmt.Printf("durable:    %s: checkpoint %v, %d journal(s), %d records replayed, %d publishes redelivered in %v\n",
+			opt.dataDir, rec.CheckpointLoaded, rec.JournalsReplayed, rec.RecordsReplayed,
+			rec.Outstanding, rec.Duration.Round(time.Microsecond))
+		if rec.TornTruncations > 0 {
+			fmt.Printf("            %d torn journal tail(s) truncated (%d bytes)\n",
+				rec.TornTruncations, rec.TornTailBytes)
+		}
 	}
 	var churn []sim.ChurnOp
 	if opt.churnRate > 0 {
@@ -426,7 +484,7 @@ func runFaulty(opt options, engine *core.Engine, eval []workload.Event, totals c
 			Rate: opt.churnRate, Events: len(eval), Seed: opt.seed + 400,
 		})
 		if err != nil {
-			b.Close()
+			closeBroker()
 			return err
 		}
 	}
@@ -438,7 +496,7 @@ func runFaulty(opt options, engine *core.Engine, eval []workload.Event, totals c
 			if op.Subscribe {
 				slot, err := b.Subscribe(op.Sub)
 				if err != nil {
-					b.Close()
+					closeBroker()
 					return err
 				}
 				slots = append(slots, slot)
@@ -446,7 +504,7 @@ func runFaulty(opt options, engine *core.Engine, eval []workload.Event, totals c
 				slot := slots[op.Target]
 				slots = append(slots[:op.Target], slots[op.Target+1:]...)
 				if err := b.Unsubscribe(slot); err != nil {
-					b.Close()
+					closeBroker()
 					return err
 				}
 			}
@@ -458,11 +516,11 @@ func runFaulty(opt options, engine *core.Engine, eval []workload.Event, totals c
 			// Counted in Stats.Rejected; overload is part of the report,
 			// not a failure of the replay.
 		default:
-			b.Close()
+			closeBroker()
 			return err
 		}
 	}
-	b.Close()
+	closeBroker()
 	st := b.Stats()
 
 	fmt.Printf("faults:     drop %.0f%%  link-drop %.0f%%  dup %.0f%%", opt.drop*100, opt.linkDrop*100, opt.dup*100)

@@ -83,6 +83,24 @@ func TestHealthReplay(t *testing.T) {
 	}
 }
 
+// TestDurableReplayRestart: -data-dir alone enables the broker replay, and
+// a second run over the same directory recovers the clean checkpoint the
+// first run's Close wrote.
+func TestDurableReplayRestart(t *testing.T) {
+	opt := smallOpts()
+	opt.drop = 0 // no fault flags: -data-dir must trigger the replay itself
+	opt.dataDir = t.TempDir()
+	if opt.faultsRequested() || opt.healthRequested() {
+		t.Fatal("flag plumbing wrong")
+	}
+	if err := run(opt); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if err := run(opt); err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+}
+
 // TestServeEndToEnd runs a full faulty replay with -http and probes every
 // observability endpoint on the live server.
 func TestServeEndToEnd(t *testing.T) {

@@ -85,6 +85,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/faults"
 	"repro/internal/health"
 	"repro/internal/multicast"
@@ -120,6 +121,10 @@ type Delivery struct {
 	born time.Time
 	// trace is the event's sampled lifecycle trace, nil when untraced.
 	trace *telemetry.EventTrace
+	// pending counts this publication's copies still in flight (durable
+	// brokers only); the consumer that retires the last copy removes the
+	// publication from the checkpoint carry-forward set.
+	pending *atomic.Int64
 }
 
 // queued is one admitted publication in flight to the decision plane.
@@ -135,6 +140,10 @@ type queued struct {
 	// tok is the event's admission token (nil without WithHealth);
 	// released exactly once when the event leaves the pipeline.
 	tok *health.Token
+	// replay marks a recovery redelivery: the publication was already
+	// journaled and counted by a previous incarnation, so the decision
+	// stage skips the published/method counters for it.
+	replay bool
 }
 
 // routed couples a decided event with its destinations.
@@ -160,6 +169,10 @@ type routed struct {
 	// budget is the event's remaining retry allowance, shared across
 	// destinations.
 	budget *atomic.Int64
+	// pending refcounts the in-flight copies for durable brokers: it
+	// starts at 1 (the fan-out stage itself), gains 1 per inbox send, and
+	// the publication leaves the in-flight set when it hits zero.
+	pending *atomic.Int64
 }
 
 // Stats aggregates delivery accounting. Snapshot via Broker.Stats; the
@@ -389,6 +402,13 @@ type Broker struct {
 	// writerCh carries churn requests to the writer goroutine.
 	writerCh   chan churnReq
 	writerStop chan struct{}
+	// ckptCh carries explicit Checkpoint requests to the writer goroutine.
+	ckptCh chan chan error
+
+	// dur is the durability bookkeeping (nil unless created by Open);
+	// durOpts is the store tuning captured from WithDurableOptions.
+	dur     *durState
+	durOpts *durable.Options
 
 	// observer, when set, sees every accepted delivery after stats
 	// accounting.
@@ -544,8 +564,12 @@ func New(engine *core.Engine, opts ...Option) (*Broker, error) {
 	b.refreshCh = make(chan int, 1)
 	b.writerCh = make(chan churnReq, 16)
 	b.writerStop = make(chan struct{})
+	b.ckptCh = make(chan chan error)
 	if b.health != nil {
 		b.health.Instrument(b.reg)
+	}
+	if b.dur != nil {
+		b.initDurable()
 	}
 
 	// Initial snapshot and route table. Consumers only ever see fully
@@ -562,10 +586,20 @@ func New(engine *core.Engine, opts ...Option) (*Broker, error) {
 		rt.inboxes[n] = make(chan Delivery, 32)
 		rt.perNode[n] = new(atomic.Int64)
 	}
+	if b.dur != nil {
+		// Recovered churned subscriptions were applied to the engine before
+		// New, bypassing ensureRoutes — give their owners inboxes now.
+		for _, rec := range b.dur.subs {
+			if _, ok := rt.inboxes[rec.Owner]; !ok {
+				rt.inboxes[rec.Owner] = make(chan Delivery, 32)
+				rt.perNode[rec.Owner] = new(atomic.Int64)
+			}
+		}
+	}
 	b.routes.Store(rt)
 	for n, ch := range rt.inboxes {
 		b.consumerWG.Add(1)
-		go b.consume(n, ch, rt.perNode[n])
+		go b.consume(n, ch, rt.perNode[n], b.consumerWindow(n))
 	}
 
 	for i := 0; i < b.decideWorkers; i++ {
@@ -618,7 +652,20 @@ func (b *Broker) Publish(ev workload.Event) error {
 			return err
 		}
 	}
-	b.publishCh <- queued{seq: b.seq.Add(1) - 1, ev: ev, snap: b.snap.Load(), tok: tok}
+	seq := b.seq.Add(1) - 1
+	if b.dur != nil {
+		// Journal before acknowledging: a Publish that returns nil has its
+		// record group-committed, so any crash after this point redelivers
+		// it. The inflight entry goes in first so a concurrent checkpoint
+		// rotation cannot miss the record.
+		b.dur.inflight.Store(seq, ev)
+		if err := b.dur.store.AppendPublish(seq, ev); err != nil {
+			b.dur.inflight.Delete(seq)
+			tok.Release()
+			return err
+		}
+	}
+	b.publishCh <- queued{seq: seq, ev: ev, snap: b.snap.Load(), tok: tok}
 	return nil
 }
 
@@ -689,6 +736,16 @@ func (b *Broker) Close() {
 			close(ch)
 		}
 		b.consumerWG.Wait()
+		if b.dur != nil {
+			// Everything is quiescent: a clean-shutdown checkpoint leaves
+			// nothing in the journal tail, so the next Open replays zero
+			// records. Skipped when a crash point fired — the test harness
+			// wants the disk exactly as the dying process left it.
+			if !b.dur.store.Crashed() {
+				b.doCheckpoint()
+			}
+			b.dur.store.Close()
+		}
 	})
 }
 
@@ -696,6 +753,15 @@ func (b *Broker) Close() {
 // final numbers). It is a thin view over the telemetry registry: each field
 // is an atomic load of the corresponding "broker"-scope counter, so
 // successive snapshots are monotone per counter even mid-run.
+//
+// Across a durable restart (Open over a used directory) the cumulative
+// work counters are preserved at checkpoint granularity — Published,
+// Multicast, Unicast, Broadcast, Deliveries, Wasted, Subscribes,
+// Unsubscribes — seeded from the last checkpoint before any new traffic
+// is accepted. Recovery redeliveries do not re-increment them. Everything
+// else is explicitly per-incarnation and restarts at zero: SnapshotSwaps,
+// the reliability counters (Retries … Lost), the overload/self-healing
+// counters, and PerNode.
 func (b *Broker) Stats() Stats {
 	rt := b.routes.Load()
 	out := Stats{
@@ -776,14 +842,19 @@ func (b *Broker) decideOne(q queued, w int, view *multicast.SPTView) {
 	for _, n := range d.Interested {
 		interested[n] = true
 	}
-	b.ctr.published.Add(1)
-	switch d.Method {
-	case multicast.NetworkMulticast:
-		b.ctr.multicast.Add(1)
-	case multicast.Broadcast:
-		b.ctr.broadcast.Add(1)
-	default:
-		b.ctr.unicast.Add(1)
+	if !q.replay {
+		// Recovery redeliveries were counted by the incarnation that
+		// journaled them (preserved via checkpoint); counting them again
+		// would double-book the restart.
+		b.ctr.published.Add(1)
+		switch d.Method {
+		case multicast.NetworkMulticast:
+			b.ctr.multicast.Add(1)
+		case multicast.Broadcast:
+			b.ctr.broadcast.Add(1)
+		default:
+			b.ctr.unicast.Add(1)
+		}
 	}
 	r := routed{seq: q.seq, ev: q.ev, d: d, interested: interested, t0: t0, trace: trace, tok: q.tok}
 	switch d.Method {
@@ -819,6 +890,11 @@ func (b *Broker) decideOne(q queued, w int, view *multicast.SPTView) {
 			if b.health.Admission.ShouldShed(len(d.Interested)) {
 				b.health.Admission.NoteShed()
 				q.tok.Release()
+				if b.dur != nil {
+					// A shed event never reaches fan-out; retire its
+					// checkpoint carry-forward entry here.
+					b.dur.inflight.Delete(q.seq)
+				}
 				trace.Add("shed", enq, time.Since(enq), -1, d.Group, 0, "low-fanout")
 				return
 			}
@@ -839,10 +915,30 @@ func (b *Broker) decideOne(q queued, w int, view *multicast.SPTView) {
 // the decision workers pick up on their next load.
 func (b *Broker) writer() {
 	defer b.writerWG.Done()
+	// Durable brokers checkpoint from here too: the timed cadence
+	// truncates the journal whenever it holds anything, and heavy churn
+	// triggers the record-count threshold between ticks.
+	var ckptTick <-chan time.Time
+	if b.dur != nil {
+		if iv := b.dur.store.Options().CheckpointInterval; iv > 0 {
+			t := time.NewTicker(iv)
+			defer t.Stop()
+			ckptTick = t.C
+		}
+	}
 	for {
 		select {
 		case req := <-b.writerCh:
 			b.handleChurn(req)
+			if b.checkpointDue(false) {
+				b.doCheckpoint()
+			}
+		case <-ckptTick:
+			if b.checkpointDue(true) {
+				b.doCheckpoint()
+			}
+		case reply := <-b.ckptCh:
+			reply <- b.doCheckpoint()
 		case g := <-b.quarantineCh:
 			b.applyQuarantines(g)
 		case wi := <-b.refreshCh:
@@ -895,6 +991,12 @@ apply:
 			}
 		}
 	}
+	if b.dur != nil {
+		// Journal + group-commit the batch before the swap: replay order
+		// equals swap order, and no snapshot ever covers a subscription the
+		// journal could lose.
+		b.journalChurn(reqs, resps)
+	}
 	// Routes first, snapshot second: once a decision can match the new
 	// subscriber, its inbox must already exist.
 	b.ensureRoutes(newOwners)
@@ -933,7 +1035,7 @@ func (b *Broker) ensureRoutes(owners []topology.NodeID) {
 		nrt.inboxes[n] = ch
 		nrt.perNode[n] = new(atomic.Int64)
 		b.consumerWG.Add(1)
-		go b.consume(n, ch, nrt.perNode[n])
+		go b.consume(n, ch, nrt.perNode[n], b.consumerWindow(n))
 	}
 	b.routes.Store(nrt)
 }
@@ -992,11 +1094,20 @@ func (b *Broker) autoRefresh(warmIters int) {
 		b.publishSnapshot() // nothing to rebuild; still surface drained state
 		return
 	}
+	// Refresh compacts live slots; capture the compaction order first so
+	// the durable slot→id map can follow it.
+	var live []int
+	if b.dur != nil {
+		live = b.engine.LiveSlots()
+	}
 	if err := b.engine.Refresh(warmIters); err != nil {
 		// Refresh can fail legitimately (e.g. zero live subscriptions);
 		// leave the quarantines in place and let the loop retry later.
 		b.publishSnapshot()
 		return
+	}
+	if b.dur != nil {
+		b.remapSlots(live)
 	}
 	// The rebuilt groups start with a clean slate: allow future failures to
 	// quarantine them again.
@@ -1130,7 +1241,16 @@ func routePaths(view *multicast.SPTView, r *routed) map[topology.NodeID][]topolo
 func (b *Broker) fanout() {
 	defer b.fanoutWG.Done()
 	for r := range b.fanoutCh {
+		if b.dur != nil {
+			// Refcount the copies: start at 1 for the fan-out stage itself
+			// so the count cannot hit zero until every send has happened.
+			r.pending = new(atomic.Int64)
+			r.pending.Store(1)
+		}
 		b.fanoutOne(r)
+		if r.pending != nil && r.pending.Add(-1) == 0 {
+			b.dur.inflight.Delete(r.seq)
+		}
 		r.tok.Release()
 	}
 }
@@ -1204,6 +1324,10 @@ func (b *Broker) deliver(rt *routeTable, r routed, n topology.NodeID, d Delivery
 	}
 	if b.inj == nil {
 		b.ctr.queueDepth.Observe(float64(len(ch)))
+		if r.pending != nil {
+			r.pending.Add(1)
+			d.pending = r.pending
+		}
 		ch <- d
 		return
 	}
@@ -1310,8 +1434,15 @@ func (b *Broker) complete(r routed, n topology.NodeID, ch chan<- Delivery, d Del
 		time.Sleep(delay)
 	}
 	b.ctr.queueDepth.Observe(float64(len(ch)))
+	if r.pending != nil {
+		r.pending.Add(1)
+		d.pending = r.pending
+	}
 	ch <- d
 	if b.inj.Duplicate(r.seq, n) {
+		if r.pending != nil {
+			r.pending.Add(1)
+		}
 		ch <- d // receiver-side dedup suppresses the copy
 	}
 }
@@ -1346,17 +1477,44 @@ func (b *Broker) backoff(seq int64, n topology.NodeID, attempt int) {
 }
 
 // consume drains one node's inbox, dedups on sequence number within a
-// bounded sliding window, and accounts deliveries.
-func (b *Broker) consume(n topology.NodeID, ch <-chan Delivery, pn *atomic.Int64) {
+// bounded sliding window, and accounts deliveries. Durable brokers pass a
+// locked window (lw) that checkpoints can capture and journal each
+// admission as an ack record; otherwise a private window is used when
+// fault injection makes duplicates possible.
+func (b *Broker) consume(n topology.NodeID, ch <-chan Delivery, pn *atomic.Int64, lw *lockedWindow) {
 	defer b.consumerWG.Done()
 	var seen *seqWindow
-	if b.inj != nil {
+	if lw == nil && b.inj != nil {
 		seen = newSeqWindow(b.rel.DedupWindow)
 	}
 	for d := range ch {
-		if seen != nil && !seen.admit(d.Seq) {
+		fresh := true
+		if lw != nil {
+			// Journal the ack before the seq enters the window, and do both
+			// under the window lock: a checkpoint capture must never see an
+			// admitted seq whose ack record failed to append (the copy is
+			// dropped unobserved and the persisted window would suppress its
+			// redelivery), and an ack that landed in a journal the checkpoint
+			// deletes must already be in the captured window.
+			var ack func() error
+			if b.dur != nil {
+				ack = func() error { return b.dur.store.AppendAck(n, d.Seq) }
+			}
+			var err error
+			fresh, err = lw.admitDurable(d.Seq, ack)
+			if err != nil {
+				// Store crashed mid-ack: drop the copy unobserved — the
+				// next incarnation redelivers it.
+				b.durDone(d)
+				continue
+			}
+		} else if seen != nil {
+			fresh = seen.admit(d.Seq)
+		}
+		if !fresh {
 			b.ctr.deduped.Add(1)
 			d.trace.Add("dedup", time.Now(), 0, int64(n), d.Group, d.Attempt, "")
+			b.durDone(d)
 			continue
 		}
 		b.ctr.deliveries.Add(1)
@@ -1375,5 +1533,6 @@ func (b *Broker) consume(n topology.NodeID, ch <-chan Delivery, pn *atomic.Int64
 		if b.observer != nil {
 			b.observer(n, d)
 		}
+		b.durDone(d)
 	}
 }

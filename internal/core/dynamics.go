@@ -53,6 +53,21 @@ func (e *Engine) RemoveSubscription(slot int) error {
 	return nil
 }
 
+// LiveSlots returns the slot ids of all live subscriptions in ascending
+// order — the order Refresh compacts them into slots 0..n-1. A caller
+// tracking per-slot identity across a Refresh can therefore capture this
+// before the call and remap afterwards: old slot LiveSlots()[i] becomes
+// new slot i.
+func (e *Engine) LiveSlots() []int {
+	out := make([]int, 0, len(e.live))
+	for slot := 0; slot < len(e.world.Subs); slot++ {
+		if e.live[slot] {
+			out = append(out, slot)
+		}
+	}
+	return out
+}
+
 // Refresh recomputes multicast groups for the current subscription set.
 // With warmIters > 0 and an iterative grid algorithm, the previous
 // partition seeds the new one and only warmIters re-balancing passes run —

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/core"
+	"repro/internal/durable"
+	"repro/internal/faults"
+)
+
+// DurableConfig parameterises the crash–restart durability experiment.
+type DurableConfig struct {
+	Groups     int // multicast groups (default 25)
+	CellBudget int // grid cell budget (default 500)
+	// CrashAtAppend schedules the simulated crash for the middle
+	// incarnation: the process dies at this journal append (default 200).
+	CrashAtAppend int64
+	// RegisterCloser, when non-nil, receives a close function every time a
+	// live broker opens (and nil when it closes); CLI signal handlers point
+	// at it so an interrupt closes the active broker cleanly.
+	RegisterCloser func(close func())
+}
+
+func (c *DurableConfig) setDefaults() {
+	if c.Groups == 0 {
+		c.Groups = 25
+	}
+	if c.CellBudget == 0 {
+		c.CellBudget = 500
+	}
+	if c.CrashAtAppend == 0 {
+		c.CrashAtAppend = 200
+	}
+}
+
+// DurablePhase is one broker incarnation of the durability experiment.
+type DurablePhase struct {
+	Name      string
+	Published int64 // cumulative across incarnations (preserved counter)
+	Delivered int64 // cumulative across incarnations (preserved counter)
+	Acked     int   // publishes acknowledged during this incarnation
+	Crashed   bool  // the incarnation ended in a simulated crash
+	Recovery  durable.RecoveryStats
+}
+
+// DurableResult is the full three-incarnation timeline.
+type DurableResult struct {
+	Phases []DurablePhase
+}
+
+// RunDurable drives one durable broker directory through the canonical
+// crash–restart story: a clean first incarnation (checkpoint on close), a
+// second incarnation killed mid-stream by a scheduled crash point, and a
+// third that recovers from the checkpoint plus the journal tail,
+// redelivering the publishes the crash stranded. The directory must be
+// empty or absent; the caller owns cleanup.
+func RunDurable(env *StockEnv, dir string, cfg DurableConfig) (*DurableResult, error) {
+	cfg.setDefaults()
+	engineFor := func() (*core.Engine, error) {
+		return core.NewFromWorld(env.World, env.Train, core.Config{
+			Groups: cfg.Groups, CellBudget: cfg.CellBudget,
+		})
+	}
+	register := func(f func()) {
+		if cfg.RegisterCloser != nil {
+			cfg.RegisterCloser(f)
+		}
+	}
+	res := &DurableResult{}
+	half := len(env.Eval) / 2
+
+	// Incarnation 1: fresh directory, first half of the stream, clean close.
+	eng, err := engineFor()
+	if err != nil {
+		return nil, err
+	}
+	b, err := broker.Open(dir, eng)
+	if err != nil {
+		return nil, err
+	}
+	register(b.Close)
+	acked := 0
+	for _, ev := range env.Eval[:half] {
+		if err := b.Publish(ev); err == nil {
+			acked++
+		}
+	}
+	b.Close()
+	register(nil)
+	st := b.Stats()
+	res.Phases = append(res.Phases, DurablePhase{
+		Name: "clean", Published: st.Published, Delivered: st.Deliveries,
+		Acked: acked, Recovery: b.Recovery(),
+	})
+
+	// Incarnation 2: recovers the checkpoint, then a scheduled crash kills
+	// it mid-stream; publishes after the crash point are refused.
+	eng, err = engineFor()
+	if err != nil {
+		return nil, err
+	}
+	inj := faults.NewCrashInjector(faults.CrashPlan{
+		AtAppend: cfg.CrashAtAppend, Point: faults.CrashAfterAppend,
+	})
+	b, err = broker.Open(dir, eng, broker.WithDurableOptions(durable.Options{Crash: inj}))
+	if err != nil {
+		return nil, err
+	}
+	register(b.Close)
+	acked = 0
+	for _, ev := range env.Eval[half:] {
+		switch err := b.Publish(ev); {
+		case err == nil:
+			acked++
+		case errors.Is(err, faults.ErrCrashed):
+		default:
+			b.Close()
+			register(nil)
+			return nil, err
+		}
+	}
+	b.Close()
+	register(nil)
+	st = b.Stats()
+	res.Phases = append(res.Phases, DurablePhase{
+		Name: "crashed", Published: st.Published, Delivered: st.Deliveries,
+		Acked: acked, Crashed: true, Recovery: b.Recovery(),
+	})
+
+	// Incarnation 3: replays the journal tail and redelivers the stranded
+	// publishes, then closes cleanly.
+	eng, err = engineFor()
+	if err != nil {
+		return nil, err
+	}
+	b, err = broker.Open(dir, eng)
+	if err != nil {
+		return nil, err
+	}
+	register(b.Close)
+	b.Close()
+	register(nil)
+	st = b.Stats()
+	res.Phases = append(res.Phases, DurablePhase{
+		Name: "recovered", Published: st.Published, Delivered: st.Deliveries,
+		Recovery: b.Recovery(),
+	})
+	return res, nil
+}
+
+// RenderDurable prints the three-incarnation timeline.
+func RenderDurable(w io.Writer, title string, res *DurableResult) error {
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-10s %9s %9s %7s %6s %5s %9s %6s %7s %10s\n",
+		"phase", "published", "delivered", "acked", "ckpt", "jrnls", "replayed", "redeliv", "torn", "recovery")
+	for _, p := range res.Phases {
+		r := p.Recovery
+		fmt.Fprintf(w, "%-10s %9d %9d %7d %6v %5d %9d %6d %7d %10v\n",
+			p.Name, p.Published, p.Delivered, p.Acked, r.CheckpointLoaded,
+			r.JournalsReplayed, r.RecordsReplayed, r.Outstanding,
+			r.TornTruncations, r.Duration.Round(time.Microsecond))
+	}
+	return nil
+}

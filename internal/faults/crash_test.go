@@ -1,0 +1,183 @@
+package faults
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// TestCrashInjectorFiresOnce pins the one-shot contract: the scheduled
+// point fires at exactly the AtAppend-th append, and from then on the
+// injector is dead — every later append reports CrashBeforeAppend (a dead
+// process writes nothing) and every checkpoint install dies too.
+func TestCrashInjectorFiresOnce(t *testing.T) {
+	ci := NewCrashInjector(CrashPlan{AtAppend: 3, Point: CrashTornAppend})
+	for i := 1; i <= 2; i++ {
+		if p := ci.OnAppend(); p != 0 {
+			t.Fatalf("append %d: crash point %v before schedule", i, p)
+		}
+	}
+	if ci.Dead() {
+		t.Fatal("dead before the scheduled append")
+	}
+	if p := ci.OnAppend(); p != CrashTornAppend {
+		t.Fatalf("append 3: got %v, want %v", p, CrashTornAppend)
+	}
+	if !ci.Dead() {
+		t.Fatal("not dead after the scheduled point fired")
+	}
+	for i := 4; i <= 6; i++ {
+		if p := ci.OnAppend(); p != CrashBeforeAppend {
+			t.Fatalf("append %d after death: got %v, want %v", i, p, CrashBeforeAppend)
+		}
+	}
+	if !ci.OnCheckpoint() {
+		t.Fatal("checkpoint survived on a dead injector")
+	}
+}
+
+// TestCrashInjectorConcurrentFiresExactlyOnce drives OnAppend from many
+// goroutines (the store's appenders race in production) and checks the
+// scheduled point is observed by exactly one of them.
+func TestCrashInjectorConcurrentFiresExactlyOnce(t *testing.T) {
+	ci := NewCrashInjector(CrashPlan{AtAppend: 50, Point: CrashAfterAppend})
+	var wg sync.WaitGroup
+	var fired atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if ci.OnAppend() == CrashAfterAppend {
+					fired.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := fired.Load(); n != 1 {
+		t.Fatalf("scheduled point fired %d times in 200 appends, want exactly 1", n)
+	}
+	if !ci.Dead() {
+		t.Fatal("injector alive after firing")
+	}
+}
+
+// TestCrashInjectorNilAndZeroPlan: a nil injector and a zero plan are both
+// inert — they never fire and never die.
+func TestCrashInjectorNilAndZeroPlan(t *testing.T) {
+	var nilCI *CrashInjector
+	if p := nilCI.OnAppend(); p != 0 {
+		t.Fatalf("nil injector returned %v", p)
+	}
+	if nilCI.OnCheckpoint() || nilCI.Dead() {
+		t.Fatal("nil injector not inert")
+	}
+	zero := NewCrashInjector(CrashPlan{})
+	for i := 0; i < 100; i++ {
+		if p := zero.OnAppend(); p != 0 {
+			t.Fatalf("zero plan fired %v at append %d", p, i+1)
+		}
+	}
+	if zero.OnCheckpoint() || zero.Dead() {
+		t.Fatal("zero plan not inert")
+	}
+}
+
+// TestCrashInjectorMidCheckpointIgnoresAppends: a mid-checkpoint plan must
+// not fire on the append path regardless of AtAppend, and must fire at the
+// first checkpoint install.
+func TestCrashInjectorMidCheckpointIgnoresAppends(t *testing.T) {
+	ci := NewCrashInjector(CrashPlan{AtAppend: 2, Point: CrashMidCheckpoint})
+	for i := 0; i < 10; i++ {
+		if p := ci.OnAppend(); p != 0 {
+			t.Fatalf("append %d fired %v for a mid-checkpoint plan", i+1, p)
+		}
+	}
+	if !ci.OnCheckpoint() {
+		t.Fatal("mid-checkpoint plan did not fire at checkpoint install")
+	}
+	if p := ci.OnAppend(); p != CrashBeforeAppend {
+		t.Fatalf("append after checkpoint death: got %v, want %v", p, CrashBeforeAppend)
+	}
+}
+
+// TestCrashAtSequenceZero: a node scheduled down from the very first event
+// (DownAt: 0) is down at seq 0, and UpAt ≤ 0 means it never recovers.
+func TestCrashAtSequenceZero(t *testing.T) {
+	inj, err := New(Config{Seed: 7, Crashes: []Crash{
+		{Node: 4, DownAt: 0, UpAt: 3}, // down for seqs 0,1,2
+		{Node: 9, DownAt: 0},          // down forever
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := int64(0); seq < 3; seq++ {
+		if !inj.NodeDown(4, seq) {
+			t.Errorf("node 4 up at seq %d inside [0,3)", seq)
+		}
+	}
+	if inj.NodeDown(4, 3) {
+		t.Error("node 4 still down at seq 3 == UpAt")
+	}
+	for _, seq := range []int64{0, 1, 1000, 1 << 40} {
+		if !inj.NodeDown(9, seq) {
+			t.Errorf("permanently crashed node 9 up at seq %d", seq)
+		}
+	}
+}
+
+// TestOverlappingCrashAndOutage exercises staggered windows: node 7 is
+// crashed for [5,15) while its link to node 2 is out for [10,20). Through
+// the overlap [10,15) both faults apply; each recovers on its own schedule
+// and neither window leaks into the other's predicate.
+func TestOverlappingCrashAndOutage(t *testing.T) {
+	inj, err := New(Config{
+		Seed:    11,
+		Crashes: []Crash{{Node: 7, DownAt: 5, UpAt: 15}},
+		Outages: []LinkOutage{{U: 7, V: 2, DownAt: 10, UpAt: 20}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type phase struct {
+		seq              int64
+		nodeDown, linkDn bool
+	}
+	phases := []phase{
+		{0, false, false},  // before either window
+		{4, false, false},  // last seq before the crash
+		{5, true, false},   // crash only
+		{9, true, false},   // still crash only
+		{10, true, true},   // overlap begins
+		{14, true, true},   // last seq of the overlap
+		{15, false, true},  // node back, link still out
+		{19, false, true},  // last seq of the outage
+		{20, false, false}, // fully recovered
+	}
+	for _, p := range phases {
+		if got := inj.NodeDown(7, p.seq); got != p.nodeDown {
+			t.Errorf("seq %d: NodeDown(7) = %v, want %v", p.seq, got, p.nodeDown)
+		}
+		if got := inj.LinkDown(7, 2, p.seq); got != p.linkDn {
+			t.Errorf("seq %d: LinkDown(7,2) = %v, want %v", p.seq, got, p.linkDn)
+		}
+		// The reverse edge orientation must agree (links are undirected).
+		if got := inj.LinkDown(2, 7, p.seq); got != p.linkDn {
+			t.Errorf("seq %d: LinkDown(2,7) = %v, want %v", p.seq, got, p.linkDn)
+		}
+		// An unrelated node and link never see either window.
+		if inj.NodeDown(3, p.seq) || inj.LinkDown(3, 4, p.seq) {
+			t.Errorf("seq %d: unrelated node/link affected", p.seq)
+		}
+	}
+	// Blocked (the routing predicate) must track LinkDown through the
+	// overlap and the staggered recovery.
+	for _, p := range phases {
+		if got := inj.Blocked(p.seq)(topology.NodeID(7), topology.NodeID(2)); got != p.linkDn {
+			t.Errorf("seq %d: Blocked = %v, want %v", p.seq, got, p.linkDn)
+		}
+	}
+}

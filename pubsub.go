@@ -41,6 +41,7 @@ import (
 	"repro/internal/broker"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/faults"
 	"repro/internal/health"
 	"repro/internal/multicast"
@@ -307,6 +308,58 @@ var (
 	WriteMetricsPrometheus = telemetry.WritePrometheus
 	// ServeTelemetry exposes /metrics, /trace and /debug/pprof/ over HTTP.
 	ServeTelemetry = telemetry.Serve
+)
+
+// Durability: write-ahead journal, checkpointed snapshots and
+// crash–restart recovery with exactly-once redelivery (see the Durability
+// & recovery section of DESIGN.md).
+type (
+	// DurableOptions tunes the durable store's checkpoint cadence and arms
+	// deterministic crash injection for chaos tests.
+	DurableOptions = durable.Options
+	// RecoveryStats summarises one crash–restart recovery: checkpoint
+	// loaded, journals and records replayed, torn tails truncated,
+	// stranded publishes redelivered, and the recovery duration.
+	RecoveryStats = durable.RecoveryStats
+	// CrashPlan schedules one deterministic crash against a durable store.
+	CrashPlan = faults.CrashPlan
+	// CrashPoint selects where a scheduled crash fires relative to a
+	// durable-store operation.
+	CrashPoint = faults.CrashPoint
+	// CrashInjector arms a CrashPlan; one injector simulates exactly one
+	// process death.
+	CrashInjector = faults.CrashInjector
+)
+
+// Crash points (the classic write-ahead-log failure windows).
+const (
+	// CrashBeforeAppend dies before the journal record reaches the disk.
+	CrashBeforeAppend = faults.CrashBeforeAppend
+	// CrashAfterAppend dies after the record is durable but before the
+	// append returns.
+	CrashAfterAppend = faults.CrashAfterAppend
+	// CrashTornAppend dies mid-write, leaving a torn frame for recovery to
+	// CRC-detect and truncate.
+	CrashTornAppend = faults.CrashTornAppend
+	// CrashMidCheckpoint dies between writing the checkpoint temp file and
+	// atomically installing it.
+	CrashMidCheckpoint = faults.CrashMidCheckpoint
+)
+
+// Durability constructors, options and errors.
+var (
+	// OpenBroker opens (or creates) a durable broker: state persists in a
+	// directory as a write-ahead journal plus checkpoints, and a restart
+	// recovers subscriptions, dedup windows and undelivered publishes.
+	OpenBroker = broker.Open
+	// WithDurableOptions overrides the durable store's defaults on
+	// OpenBroker.
+	WithDurableOptions = broker.WithDurableOptions
+	// NewCrashInjector arms a crash plan for WithDurableOptions.
+	NewCrashInjector = faults.NewCrashInjector
+	// ErrCrashed reports a simulated process crash; the durable broker
+	// refuses further work until re-opened.
+	ErrCrashed = faults.ErrCrashed
 )
 
 // Fault injection: deterministic drop/duplicate/delay/link-failure/crash
