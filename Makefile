@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 race chaos chaos-recovery bench bench-json bench-baseline bench-decide bench-recovery bench-smoke vet staticcheck fmt
+.PHONY: all build test tier1 race chaos chaos-recovery chaos-wire bench bench-json bench-baseline bench-decide bench-decide-n bench-recovery bench-wire bench-smoke vet staticcheck fmt
 
 # Label recorded next to a bench-baseline entry in BENCH_cluster.json.
 BENCH_LABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo local)
@@ -78,6 +78,29 @@ bench-decide:
 bench-recovery:
 	$(GO) test -run '^$$' -bench 'BenchmarkJournalAppend|BenchmarkColdRecovery' -benchmem -count=3 ./internal/durable/ | \
 		$(GO) run ./cmd/benchrecord -file BENCH_cluster.json -label "$(BENCH_LABEL)-recovery"
+
+# bench-wire measures loopback publish→deliver throughput over the TCP
+# wire transport next to the identical pipeline in-process (framing, CRCs,
+# credit accounting and coalesced flushes vs a direct observer call) and
+# appends a labelled entry to BENCH_cluster.json — the wire-overhead row.
+bench-wire:
+	$(GO) test -run '^$$' -bench 'PublishDeliver' -benchmem -count=3 ./internal/transport/ | \
+		$(GO) run ./cmd/benchrecord -file BENCH_cluster.json -label "$(BENCH_LABEL)-wire"
+
+# bench-decide-n re-runs the decision-plane benchmarks under an explicit
+# GOMAXPROCS=$(MP) override (default 4) and records them as a separate
+# row. On hosts with fewer cores the override oversubscribes the CPU; the
+# entry's gomaxprocs field qualifies the numbers.
+MP ?= 4
+bench-decide-n:
+	export GOMAXPROCS=$(MP); $(GO) test -run '^$$' -bench 'BenchmarkPublishDecide' -benchmem -count=3 ./internal/broker/ | \
+		$(GO) run ./cmd/benchrecord -file BENCH_cluster.json -label "$(BENCH_LABEL)-decide-p$(MP)"
+
+# chaos-wire runs the transport suite — loopback e2e, credit exhaustion,
+# graceful drain, protocol edges, and the conn-fault chaos scenario with
+# forced reconnects — twice under the race detector.
+chaos-wire:
+	$(GO) test -race -count=2 ./internal/transport/ ./internal/wire/ ./internal/faults/
 
 # bench-smoke compiles and runs every benchmark in the repo exactly once —
 # a cheap CI guard that benchmarks keep building and don't panic.

@@ -1,0 +1,266 @@
+// Command pubsub-server runs the broker as a TCP daemon speaking the wire
+// protocol (see the Wire transport section of DESIGN.md). It builds the
+// same world and clustering engine as pubsub-sim, then serves clients —
+// subscriptions, publications and deliveries — over the network, with
+// credit-based flow control and resumable sessions.
+//
+// Usage:
+//
+//	pubsub-server [flags]
+//
+// Flags:
+//
+//	-listen ADDR     TCP listen address (default 127.0.0.1:7070; use :0
+//	                 for an ephemeral port, printed on startup)
+//	-alg NAME        clustering algorithm: kmeans, forgy, mst, pairs,
+//	                 approx-pairs (default forgy)
+//	-groups K        number of multicast groups (default 100)
+//	-subs N          pre-seeded subscriptions (default 1000)
+//	-modes N         publication mixture modes (default 1)
+//	-budget N        cell budget for grid algorithms (default 6000)
+//	-threshold F     Fig 5 threshold (default 0 = always multicast)
+//	-dynamic         per-event unicast/multicast/broadcast selection
+//	-seed N          random seed (default 1)
+//	-workers N       broker delivery workers (default 4)
+//	-decide-workers N broker decision workers (0 = GOMAXPROCS)
+//	-max-inflight N  admission bound on in-pipeline events (0 = unlimited)
+//	-shed-policy P   overload policy: block, reject or shed
+//	-data-dir DIR    durable broker state (journal + checkpoints),
+//	                 recovered on restart
+//	-session-timeout D  how long a disconnected session may resume
+//	                 (default 10s)
+//	-drain-timeout D maximum graceful-drain time on SIGINT/SIGTERM
+//	                 (default 30s)
+//	-http ADDR       serve /metrics, /metrics.json and /debug/pprof/
+//
+// On SIGINT/SIGTERM the server drains gracefully: it stops accepting
+// connections, lets the broker flush every in-flight delivery to the
+// connected clients, closes the journal (writing a final checkpoint when
+// -data-dir is set), says goodbye to each session and exits 0. A second
+// signal — or the drain timeout — forces an immediate stop.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/health"
+	"repro/internal/noloss"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+	"repro/internal/transport"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+type options struct {
+	listen    string
+	alg       string
+	groups    int
+	subs      int
+	modes     int
+	budget    int
+	threshold float64
+	dynamic   bool
+	seed      int64
+
+	workers       int
+	decideWorkers int
+	maxInflight   int
+	shedPolicy    string
+	dataDir       string
+
+	sessionTimeout time.Duration
+	drainTimeout   time.Duration
+	httpAddr       string
+}
+
+func (o options) validate() error {
+	if o.workers < 1 {
+		return fmt.Errorf("-workers = %d: must be ≥ 1", o.workers)
+	}
+	if o.decideWorkers < 0 {
+		return fmt.Errorf("-decide-workers = %d: must be ≥ 0 (0 = GOMAXPROCS)", o.decideWorkers)
+	}
+	if o.maxInflight < 0 {
+		return fmt.Errorf("-max-inflight = %d: must be ≥ 0", o.maxInflight)
+	}
+	if o.shedPolicy != "" {
+		if _, err := health.ParsePolicy(o.shedPolicy); err != nil {
+			return fmt.Errorf("-shed-policy: %w", err)
+		}
+	}
+	if o.drainTimeout <= 0 {
+		return fmt.Errorf("-drain-timeout = %v: must be > 0", o.drainTimeout)
+	}
+	return nil
+}
+
+func main() {
+	var opt options
+	flag.StringVar(&opt.listen, "listen", "127.0.0.1:7070", "TCP listen address")
+	flag.StringVar(&opt.alg, "alg", "forgy", "clustering algorithm")
+	flag.IntVar(&opt.groups, "groups", 100, "multicast groups")
+	flag.IntVar(&opt.subs, "subs", 1000, "pre-seeded subscriptions")
+	flag.IntVar(&opt.modes, "modes", 1, "publication mixture modes")
+	flag.IntVar(&opt.budget, "budget", 6000, "cell budget for grid algorithms")
+	flag.Float64Var(&opt.threshold, "threshold", 0, "Fig 5 multicast threshold")
+	flag.BoolVar(&opt.dynamic, "dynamic", false, "per-event unicast/multicast/broadcast selection")
+	flag.Int64Var(&opt.seed, "seed", 1, "random seed")
+	flag.IntVar(&opt.workers, "workers", 4, "broker delivery workers")
+	flag.IntVar(&opt.decideWorkers, "decide-workers", 0, "broker decision workers (0 = GOMAXPROCS)")
+	flag.IntVar(&opt.maxInflight, "max-inflight", 0, "admission bound on in-pipeline events (0 = unlimited)")
+	flag.StringVar(&opt.shedPolicy, "shed-policy", "", "overload policy: block, reject or shed")
+	flag.StringVar(&opt.dataDir, "data-dir", "", "durable broker state directory")
+	flag.DurationVar(&opt.sessionTimeout, "session-timeout", 10*time.Second, "disconnected-session resume window")
+	flag.DurationVar(&opt.drainTimeout, "drain-timeout", 30*time.Second, "maximum graceful-drain time on shutdown")
+	flag.StringVar(&opt.httpAddr, "http", "", "serve /metrics and /debug/pprof/ on this address")
+	flag.Parse()
+
+	if err := opt.validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "pubsub-server: %v\n", err)
+		os.Exit(2)
+	}
+	if err := run(opt); err != nil {
+		fmt.Fprintf(os.Stderr, "pubsub-server: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(opt options) error {
+	reg := telemetry.NewRegistry()
+
+	topo := topology.Eval600
+	topo.Seed = opt.seed
+	g, err := topology.Generate(topo)
+	if err != nil {
+		return err
+	}
+	w, err := workload.NewStockWorld(g, workload.StockConfig{
+		NumSubscriptions: opt.subs,
+		BlockSplit:       []float64{0.4, 0.3, 0.3},
+		NameMeans:        []float64{3, 10, 17},
+		PubModes:         opt.modes,
+		Seed:             opt.seed + 1,
+	})
+	if err != nil {
+		return err
+	}
+	cfg := core.Config{Groups: opt.groups, CellBudget: opt.budget, Threshold: opt.threshold, DynamicMethod: opt.dynamic}
+	switch opt.alg {
+	case "kmeans":
+		cfg.Algorithm = &cluster.KMeans{Variant: cluster.MacQueen}
+	case "forgy":
+		cfg.Algorithm = &cluster.KMeans{Variant: cluster.Forgy}
+	case "mst":
+		cfg.Algorithm = &cluster.MST{}
+	case "pairs":
+		cfg.Algorithm = &cluster.Pairwise{}
+	case "approx-pairs":
+		cfg.Algorithm = &cluster.Pairwise{Approx: true}
+	case "noloss":
+		cfg.NoLoss = &noloss.Config{PoolSize: 5000, Iterations: 8}
+	default:
+		return fmt.Errorf("unknown algorithm %q", opt.alg)
+	}
+
+	start := time.Now()
+	engine, err := core.NewFromWorld(w, w.Events(2000, opt.seed+2), cfg)
+	if err != nil {
+		return err
+	}
+	engine.Instrument(reg)
+	fmt.Printf("engine:     %s, K=%d groups (%d non-empty), built in %v\n",
+		opt.alg, opt.groups, engine.NumGroups(), time.Since(start).Round(time.Millisecond))
+
+	srv := transport.NewServer(transport.Config{
+		Registry:       reg,
+		SessionTimeout: opt.sessionTimeout,
+	})
+	opts := []broker.Option{
+		broker.WithWorkers(opt.workers),
+		broker.WithDecideWorkers(opt.decideWorkers),
+		broker.WithTelemetry(reg),
+		broker.WithObserver(srv.Dispatch),
+	}
+	if opt.maxInflight > 0 || opt.shedPolicy != "" {
+		hc := health.Config{MaxInflight: opt.maxInflight, Seed: opt.seed}
+		if opt.shedPolicy != "" {
+			hc.Policy, _ = health.ParsePolicy(opt.shedPolicy) // validated already
+		}
+		h, err := health.New(hc)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, broker.WithHealth(h))
+	}
+	var b *broker.Broker
+	if opt.dataDir != "" {
+		b, err = broker.Open(opt.dataDir, engine, opts...)
+	} else {
+		b, err = broker.New(engine, opts...)
+	}
+	if err != nil {
+		return err
+	}
+	if opt.dataDir != "" {
+		rec := b.Recovery()
+		fmt.Printf("durable:    %s: checkpoint %v, %d journal(s), %d records replayed in %v\n",
+			opt.dataDir, rec.CheckpointLoaded, rec.JournalsReplayed, rec.RecordsReplayed,
+			rec.Duration.Round(time.Microsecond))
+	}
+
+	ln, err := net.Listen("tcp", opt.listen)
+	if err != nil {
+		b.Close()
+		return err
+	}
+	fmt.Printf("listening:  %s (wire protocol v%d)\n", ln.Addr(), wire.Version)
+	if opt.httpAddr != "" {
+		tsrv, err := telemetry.Serve(opt.httpAddr, reg, nil)
+		if err != nil {
+			ln.Close()
+			b.Close()
+			return err
+		}
+		defer tsrv.Close()
+		fmt.Printf("telemetry:  serving /metrics, /metrics.json, /debug/pprof/ on http://%s\n", tsrv.Addr())
+	}
+
+	// Graceful drain on the first signal: stop accepting, flush every
+	// delivery to the connected clients, close the journal, exit 0. A
+	// second signal forces an immediate stop.
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	shutdownErr := make(chan error, 1)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "pubsub-server: draining (signal again to force stop)")
+		ctx, cancel := context.WithTimeout(context.Background(), opt.drainTimeout)
+		defer cancel()
+		go func() {
+			<-sigs
+			cancel()
+		}()
+		shutdownErr <- srv.Shutdown(ctx)
+	}()
+
+	if err := srv.Serve(ln, b); !errors.Is(err, transport.ErrServerClosed) {
+		return err
+	}
+	if err := <-shutdownErr; err != nil {
+		return fmt.Errorf("drain incomplete: %w", err)
+	}
+	fmt.Println("drained:    all sessions flushed; broker closed")
+	return nil
+}

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/space"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// runClient is pubsub-sim's wire-client mode (-connect): it builds the
+// same workload as the server, subscribes to the whole event space over
+// the network, publishes the evaluation stream, and verifies the
+// transport's zero-loss exactly-once contract — every published event
+// must come back exactly once, across any forced reconnect. A violation
+// is a non-zero exit, which is what the CI wire job asserts on.
+func runClient(opt options) error {
+	topo := topology.Eval600
+	topo.Seed = opt.seed
+	g, err := topology.Generate(topo)
+	if err != nil {
+		return err
+	}
+	w, err := workload.NewStockWorld(g, workload.StockConfig{
+		NumSubscriptions: opt.subs,
+		BlockSplit:       []float64{0.4, 0.3, 0.3},
+		NameMeans:        []float64{3, 10, 17},
+		PubModes:         opt.modes,
+		Seed:             opt.seed + 1,
+	})
+	if err != nil {
+		return err
+	}
+	events := w.Events(opt.events, opt.seed+3)
+
+	reg := telemetry.NewRegistry()
+	c, err := transport.Dial(transport.ClientConfig{
+		Addr:     opt.connect,
+		Credits:  opt.credits,
+		Registry: reg,
+	})
+	if err != nil {
+		return fmt.Errorf("connect %s: %w", opt.connect, err)
+	}
+	defer c.Close()
+	fmt.Printf("connected:  %s (session %d)\n", opt.connect, c.Session())
+
+	// Subscribe to the entire space: every published event must be
+	// delivered back exactly once.
+	rect := make(space.Rect, len(w.Axes))
+	for i := range rect {
+		rect[i] = space.Interval{Lo: -1e18, Hi: 1e18}
+	}
+	owner := topology.NodeID(opt.clientNode)
+	slot, err := c.Subscribe(owner, rect)
+	if err != nil {
+		return fmt.Errorf("subscribe: %w", err)
+	}
+
+	start := time.Now()
+	type recvResult struct {
+		got  int
+		dups int
+		err  error
+	}
+	done := make(chan recvResult, 1)
+	go func() {
+		var res recvResult
+		seen := make(map[int64]bool, len(events))
+		for res.got < len(events) {
+			d, ok := c.Recv()
+			if !ok {
+				res.err = fmt.Errorf("connection closed after %d/%d deliveries: %v",
+					res.got, len(events), c.Err())
+				break
+			}
+			if !d.Interested {
+				continue
+			}
+			if seen[d.Seq] {
+				res.dups++
+				continue
+			}
+			seen[d.Seq] = true
+			res.got++
+		}
+		done <- res
+	}()
+
+	// Pipeline publishes a window at a time; at -bounce-at, force-close
+	// the TCP connection mid-stream to exercise reconnect + resume.
+	const window = 32
+	sem := make(chan struct{}, window)
+	pubErr := make(chan error, 1)
+	for i := range events {
+		if int64(i) == opt.bounceAt {
+			fmt.Printf("bounce:     forcing reconnect before event %d\n", i)
+			c.Bounce()
+		}
+		sem <- struct{}{}
+		go func(ev workload.Event, i int) {
+			defer func() { <-sem }()
+			if err := c.Publish(ev); err != nil {
+				select {
+				case pubErr <- fmt.Errorf("publish %d: %w", i, err):
+				default:
+				}
+			}
+		}(events[i], i)
+	}
+	for i := 0; i < window; i++ {
+		sem <- struct{}{}
+	}
+	select {
+	case err := <-pubErr:
+		return err
+	default:
+	}
+
+	var res recvResult
+	select {
+	case res = <-done:
+	case <-time.After(opt.recvTimeout):
+		return fmt.Errorf("timeout: not all deliveries arrived within %v", opt.recvTimeout)
+	}
+	elapsed := time.Since(start)
+	if res.err != nil {
+		return res.err
+	}
+
+	resumes := reg.Scope("wire_client").Counter("session_resumes").Value()
+	fmt.Printf("published:  %d events in %v (%.0f ev/s, window %d)\n",
+		len(events), elapsed.Round(time.Millisecond), float64(len(events))/elapsed.Seconds(), window)
+	fmt.Printf("delivered:  %d/%d exactly once (%d duplicate frames suppressed, %d session resumes)\n",
+		res.got, len(events), res.dups, resumes)
+	if res.got != len(events) {
+		return fmt.Errorf("LOSS: %d of %d events not delivered", len(events)-res.got, len(events))
+	}
+	if opt.bounceAt >= 0 && resumes < 1 {
+		return fmt.Errorf("bounce at %d did not force a session resume", opt.bounceAt)
+	}
+	if err := c.Unsubscribe(slot); err != nil {
+		return fmt.Errorf("unsubscribe: %w", err)
+	}
+	fmt.Println("zero-loss:  exactly-once contract held")
+	return nil
+}

@@ -72,6 +72,19 @@
 //	               (deterministic sampling; default 1 = every event)
 //	-trace-cap N   trace ring-buffer capacity (default 1024)
 //
+// Wire-client flags (-connect switches the whole run into client mode:
+// instead of simulating locally, connect to a pubsub-server, subscribe to
+// the full event space, publish the evaluation stream and verify the
+// zero-loss exactly-once contract — any loss or duplicate is a non-zero
+// exit):
+//
+//	-connect ADDR    pubsub-server address to dial
+//	-client-node N   node id the client subscribes as (default 7)
+//	-credits N       delivery credit window granted to the server
+//	-bounce-at I     force a reconnect before event index I, proving
+//	                 exactly-once across a session resume (-1 = never)
+//	-recv-timeout D  delivery-completion timeout (default 60s)
+//
 // Trace files use the workload text format (see ReadSubscriptions); the
 // network is still generated, so node ids in the trace must fit it.
 package main
@@ -133,6 +146,12 @@ type options struct {
 	httpAddr  string
 	traceRate float64
 	traceCap  int
+
+	connect     string
+	clientNode  int
+	credits     int
+	bounceAt    int64
+	recvTimeout time.Duration
 }
 
 // validate rejects malformed fault and observability flags with a clear
@@ -168,6 +187,17 @@ func (o options) validate() error {
 	}
 	if o.traceCap < 1 {
 		return fmt.Errorf("-trace-cap = %d: must be ≥ 1", o.traceCap)
+	}
+	if o.connect != "" {
+		if o.credits < 1 {
+			return fmt.Errorf("-credits = %d: must be ≥ 1", o.credits)
+		}
+		if o.clientNode < 0 {
+			return fmt.Errorf("-client-node = %d: must be ≥ 0", o.clientNode)
+		}
+		if o.recvTimeout <= 0 {
+			return fmt.Errorf("-recv-timeout = %v: must be > 0", o.recvTimeout)
+		}
 	}
 	return nil
 }
@@ -229,13 +259,22 @@ func main() {
 	flag.StringVar(&opt.httpAddr, "http", "", "serve /metrics, /trace and /debug/pprof/ on this address after the replay")
 	flag.Float64Var(&opt.traceRate, "trace-rate", 1, "fraction of published events traced (deterministic sampling)")
 	flag.IntVar(&opt.traceCap, "trace-cap", 1024, "trace ring-buffer capacity")
+	flag.StringVar(&opt.connect, "connect", "", "run as a wire client against a pubsub-server at this address")
+	flag.IntVar(&opt.clientNode, "client-node", 7, "node id the wire client subscribes as")
+	flag.IntVar(&opt.credits, "credits", 256, "delivery credit window granted to the server (wire client)")
+	flag.Int64Var(&opt.bounceAt, "bounce-at", -1, "force a reconnect before this event index (-1 = never)")
+	flag.DurationVar(&opt.recvTimeout, "recv-timeout", 60*time.Second, "wire client delivery-completion timeout")
 	flag.Parse()
 
 	if err := opt.validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "pubsub-sim: %v\n", err)
 		os.Exit(2)
 	}
-	if err := run(opt); err != nil {
+	entry := run
+	if opt.connect != "" {
+		entry = runClient
+	}
+	if err := entry(opt); err != nil {
 		fmt.Fprintf(os.Stderr, "pubsub-sim: %v\n", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,172 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func tcpPair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		server = c
+	}()
+	client, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if server == nil {
+		t.Fatal("accept failed")
+	}
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+func TestConnInjectorValidation(t *testing.T) {
+	for _, cfg := range []ConnConfig{
+		{WriteStallProb: -0.1},
+		{ReadStallProb: 1.5},
+		{ChunkBytes: -1},
+		{MaxStall: -time.Second},
+	} {
+		if _, err := NewConnInjector(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	if _, err := NewConnInjector(ConnConfig{Seed: 1}); err != nil {
+		t.Fatalf("benign config rejected: %v", err)
+	}
+}
+
+func TestConnPartialWritesReassemble(t *testing.T) {
+	ci, err := NewConnInjector(ConnConfig{Seed: 7, ChunkBytes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, server := tcpPair(t)
+	wrapped := ci.Wrap(client)
+
+	msg := bytes.Repeat([]byte("chunked-write!"), 100)
+	go func() {
+		wrapped.Write(msg)
+		wrapped.Close()
+	}()
+	got, err := io.ReadAll(server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("reassembled %d bytes, want %d; content mismatch", len(got), len(msg))
+	}
+}
+
+func TestConnCutAfterBytes(t *testing.T) {
+	// First connection is cut after 64 bytes of traffic; the second never.
+	ci, err := NewConnInjector(ConnConfig{Seed: 1, CutAfterBytes: []int64{64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, server := tcpPair(t)
+	wrapped := ci.Wrap(client)
+
+	buf := make([]byte, 32)
+	if _, err := wrapped.Write(buf); err != nil {
+		t.Fatalf("pre-cut write: %v", err)
+	}
+	if ConnWasCut(wrapped) {
+		t.Fatal("cut before threshold")
+	}
+	if _, err := wrapped.Write(buf); err != nil {
+		t.Fatalf("write reaching threshold: %v", err)
+	}
+	// Traffic is now ≥ 64: the next operation must fail.
+	if _, err := wrapped.Write(buf); err == nil {
+		t.Fatal("post-cut write succeeded")
+	}
+	if !ConnWasCut(wrapped) {
+		t.Fatal("cut flag not set")
+	}
+	// The peer sees the connection die mid-stream.
+	server.SetReadDeadline(time.Now().Add(2 * time.Second))
+	drain := make([]byte, 1024)
+	for {
+		if _, err := server.Read(drain); err != nil {
+			if errors.Is(err, io.EOF) {
+				break // close raced ahead of RST; either is a mid-stream death
+			}
+			break
+		}
+	}
+
+	// Second wrapped conn (beyond the schedule) is never cut.
+	c2, s2 := tcpPair(t)
+	w2 := ci.Wrap(c2)
+	defer s2.Close()
+	big := make([]byte, 4096)
+	if _, err := w2.Write(big); err != nil {
+		t.Fatalf("unscheduled conn write: %v", err)
+	}
+	go io.Copy(io.Discard, s2)
+	if _, err := w2.Write(big); err != nil {
+		t.Fatalf("unscheduled conn second write: %v", err)
+	}
+	if ConnWasCut(w2) {
+		t.Fatal("unscheduled conn cut")
+	}
+	if ci.Wraps() != 2 {
+		t.Fatalf("Wraps = %d", ci.Wraps())
+	}
+}
+
+func TestConnStallsAreBoundedAndDeterministic(t *testing.T) {
+	cfg := ConnConfig{Seed: 3, ReadStallProb: 1, WriteStallProb: 1, MaxStall: time.Millisecond}
+	ci, err := NewConnInjector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, server := tcpPair(t)
+	wrapped := ci.Wrap(client)
+	go func() {
+		wrapped.Write([]byte("hello"))
+	}()
+	buf := make([]byte, 8)
+	server.SetReadDeadline(time.Now().Add(5 * time.Second))
+	n, err := server.Read(buf)
+	if err != nil || n == 0 {
+		t.Fatalf("stalled write never arrived: n=%d err=%v", n, err)
+	}
+
+	// Determinism: the same (seed, conn index, op) rolls identical values.
+	a := &faultConn{cfg: cfg, idx: 0}
+	b := &faultConn{cfg: cfg, idx: 0}
+	for op := int64(1); op < 100; op++ {
+		if a.roll(1, op) != b.roll(1, op) {
+			t.Fatalf("roll diverged at op %d", op)
+		}
+	}
+	c := &faultConn{cfg: cfg, idx: 1}
+	same := 0
+	for op := int64(1); op < 100; op++ {
+		if a.roll(1, op) == c.roll(1, op) {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("different conn indexes share %d/99 rolls", same)
+	}
+}

@@ -1,0 +1,120 @@
+package transport_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/broker"
+	"repro/internal/topology"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// benchPipelineDepth is how many publishes are kept in flight at once in
+// the throughput benchmarks, for both the wire and in-process variants.
+const benchPipelineDepth = 64
+
+// BenchmarkWirePublishDeliver measures end-to-end publish→deliver
+// throughput over the loopback TCP transport: framing, CRCs, credit
+// accounting, coalesced flushes, and both protocol round-trips included.
+// Compare against BenchmarkInprocPublishDeliver for the wire overhead.
+func BenchmarkWirePublishDeliver(b *testing.B) {
+	addr, _, w, _ := startServer(b, transport.Config{SessionBuffer: 8192}, 500)
+	c, err := transport.Dial(transport.ClientConfig{Addr: addr, Credits: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Subscribe(17, allSpace(w)); err != nil {
+		b.Fatal(err)
+	}
+	events := w.Events(512, 501)
+
+	b.ResetTimer()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		got := 0
+		for got < b.N {
+			d, ok := c.Recv()
+			if !ok {
+				b.Errorf("connection closed after %d/%d deliveries: %v", got, b.N, c.Err())
+				return
+			}
+			if d.Interested {
+				got++
+			}
+		}
+	}()
+	sem := make(chan struct{}, benchPipelineDepth)
+	var wg sync.WaitGroup
+	for i := 0; i < b.N; i++ {
+		ev := events[i%len(events)]
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := c.Publish(ev); err != nil {
+				b.Error(err)
+			}
+			<-sem
+		}()
+	}
+	wg.Wait()
+	<-done
+	b.StopTimer()
+}
+
+// BenchmarkInprocPublishDeliver is the in-process baseline for the wire
+// benchmark: the same engine, broker, and full-space subscription, with
+// deliveries observed directly instead of crossing a socket.
+func BenchmarkInprocPublishDeliver(b *testing.B) {
+	e, w := testWorld(b, 510)
+	const owner = topology.NodeID(17)
+	var mu sync.Mutex
+	got := 0
+	target := 0
+	done := make(chan struct{})
+	bk, err := broker.New(e, broker.WithWorkers(2),
+		broker.WithObserver(func(n topology.NodeID, d broker.Delivery) {
+			if n != owner || !d.Interested {
+				return
+			}
+			mu.Lock()
+			got++
+			if got == target {
+				close(done)
+			}
+			mu.Unlock()
+		}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer bk.Close()
+	if _, err := bk.Subscribe(workload.Subscription{Owner: owner, Rect: allSpace(w)}); err != nil {
+		b.Fatal(err)
+	}
+	events := w.Events(512, 511)
+
+	mu.Lock()
+	target = b.N
+	mu.Unlock()
+	b.ResetTimer()
+	sem := make(chan struct{}, benchPipelineDepth)
+	var wg sync.WaitGroup
+	for i := 0; i < b.N; i++ {
+		ev := events[i%len(events)]
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := bk.Publish(ev); err != nil {
+				b.Error(err)
+			}
+			<-sem
+		}()
+	}
+	wg.Wait()
+	<-done
+	b.StopTimer()
+}

@@ -1,0 +1,122 @@
+package transport_test
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/telemetry"
+	"repro/internal/transport"
+)
+
+// TestChaosExactlyOnceAcrossResets drives the wire through a deterministic
+// conn-fault schedule — mid-stream TCP resets, chunked partial writes,
+// read/write stalls — plus explicit Bounces, and verifies the end-to-end
+// exactly-once contract against a brute-force oracle: every accepted
+// publish is delivered to the subscriber exactly once, despite every
+// connection in the schedule dying.
+func TestChaosExactlyOnceAcrossResets(t *testing.T) {
+	addr, _, w, _ := startServer(t, transport.Config{}, 400)
+
+	// Connections 1..4 (the first resume onwards) die after fixed traffic
+	// thresholds; connection 0 is bounced by hand. Later conns survive.
+	inj, err := faults.NewConnInjector(faults.ConnConfig{
+		Seed:           400,
+		ChunkBytes:     512,
+		WriteStallProb: 0.02,
+		ReadStallProb:  0.02,
+		MaxStall:       time.Millisecond,
+		CutAfterBytes:  []int64{0, 24_000, 18_000, 30_000, 12_000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := telemetry.NewRegistry()
+	c, err := transport.Dial(transport.ClientConfig{
+		Addr:     addr,
+		Credits:  64,
+		Registry: reg,
+		Dialer: func(a string) (net.Conn, error) {
+			raw, err := net.DialTimeout("tcp", a, 5*time.Second)
+			if err != nil {
+				return nil, err
+			}
+			return inj.Wrap(raw), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Subscribe(13, allSpace(w)); err != nil {
+		t.Fatal(err)
+	}
+
+	events := w.Events(400, 401)
+	var mu sync.Mutex
+	seen := map[int64]int{}
+	got := 0
+	recvDone := make(chan error, 1)
+	go func() {
+		for {
+			d, ok := c.Recv()
+			if !ok {
+				recvDone <- c.Err()
+				return
+			}
+			if !d.Interested {
+				continue
+			}
+			mu.Lock()
+			seen[d.Seq]++
+			dup := seen[d.Seq] > 1
+			got++
+			n := got
+			mu.Unlock()
+			if dup {
+				t.Errorf("event seq %d delivered twice", d.Seq)
+			}
+			if n == len(events) {
+				recvDone <- nil
+				return
+			}
+		}
+	}()
+
+	for i := range events {
+		if i == 30 {
+			c.Bounce() // manual reset on top of the scheduled cuts
+		}
+		if err := c.Publish(events[i]); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+	}
+
+	select {
+	case err := <-recvDone:
+		if err != nil {
+			t.Fatalf("receiver stopped early: %v (got %d/%d)", err, got, len(events))
+		}
+	case <-time.After(60 * time.Second):
+		mu.Lock()
+		defer mu.Unlock()
+		t.Fatalf("timeout: received %d/%d deliveries", got, len(events))
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != len(events) {
+		t.Fatalf("distinct events delivered = %d, want %d", len(seen), len(events))
+	}
+	resumes := reg.Scope("wire_client").Counter("session_resumes").Value()
+	if resumes < 2 {
+		t.Fatalf("session resumed %d times; the fault schedule should force several", resumes)
+	}
+	if inj.Wraps() < 3 {
+		t.Fatalf("only %d connections were dialed; cuts did not fire", inj.Wraps())
+	}
+}

@@ -1,0 +1,697 @@
+package transport
+
+import (
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/space"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// ErrConnClosed is returned by client operations after Close or after the
+// connection terminated.
+var ErrConnClosed = errors.New("transport: connection closed")
+
+// transientErr marks a connect failure worth retrying (dial or I/O
+// trouble), as opposed to a protocol-level rejection.
+type transientErr struct{ error }
+
+func (t transientErr) Unwrap() error { return t.error }
+
+func isTransient(err error) bool {
+	var t transientErr
+	return errors.As(err, &t)
+}
+
+// ClientConfig tunes a client Conn.
+type ClientConfig struct {
+	// Addr is the server address (host:port).
+	Addr string
+	// TLS, when set, wraps the connection.
+	TLS *tls.Config
+	// Credits is the delivery window granted to the server; it is also
+	// the receive buffer capacity (default 256).
+	Credits int
+	// MaxFrame caps accepted frame payloads (default wire.DefaultMaxFrame).
+	MaxFrame int
+	// DialTimeout bounds each dial attempt (default 5s).
+	DialTimeout time.Duration
+	// ReconnectBase and ReconnectMax bound the exponential reconnect
+	// backoff (defaults 20ms and 2s).
+	ReconnectBase time.Duration
+	ReconnectMax  time.Duration
+	// MaxReconnects caps consecutive failed reconnect attempts before the
+	// Conn gives up (default 10; negative = unbounded).
+	MaxReconnects int
+	// Dialer overrides how the raw connection is made — the hook the
+	// fault injector uses to wrap connections. Defaults to a plain TCP
+	// dial of Addr.
+	Dialer func(addr string) (net.Conn, error)
+	// Registry receives client telemetry under scope "wire_client"; nil
+	// uses a private registry.
+	Registry *telemetry.Registry
+}
+
+func (c *ClientConfig) fill() {
+	if c.Credits <= 0 {
+		c.Credits = 256
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = wire.DefaultMaxFrame
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.ReconnectBase <= 0 {
+		c.ReconnectBase = 20 * time.Millisecond
+	}
+	if c.ReconnectMax <= 0 {
+		c.ReconnectMax = 2 * time.Second
+	}
+	if c.MaxReconnects == 0 {
+		c.MaxReconnects = 10
+	}
+	if c.Registry == nil {
+		c.Registry = telemetry.NewRegistry()
+	}
+}
+
+// pending tracks one in-flight request: its encoded frame (kept for
+// retransmission after a reconnect) and the channel its reply completes.
+type pending struct {
+	frame []byte
+	done  chan string // error text; "" = ok
+	extra chan int64  // subscribe only: granted slot
+}
+
+// Conn is a client connection to a transport Server. It transparently
+// reconnects and resumes its session after a connection drop,
+// retransmitting unacknowledged publishes and control requests (the
+// server dedups them), so Publish/Subscribe/Recv observe exactly-once
+// semantics across resets. Safe for concurrent use.
+type Conn struct {
+	cfg ClientConfig
+	met *metrics
+
+	recv    chan wire.Deliver
+	lastDid atomic.Int64 // highest delivery id received
+
+	mu      sync.Mutex
+	conn    net.Conn
+	w       *wire.Writer
+	session uint64
+	nextSeq int64 // next pseq / reqID (shared counter)
+	pubs    map[int64]*pending
+	ctrl    map[int64]*pending
+	pings   map[uint64]chan struct{}
+	owed    int64 // consumed deliveries not yet credited back
+	err     error // terminal error
+	closed  bool
+	drain   bool
+
+	readerDone chan struct{}
+}
+
+// Dial connects to the server and completes the hello handshake.
+func Dial(cfg ClientConfig) (*Conn, error) {
+	cfg.fill()
+	c := &Conn{
+		cfg:        cfg,
+		met:        newMetrics(cfg.Registry, "wire_client"),
+		recv:       make(chan wire.Deliver, cfg.Credits),
+		pubs:       make(map[int64]*pending),
+		ctrl:       make(map[int64]*pending),
+		pings:      make(map[uint64]chan struct{}),
+		readerDone: make(chan struct{}),
+	}
+	r, err := c.connect(0, 0, uint32(cfg.Credits))
+	if err != nil {
+		return nil, err
+	}
+	go c.readLoop(r)
+	return c, nil
+}
+
+func (c *Conn) dialRaw() (net.Conn, error) {
+	if c.cfg.Dialer != nil {
+		return c.cfg.Dialer(c.cfg.Addr)
+	}
+	return net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+}
+
+// connect dials, handshakes, and installs the connection. session 0
+// starts a fresh session; otherwise it resumes.
+func (c *Conn) connect(session uint64, lastDid int64, credits uint32) (*wire.Reader, error) {
+	raw, err := c.dialRaw()
+	if err != nil {
+		return nil, transientErr{err}
+	}
+	conn := net.Conn(&countingConn{Conn: raw, in: c.met.bytesIn, out: c.met.bytesOut})
+	if c.cfg.TLS != nil {
+		conn = tls.Client(conn, c.cfg.TLS)
+	}
+	w := wire.NewWriter(conn, c.cfg.MaxFrame)
+	r := wire.NewReader(conn, c.cfg.MaxFrame)
+
+	conn.SetDeadline(time.Now().Add(c.cfg.DialTimeout))
+	hello := wire.AppendHello(nil, wire.Hello{
+		Version: wire.Version,
+		Session: session,
+		LastDid: lastDid,
+		Credits: credits,
+	})
+	if err := writeDirect(w, hello); err != nil {
+		conn.Close()
+		return nil, transientErr{err}
+	}
+	payload, err := r.ReadFrame()
+	if err != nil {
+		conn.Close()
+		return nil, transientErr{fmt.Errorf("transport: hello reply: %w", err)}
+	}
+	if wire.MsgType(payload) == wire.TypeError {
+		em, derr := wire.DecodeError(payload)
+		conn.Close()
+		if derr != nil {
+			return nil, derr
+		}
+		return nil, fmt.Errorf("transport: server rejected hello (code %d): %s", em.Code, em.Msg)
+	}
+	ack, err := wire.DecodeHelloAck(payload)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	conn.SetDeadline(time.Time{})
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return nil, ErrConnClosed
+	}
+	c.conn = conn
+	c.w = w
+	c.session = ack.Session
+	c.mu.Unlock()
+	if ack.Resumed {
+		c.met.resumes.Inc()
+	}
+	return r, nil
+}
+
+// writeFrame writes and flushes one frame on the current connection. On
+// failure the connection is closed so the reader notices and reconnects.
+func (c *Conn) writeFrame(frame []byte) error {
+	c.mu.Lock()
+	conn, w := c.conn, c.w
+	if conn == nil {
+		c.mu.Unlock()
+		if c.err != nil {
+			return c.err
+		}
+		return nil // reconnecting; pending state will be retransmitted
+	}
+	err := w.WriteFrame(frame)
+	if err == nil {
+		err = w.Flush()
+	}
+	c.mu.Unlock()
+	if err != nil {
+		conn.Close()
+	} else {
+		c.met.framesOut.Inc()
+	}
+	return nil
+}
+
+// nextID returns the next client sequence number (used for both publish
+// pseqs and control request ids; the namespaces are independent but a
+// shared counter keeps both strictly increasing).
+func (c *Conn) nextID() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextSeq++
+	return c.nextSeq
+}
+
+// Publish sends one event and waits for the broker's acknowledgement.
+// If the connection drops first, the publish is retransmitted on resume
+// and the server's dedup window guarantees it enters the broker at most
+// once.
+func (c *Conn) Publish(ev workload.Event) error {
+	pseq := c.nextID()
+	frame := wire.AppendPublish(nil, wire.Publish{PSeq: pseq, Ev: ev})
+	p := &pending{frame: frame, done: make(chan string, 1)}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return c.terminalErr()
+	}
+	c.pubs[pseq] = p
+	c.mu.Unlock()
+	if err := c.writeFrame(frame); err != nil {
+		return err
+	}
+	c.met.publishes.Inc()
+	msg, ok := <-p.done
+	if !ok {
+		return c.terminalErr()
+	}
+	if msg != "" {
+		return errors.New(msg)
+	}
+	return nil
+}
+
+// Subscribe registers an interest rectangle for owner and returns the
+// broker slot. Retransmitted transparently across reconnects; the server
+// caches the reply by request id so the side effect happens once.
+func (c *Conn) Subscribe(owner topology.NodeID, rect space.Rect) (int64, error) {
+	reqID := c.nextID()
+	frame := wire.AppendSubscribe(nil, wire.Subscribe{ReqID: reqID, Owner: owner, Rect: rect})
+	p := &pending{frame: frame, done: make(chan string, 1), extra: make(chan int64, 1)}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, c.terminalErr()
+	}
+	c.ctrl[reqID] = p
+	c.mu.Unlock()
+	if err := c.writeFrame(frame); err != nil {
+		return 0, err
+	}
+	msg, ok := <-p.done
+	if !ok {
+		return 0, c.terminalErr()
+	}
+	if msg != "" {
+		return 0, errors.New(msg)
+	}
+	return <-p.extra, nil
+}
+
+// Unsubscribe releases a slot returned by Subscribe.
+func (c *Conn) Unsubscribe(slot int64) error {
+	reqID := c.nextID()
+	frame := wire.AppendUnsubscribe(nil, wire.Unsubscribe{ReqID: reqID, Slot: slot})
+	p := &pending{frame: frame, done: make(chan string, 1)}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return c.terminalErr()
+	}
+	c.ctrl[reqID] = p
+	c.mu.Unlock()
+	if err := c.writeFrame(frame); err != nil {
+		return err
+	}
+	msg, ok := <-p.done
+	if !ok {
+		return c.terminalErr()
+	}
+	if msg != "" {
+		return errors.New(msg)
+	}
+	return nil
+}
+
+// Ping round-trips a frame through the server. It completes even when
+// delivery credits are exhausted — control traffic is never gated.
+func (c *Conn) Ping(timeout time.Duration) error {
+	nonce := uint64(c.nextID())
+	ch := make(chan struct{}, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return c.terminalErr()
+	}
+	c.pings[nonce] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.pings, nonce)
+		c.mu.Unlock()
+	}()
+	if err := c.writeFrame(wire.AppendPing(nil, nonce)); err != nil {
+		return err
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("transport: ping timeout after %v", timeout)
+	case <-c.readerDone:
+		return c.terminalErr()
+	}
+}
+
+// Recv returns the next delivery, blocking until one arrives or the
+// connection terminates (ok = false). Consuming a delivery returns its
+// flow-control credit to the server once a quarter-window has
+// accumulated.
+func (c *Conn) Recv() (wire.Deliver, bool) {
+	d, ok := <-c.recv
+	if !ok {
+		return wire.Deliver{}, false
+	}
+	c.creditConsumed(1)
+	return d, true
+}
+
+// TryRecv is Recv without blocking.
+func (c *Conn) TryRecv() (wire.Deliver, bool) {
+	select {
+	case d, ok := <-c.recv:
+		if !ok {
+			return wire.Deliver{}, false
+		}
+		c.creditConsumed(1)
+		return d, true
+	default:
+		return wire.Deliver{}, false
+	}
+}
+
+// creditConsumed accumulates returned credits and flushes them to the
+// server as a cumulative ack when a quarter of the window is owed.
+func (c *Conn) creditConsumed(n int64) {
+	c.mu.Lock()
+	c.owed += n
+	flush := int64(0)
+	if c.owed >= int64(c.cfg.Credits/4)+1 {
+		flush = c.owed
+		c.owed = 0
+	}
+	c.mu.Unlock()
+	if flush > 0 {
+		c.writeFrame(wire.AppendAck(nil, wire.Ack{Did: c.lastDid.Load(), Credit: uint32(flush)}))
+	}
+}
+
+// Bounce force-closes the underlying connection, exercising the
+// reconnect-and-resume path. The session survives; in-flight state is
+// retransmitted.
+func (c *Conn) Bounce() {
+	c.mu.Lock()
+	conn := c.conn
+	c.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+// Session returns the server-assigned session token.
+func (c *Conn) Session() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.session
+}
+
+// Draining reports whether the server announced a graceful drain.
+func (c *Conn) Draining() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.drain
+}
+
+// Err returns the terminal error after the connection ends (nil after a
+// clean goodbye or Close).
+func (c *Conn) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == ErrConnClosed {
+		return nil
+	}
+	return c.err
+}
+
+func (c *Conn) terminalErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	return ErrConnClosed
+}
+
+// Close ends the session: a goodbye is sent best-effort, pending calls
+// fail with ErrConnClosed, and Recv drains whatever was buffered then
+// reports closed.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	if c.err == nil {
+		c.err = ErrConnClosed
+	}
+	conn, w := c.conn, c.w
+	c.mu.Unlock()
+	if conn != nil {
+		if w != nil {
+			c.mu.Lock()
+			w.WriteFrame(wire.AppendGoodbye(nil))
+			w.Flush()
+			c.mu.Unlock()
+		}
+		conn.Close()
+	}
+	<-c.readerDone
+	return nil
+}
+
+// fail terminates the connection with err, completing every pending call.
+func (c *Conn) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.closed = true
+	conn := c.conn
+	c.conn = nil
+	c.w = nil
+	pubs, ctrl, pings := c.pubs, c.ctrl, c.pings
+	c.pubs = map[int64]*pending{}
+	c.ctrl = map[int64]*pending{}
+	c.pings = map[uint64]chan struct{}{}
+	c.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	for _, p := range pubs {
+		close(p.done)
+	}
+	for _, p := range ctrl {
+		close(p.done)
+	}
+	for _, ch := range pings {
+		close(ch)
+	}
+}
+
+// readLoop consumes inbound frames, reconnecting on connection failure
+// until Close, a server goodbye, or the reconnect budget is spent. It is
+// the only closer of c.recv.
+func (c *Conn) readLoop(r *wire.Reader) {
+	defer close(c.readerDone)
+	defer close(c.recv)
+	for {
+		payload, err := r.ReadFrame()
+		if err != nil {
+			c.mu.Lock()
+			closed := c.closed
+			c.mu.Unlock()
+			if closed {
+				return
+			}
+			nr, rerr := c.reconnect()
+			if rerr != nil {
+				c.fail(rerr)
+				return
+			}
+			r = nr
+			continue
+		}
+		c.met.framesIn.Inc()
+		switch wire.MsgType(payload) {
+		case wire.TypeDeliver:
+			batch, err := wire.DecodeDeliverBatch(payload)
+			if err != nil {
+				c.fail(fmt.Errorf("transport: bad deliver frame: %w", err))
+				return
+			}
+			c.deliver(batch)
+		case wire.TypePubAck:
+			m, err := wire.DecodePubAck(payload)
+			if err != nil {
+				c.fail(fmt.Errorf("transport: bad puback: %w", err))
+				return
+			}
+			c.mu.Lock()
+			p := c.pubs[m.PSeq]
+			delete(c.pubs, m.PSeq)
+			c.mu.Unlock()
+			if p != nil {
+				p.done <- m.Err
+			}
+		case wire.TypeSubscribed:
+			m, err := wire.DecodeSubscribed(payload)
+			if err != nil {
+				c.fail(fmt.Errorf("transport: bad subscribed: %w", err))
+				return
+			}
+			c.mu.Lock()
+			p := c.ctrl[m.ReqID]
+			delete(c.ctrl, m.ReqID)
+			c.mu.Unlock()
+			if p != nil {
+				if p.extra != nil {
+					p.extra <- m.Slot
+				}
+				p.done <- m.Err
+			}
+		case wire.TypeUnsubscribed:
+			m, err := wire.DecodeUnsubscribed(payload)
+			if err != nil {
+				c.fail(fmt.Errorf("transport: bad unsubscribed: %w", err))
+				return
+			}
+			c.mu.Lock()
+			p := c.ctrl[m.ReqID]
+			delete(c.ctrl, m.ReqID)
+			c.mu.Unlock()
+			if p != nil {
+				p.done <- m.Err
+			}
+		case wire.TypePong:
+			nonce, err := wire.DecodePong(payload)
+			if err != nil {
+				c.fail(fmt.Errorf("transport: bad pong: %w", err))
+				return
+			}
+			c.mu.Lock()
+			ch := c.pings[nonce]
+			delete(c.pings, nonce)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- struct{}{}
+			}
+		case wire.TypeDrain:
+			c.mu.Lock()
+			c.drain = true
+			c.mu.Unlock()
+		case wire.TypeGoodbye:
+			// Clean server-side end of session: Err() reports nil.
+			c.fail(ErrConnClosed)
+			return
+		case wire.TypeError:
+			m, err := wire.DecodeError(payload)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.fail(fmt.Errorf("transport: server error (code %d): %s", m.Code, m.Msg))
+			return
+		default:
+			c.fail(fmt.Errorf("transport: unexpected frame type %d", wire.MsgType(payload)))
+			return
+		}
+	}
+}
+
+// deliver pushes a decoded batch to the receiver, skipping duplicates
+// (did at or below the watermark) and crediting them straight back so
+// the window cannot leak.
+func (c *Conn) deliver(batch []wire.Deliver) {
+	for _, d := range batch {
+		if d.Did <= c.lastDid.Load() {
+			c.met.redeliveries.Inc()
+			c.creditConsumed(1) // server spent a credit on a dup; return it
+			continue
+		}
+		c.lastDid.Store(d.Did)
+		c.met.deliveries.Inc()
+		// Never blocks: recv capacity equals the credit window and the
+		// server never exceeds the credits we granted.
+		c.recv <- d
+	}
+}
+
+// reconnect re-establishes the connection with exponential backoff and
+// resumes the session, retransmitting every pending publish and control
+// request (in id order — the server dedups them).
+func (c *Conn) reconnect() (*wire.Reader, error) {
+	c.mu.Lock()
+	session := c.session
+	c.conn = nil
+	c.w = nil
+	c.owed = 0 // the resume hello re-baselines the credit window
+	c.mu.Unlock()
+
+	backoff := c.cfg.ReconnectBase
+	for attempt := 0; c.cfg.MaxReconnects < 0 || attempt < c.cfg.MaxReconnects; attempt++ {
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return nil, ErrConnClosed
+		}
+		if attempt > 0 {
+			time.Sleep(backoff + time.Duration(rand.Int63n(int64(backoff/2)+1)))
+			backoff *= 2
+			if backoff > c.cfg.ReconnectMax {
+				backoff = c.cfg.ReconnectMax
+			}
+		}
+		// Grant only the window the buffered-but-unconsumed deliveries
+		// leave free.
+		credits := c.cfg.Credits - len(c.recv)
+		if credits < 1 {
+			credits = 1
+		}
+		r, err := c.connect(session, c.lastDid.Load(), uint32(credits))
+		if err != nil {
+			if isTransient(err) {
+				continue
+			}
+			return nil, err // session rejected, version mismatch, ...
+		}
+		c.retransmit()
+		return r, nil
+	}
+	return nil, fmt.Errorf("transport: reconnect to %s failed after %d attempts", c.cfg.Addr, c.cfg.MaxReconnects)
+}
+
+// retransmit replays pending publishes and control requests after a
+// resume, in id order so the server's windows see them in sequence.
+func (c *Conn) retransmit() {
+	c.mu.Lock()
+	ids := make([]int64, 0, len(c.pubs)+len(c.ctrl))
+	frames := make(map[int64][]byte, len(c.pubs)+len(c.ctrl))
+	for id, p := range c.pubs {
+		ids = append(ids, id)
+		frames[id] = p.frame
+	}
+	for id, p := range c.ctrl {
+		ids = append(ids, id)
+		frames[id] = p.frame
+	}
+	c.mu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		c.writeFrame(frames[id])
+	}
+}

@@ -1,0 +1,403 @@
+package transport_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/core"
+	"repro/internal/space"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+	"repro/internal/transport"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// testWorld builds a small engine + world for transport tests.
+func testWorld(t testing.TB, seed int64) (*core.Engine, *workload.World) {
+	t.Helper()
+	topo := topology.Eval600
+	topo.Seed = seed
+	g, err := topology.Generate(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.NewStockWorld(g, workload.StockConfig{
+		NumSubscriptions: 200, PubModes: 1, Seed: seed + 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.NewFromWorld(w, w.Events(600, seed+2), core.Config{Groups: 15, CellBudget: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, w
+}
+
+// allSpace returns a rectangle covering the whole event space.
+func allSpace(w *workload.World) space.Rect {
+	dims := len(w.Axes)
+	r := make(space.Rect, dims)
+	for i := range r {
+		r[i] = space.Interval{Lo: -1e18, Hi: 1e18}
+	}
+	return r
+}
+
+// startServer wires an engine to a listening transport server and returns
+// the dial address plus a shutdown-capable handle.
+func startServer(t testing.TB, cfg transport.Config, seed int64) (addr string, srv *transport.Server, w *workload.World, serveErr chan error) {
+	t.Helper()
+	e, w := testWorld(t, seed)
+	srv = transport.NewServer(cfg)
+	b, err := broker.New(e, broker.WithWorkers(2), broker.WithObserver(srv.Dispatch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr = make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln, b) }()
+	t.Cleanup(func() { srv.Close() })
+	return ln.Addr().String(), srv, w, serveErr
+}
+
+// TestLoopbackExactlyOnce: a wire client subscribes to the whole space,
+// publishes through the wire, and must receive every event exactly once.
+func TestLoopbackExactlyOnce(t *testing.T) {
+	addr, _, w, _ := startServer(t, transport.Config{}, 300)
+	c, err := transport.Dial(transport.ClientConfig{Addr: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const owner = topology.NodeID(7)
+	slot, err := c.Subscribe(owner, allSpace(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slot < 0 {
+		t.Fatalf("slot = %d", slot)
+	}
+
+	events := w.Events(300, 301)
+	var pubWG sync.WaitGroup
+	pubErr := make(chan error, len(events))
+	for i := range events {
+		pubWG.Add(1)
+		go func(ev workload.Event) {
+			defer pubWG.Done()
+			if err := c.Publish(ev); err != nil {
+				pubErr <- err
+			}
+		}(events[i])
+	}
+	pubWG.Wait()
+	close(pubErr)
+	for err := range pubErr {
+		t.Fatalf("publish: %v", err)
+	}
+
+	// Every event matches the full-space rect, so node 7 must get each
+	// exactly once (interested deliveries, deduped per node by seq).
+	seen := map[int64]int{}
+	got := 0
+	deadline := time.After(30 * time.Second)
+	for got < len(events) {
+		var d wire.Deliver
+		var ok bool
+		done := make(chan struct{})
+		go func() { d, ok = c.Recv(); close(done) }()
+		select {
+		case <-done:
+		case <-deadline:
+			t.Fatalf("timeout: received %d/%d interested deliveries", got, len(events))
+		}
+		if !ok {
+			t.Fatalf("connection closed after %d/%d deliveries: %v", got, len(events), c.Err())
+		}
+		if !d.Interested {
+			continue
+		}
+		seen[d.Seq]++
+		if seen[d.Seq] > 1 {
+			t.Fatalf("event seq %d delivered %d times", d.Seq, seen[d.Seq])
+		}
+		got++
+	}
+	if len(seen) != len(events) {
+		t.Fatalf("distinct events = %d, want %d", len(seen), len(events))
+	}
+	if err := c.Unsubscribe(slot); err != nil {
+		t.Fatalf("unsubscribe: %v", err)
+	}
+}
+
+// TestResumeAcrossBounce: force a reconnect mid-stream and verify no
+// delivery is lost or duplicated — the session resumes and unacked
+// deliveries are retransmitted under the client's dedup watermark.
+func TestResumeAcrossBounce(t *testing.T) {
+	addr, _, w, _ := startServer(t, transport.Config{}, 310)
+	reg := telemetry.NewRegistry()
+	c, err := transport.Dial(transport.ClientConfig{Addr: addr, Registry: reg, Credits: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Subscribe(8, allSpace(w)); err != nil {
+		t.Fatal(err)
+	}
+
+	events := w.Events(200, 311)
+	seen := map[int64]bool{}
+	got := 0
+	var recvWG sync.WaitGroup
+	recvWG.Add(1)
+	var recvErr error
+	go func() {
+		defer recvWG.Done()
+		for got < len(events) {
+			d, ok := c.Recv()
+			if !ok {
+				recvErr = c.Err()
+				return
+			}
+			if !d.Interested {
+				continue
+			}
+			if seen[d.Seq] {
+				recvErr = errors.New("duplicate delivery")
+				return
+			}
+			seen[d.Seq] = true
+			got++
+		}
+	}()
+
+	for i := range events {
+		if i == 50 || i == 120 {
+			c.Bounce() // kill the TCP conn mid-flight; session must resume
+		}
+		if err := c.Publish(events[i]); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+	}
+	recvWG.Wait()
+	if recvErr != nil {
+		t.Fatal(recvErr)
+	}
+	if got != len(events) {
+		t.Fatalf("received %d/%d", got, len(events))
+	}
+	if n := reg.Scope("wire_client").Counter("session_resumes").Value(); n < 1 {
+		t.Fatalf("no session resume recorded (bounces did not exercise reconnect)")
+	}
+}
+
+// TestCreditExhaustionBlocksDeliverNotControl: with a tiny credit window
+// and a consumer that doesn't read, the server must stall deliveries —
+// but control traffic (ping/pong) keeps flowing. Consuming releases the
+// rest.
+func TestCreditExhaustionBlocksDeliverNotControl(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	addr, _, w, _ := startServer(t, transport.Config{Registry: reg, SessionBuffer: 4096}, 320)
+	const credits = 4
+	c, err := transport.Dial(transport.ClientConfig{Addr: addr, Credits: credits})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Subscribe(9, allSpace(w)); err != nil {
+		t.Fatal(err)
+	}
+
+	events := w.Events(100, 321)
+	for i := range events {
+		if err := c.Publish(events[i]); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+	}
+
+	// The server may send at most `credits` deliveries while we don't
+	// consume. Wait for the stall to establish itself.
+	wireScope := reg.Scope("wire")
+	deliveredBefore := int64(0)
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		deliveredBefore = wireScope.Counter("deliveries_sent").Value()
+		if deliveredBefore >= credits {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if deliveredBefore > credits {
+		t.Fatalf("server sent %d deliveries with only %d credits", deliveredBefore, credits)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if n := wireScope.Counter("deliveries_sent").Value(); n > credits {
+		t.Fatalf("server overran the credit window: %d > %d", n, credits)
+	}
+
+	// Control traffic is not gated: ping round-trips while deliveries
+	// stall.
+	for i := 0; i < 3; i++ {
+		if err := c.Ping(5 * time.Second); err != nil {
+			t.Fatalf("ping during credit stall: %v", err)
+		}
+	}
+
+	// Consuming returns credits and unblocks the rest.
+	got := 0
+	for got < 100 {
+		d, ok := c.Recv()
+		if !ok {
+			t.Fatalf("closed after %d deliveries: %v", got, c.Err())
+		}
+		_ = d
+		got++
+		if got == 100 {
+			break
+		}
+	}
+	if n := wireScope.Counter("credit_stalls").Value(); n < 1 {
+		t.Fatalf("no credit stall recorded")
+	}
+}
+
+// TestGracefulDrain: Shutdown must flush every queued delivery to the
+// client before the goodbye, and Serve must return ErrServerClosed.
+func TestGracefulDrain(t *testing.T) {
+	addr, srv, w, serveErr := startServer(t, transport.Config{}, 330)
+	c, err := transport.Dial(transport.ClientConfig{Addr: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Subscribe(11, allSpace(w)); err != nil {
+		t.Fatal(err)
+	}
+
+	events := w.Events(150, 331)
+	for i := range events {
+		if err := c.Publish(events[i]); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+	}
+
+	shutErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutErr <- srv.Shutdown(ctx)
+	}()
+
+	// Keep consuming: every interested delivery for the accepted
+	// publishes must arrive before the connection reports closed.
+	got := 0
+	for {
+		d, ok := c.Recv()
+		if !ok {
+			break
+		}
+		if d.Interested {
+			got++
+		}
+	}
+	if got != len(events) {
+		t.Fatalf("drain delivered %d/%d events before goodbye", got, len(events))
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("client terminal error after clean drain: %v", err)
+	}
+	if err := <-shutErr; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	select {
+	case err := <-serveErr:
+		if !errors.Is(err, transport.ErrServerClosed) {
+			t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Shutdown")
+	}
+}
+
+// TestVersionMismatchRejected: a hello with the wrong protocol version is
+// answered with a CodeVersion error frame and the connection closed.
+func TestVersionMismatchRejected(t *testing.T) {
+	addr, _, _, _ := startServer(t, transport.Config{}, 340)
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	wr := wire.NewWriter(raw, wire.DefaultMaxFrame)
+	hello := wire.AppendHello(nil, wire.Hello{Version: wire.Version + 7, Credits: 1})
+	if err := wr.WriteFrame(hello); err != nil {
+		t.Fatal(err)
+	}
+	if err := wr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rd := wire.NewReader(raw, wire.DefaultMaxFrame)
+	raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+	payload, err := rd.ReadFrame()
+	if err != nil {
+		t.Fatalf("reading version-reject reply: %v", err)
+	}
+	em, err := wire.DecodeError(payload)
+	if err != nil {
+		t.Fatalf("reply was not an error frame: %v", err)
+	}
+	if em.Code != wire.CodeVersion {
+		t.Fatalf("error code = %d, want CodeVersion", em.Code)
+	}
+	// The server closes the connection after the rejection.
+	if _, err := rd.ReadFrame(); err == nil {
+		t.Fatal("connection stayed open after version reject")
+	}
+}
+
+// TestOversizedFrameDropsConn: a frame above the server's limit closes
+// the connection (and counts as a bad frame) without killing the server.
+func TestOversizedFrameDropsConn(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	addr, _, _, _ := startServer(t, transport.Config{Registry: reg, MaxFrame: 1 << 12}, 350)
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	// Length prefix far beyond MaxFrame, bogus checksum: the server must
+	// reject from the prefix alone and drop the conn.
+	hdr := []byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0}
+	if _, err := raw.Write(hdr); err != nil {
+		t.Fatal(err)
+	}
+	raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 64)
+	for {
+		if _, err := raw.Read(buf); err != nil {
+			break // conn dropped, as required
+		}
+	}
+	if n := reg.Scope("wire").Counter("bad_frames").Value(); n < 1 {
+		t.Fatalf("bad_frames = %d, want ≥ 1", n)
+	}
+
+	// The listener is still alive: a well-formed client connects fine.
+	c, err := transport.Dial(transport.ClientConfig{Addr: addr})
+	if err != nil {
+		t.Fatalf("server died after oversized frame: %v", err)
+	}
+	c.Close()
+}

@@ -1,0 +1,156 @@
+// Package wire defines the broker's network protocol: a compact,
+// length-prefixed, CRC-checked binary framing plus the message types the
+// transport layer exchanges over it. The framing discipline is the same
+// one internal/durable uses for its journal — [4B length][4B
+// crc32c(payload)][payload], little-endian, Castagnoli polynomial — so a
+// frame torn by a dying peer is detected exactly like a torn journal
+// tail: by the length/CRC checks, never by parsing garbage.
+//
+// Protocol shape (client ⇄ server):
+//
+//	hello / helloAck      version + session handshake, resume watermark,
+//	                      initial delivery credits
+//	subscribe(d) / unsub  control plane: register interest rectangles
+//	publish / pubAck      data plane in: client-sequenced (pseq),
+//	                      server-deduped — exactly-once into the broker
+//	                      across reconnects
+//	deliver               data plane out: batches of deliveries sharing a
+//	                      flush window, each tagged with a per-session
+//	                      delivery id (did) and the broker seq
+//	ack / credit          cumulative delivery acknowledgement + credit
+//	                      replenishment (credit-based flow control)
+//	ping / pong           liveness, usable while deliveries are stalled
+//	drain / goodbye       graceful shutdown handshake
+//	error                 terminal protocol error, then close
+//
+// Every multi-byte integer is little-endian. Frames are bounded
+// (DefaultMaxFrame unless the transport overrides it); an oversized
+// length prefix is rejected before any allocation, so a corrupt or
+// malicious peer cannot balloon memory.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Version is the protocol version carried in every hello frame. A server
+// refuses a hello whose version it does not speak.
+const Version uint16 = 1
+
+// DefaultMaxFrame bounds a frame's payload length (1 MiB). Both sides
+// reject longer frames before allocating for them.
+const DefaultMaxFrame = 1 << 20
+
+// frameHeaderLen is the fixed prefix: u32 payload length + u32
+// crc32c(payload).
+const frameHeaderLen = 8
+
+// castagnoli matches internal/durable's journal framing CRC.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Framing errors. ErrOversize and ErrChecksum are terminal for a
+// connection: the stream can no longer be trusted to be frame-aligned.
+var (
+	ErrOversize  = errors.New("wire: frame exceeds size bound")
+	ErrChecksum  = errors.New("wire: frame checksum mismatch")
+	ErrTruncated = errors.New("wire: truncated frame")
+)
+
+// Reader decodes frames from a byte stream. Not safe for concurrent use;
+// each connection owns one reader goroutine.
+type Reader struct {
+	r   *bufio.Reader
+	max int
+	buf []byte
+}
+
+// NewReader wraps a stream with a frame decoder. maxFrame ≤ 0 means
+// DefaultMaxFrame.
+func NewReader(r io.Reader, maxFrame int) *Reader {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	return &Reader{r: bufio.NewReaderSize(r, 32<<10), max: maxFrame}
+}
+
+// ReadFrame reads one frame and returns its payload. The returned slice
+// is valid until the next ReadFrame call (it aliases an internal buffer).
+// A clean EOF at a frame boundary returns io.EOF; EOF inside a frame
+// returns ErrTruncated.
+func (r *Reader) ReadFrame() ([]byte, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r.r, hdr[:1]); err != nil {
+		return nil, err // clean boundary: propagate io.EOF as-is
+	}
+	if _, err := io.ReadFull(r.r, hdr[1:]); err != nil {
+		return nil, truncated(err)
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[0:4]))
+	want := binary.LittleEndian.Uint32(hdr[4:8])
+	if n > r.max {
+		return nil, fmt.Errorf("%w: %d > %d", ErrOversize, n, r.max)
+	}
+	if cap(r.buf) < n {
+		r.buf = make([]byte, n)
+	}
+	payload := r.buf[:n]
+	if _, err := io.ReadFull(r.r, payload); err != nil {
+		return nil, truncated(err)
+	}
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return nil, fmt.Errorf("%w: got %08x want %08x", ErrChecksum, got, want)
+	}
+	return payload, nil
+}
+
+func truncated(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	return err
+}
+
+// Writer encodes frames onto a byte stream through a buffer, so several
+// frames written back to back coalesce into one flush (and one TCP
+// segment when they fit). Not safe for concurrent use; each connection
+// owns one writer goroutine.
+type Writer struct {
+	w   *bufio.Writer
+	max int
+	hdr [frameHeaderLen]byte
+}
+
+// NewWriter wraps a stream with a frame encoder. maxFrame ≤ 0 means
+// DefaultMaxFrame.
+func NewWriter(w io.Writer, maxFrame int) *Writer {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	return &Writer{w: bufio.NewWriterSize(w, 64<<10), max: maxFrame}
+}
+
+// WriteFrame buffers one frame. Call Flush to push buffered frames to the
+// stream.
+func (w *Writer) WriteFrame(payload []byte) error {
+	if len(payload) > w.max {
+		return fmt.Errorf("%w: %d > %d", ErrOversize, len(payload), w.max)
+	}
+	binary.LittleEndian.PutUint32(w.hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(w.hdr[4:8], crc32.Checksum(payload, castagnoli))
+	if _, err := w.w.Write(w.hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.w.Write(payload)
+	return err
+}
+
+// Flush pushes all buffered frames to the underlying stream.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Buffered reports the bytes currently awaiting Flush.
+func (w *Writer) Buffered() int { return w.w.Buffered() }

@@ -49,6 +49,8 @@ import (
 	"repro/internal/space"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
+	"repro/internal/transport"
+	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
@@ -386,6 +388,55 @@ var (
 	// MakeEdgeKey canonicalises an undirected edge identity.
 	MakeEdgeKey = topology.MakeEdgeKey
 )
+
+// Wire transport: the broker over TCP — a daemon Server speaking a
+// compact length-prefixed, CRC-framed binary protocol, and a client Conn
+// with credit-based end-to-end flow control that transparently reconnects
+// and resumes its session, preserving exactly-once delivery across
+// connection resets (see the Wire transport section of DESIGN.md).
+type (
+	// WireServer accepts wire-protocol connections and bridges them to a
+	// Broker via its observer hook.
+	WireServer = transport.Server
+	// WireServerConfig tunes the server: flush window, batch size, session
+	// buffer and resume timeout, TLS.
+	WireServerConfig = transport.Config
+	// WireClient is a reconnecting client connection with exactly-once
+	// publish and delivery semantics.
+	WireClient = transport.Conn
+	// WireClientConfig tunes the client: credit window, reconnect backoff,
+	// custom dialer (the fault-injection hook), TLS.
+	WireClientConfig = transport.ClientConfig
+	// WireDeliver is one delivery as received over the wire.
+	WireDeliver = wire.Deliver
+	// ConnFaultConfig schedules connection-level faults: mid-stream
+	// resets, chunked partial writes, read/write stalls.
+	ConnFaultConfig = faults.ConnConfig
+	// ConnFaultInjector wraps net.Conns with a deterministic fault
+	// schedule.
+	ConnFaultInjector = faults.ConnInjector
+)
+
+// Wire-transport constructors and errors.
+var (
+	// NewWireServer builds a transport server; wire its Dispatch method as
+	// the broker's observer.
+	NewWireServer = transport.NewServer
+	// DialWire connects a client to a WireServer.
+	DialWire = transport.Dial
+	// ErrWireServerClosed is Serve's return after a graceful Shutdown.
+	ErrWireServerClosed = transport.ErrServerClosed
+	// ErrWireConnClosed is returned by client operations after the
+	// connection ends.
+	ErrWireConnClosed = transport.ErrConnClosed
+	// NewConnFaultInjector validates a conn-fault config and builds the
+	// injector.
+	NewConnFaultInjector = faults.NewConnInjector
+)
+
+// WireProtocolVersion is the frame-protocol version this build speaks;
+// hellos carrying any other version are rejected.
+const WireProtocolVersion = wire.Version
 
 // Persistence: round-trippable text formats for topologies, subscription
 // sets and event traces (bring-your-own-workload, archive-for-repro).
