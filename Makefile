@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 race chaos chaos-recovery chaos-wire bench bench-json bench-baseline bench-decide bench-decide-n bench-recovery bench-wire bench-smoke vet staticcheck fmt
+.PHONY: all build test tier1 race chaos chaos-recovery chaos-wire chaos-replicate bench bench-json bench-baseline bench-decide bench-decide-n bench-recovery bench-wire bench-replicate bench-smoke vet staticcheck fmt
 
 # Label recorded next to a bench-baseline entry in BENCH_cluster.json.
 BENCH_LABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo local)
@@ -101,6 +101,20 @@ bench-decide-n:
 # forced reconnects — twice under the race detector.
 chaos-wire:
 	$(GO) test -race -count=2 ./internal/transport/ ./internal/wire/ ./internal/faults/
+
+# chaos-replicate runs the replicated-pair suite — journal shipping,
+# catch-up, fencing, and the failover chaos matrix (crashes mid-ship,
+# mid-catch-up, mid-failover) proving exactly-once across the handover —
+# twice under the race detector.
+chaos-replicate:
+	$(GO) test -race -count=2 ./internal/replicate/
+
+# bench-replicate measures the replicated publish barrier (dual-fsync
+# p50/p99 lag) and the full failover time (kill → detection → promotion →
+# first delivery) and appends a labelled entry to BENCH_cluster.json.
+bench-replicate:
+	$(GO) test -run '^$$' -bench 'ReplicationLag|Failover' -count=3 ./internal/replicate/ | \
+		$(GO) run ./cmd/benchrecord -file BENCH_cluster.json -label "$(BENCH_LABEL)-replicate"
 
 # bench-smoke compiles and runs every benchmark in the repo exactly once —
 # a cheap CI guard that benchmarks keep building and don't panic.

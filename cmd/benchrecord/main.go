@@ -32,6 +32,9 @@ type Stat struct {
 	BOp    float64 `json:"b_op,omitempty"` // mean B/op (with -benchmem)
 	Allocs float64 `json:"allocs_op,omitempty"`
 	Count  int     `json:"count"` // number of repetitions aggregated
+	// Metrics holds custom units emitted via testing.B.ReportMetric
+	// (e.g. "p99-lag-ns", "failover-ns"), mean across repetitions.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 	// SpeedupVsFirst is first-entry ns/op ÷ this entry's ns/op for
 	// benchmarks present in both; > 1 means faster than the baseline.
 	SpeedupVsFirst float64 `json:"speedup_vs_first,omitempty"`
@@ -57,6 +60,32 @@ type File struct {
 // "BenchmarkForgy-8   3   41002 ns/op   160 B/op   2 allocs/op".
 var benchLine = regexp.MustCompile(
 	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+// metricPair matches one "value unit" column (units always start with a
+// letter, so iteration counts never match); units past the standard
+// three are custom metrics from testing.B.ReportMetric.
+var metricPair = regexp.MustCompile(`([\d.eE+-]+) ([A-Za-z][\w/.-]*)`)
+
+// customMetrics extracts ReportMetric columns from a benchmark result
+// line, skipping the standard ns/op, B/op and allocs/op units.
+func customMetrics(line string) map[string]float64 {
+	var out map[string]float64
+	for _, m := range metricPair.FindAllStringSubmatch(line, -1) {
+		switch m[2] {
+		case "ns/op", "B/op", "allocs/op", "MB/s":
+			continue
+		}
+		v, err := strconv.ParseFloat(m[1], 64)
+		if err != nil {
+			continue
+		}
+		if out == nil {
+			out = map[string]float64{}
+		}
+		out[m[2]] = v
+	}
+	return out
+}
 
 func main() {
 	file := flag.String("file", "BENCH_cluster.json", "trajectory file to update")
@@ -88,6 +117,7 @@ func main() {
 func parse(r *os.File, label string) (Entry, error) {
 	type acc struct {
 		ns, b, allocs []float64
+		metrics       map[string][]float64
 	}
 	accs := map[string]*acc{}
 	sc := bufio.NewScanner(r)
@@ -114,6 +144,12 @@ func parse(r *os.File, label string) (Entry, error) {
 		if m[4] != "" {
 			v, _ := strconv.ParseFloat(m[4], 64)
 			a.allocs = append(a.allocs, v)
+		}
+		for unit, v := range customMetrics(sc.Text()) {
+			if a.metrics == nil {
+				a.metrics = map[string][]float64{}
+			}
+			a.metrics[unit] = append(a.metrics[unit], v)
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -143,6 +179,12 @@ func parse(r *os.File, label string) (Entry, error) {
 		st.NsOp /= float64(len(a.ns))
 		st.BOp = mean(a.b)
 		st.Allocs = mean(a.allocs)
+		for unit, vs := range a.metrics {
+			if st.Metrics == nil {
+				st.Metrics = map[string]float64{}
+			}
+			st.Metrics[unit] = mean(vs)
+		}
 		e.Benchmarks[name] = st
 	}
 	return e, nil

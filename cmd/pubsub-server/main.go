@@ -26,7 +26,15 @@
 //	-max-inflight N  admission bound on in-pipeline events (0 = unlimited)
 //	-shed-policy P   overload policy: block, reject or shed
 //	-data-dir DIR    durable broker state (journal + checkpoints),
-//	                 recovered on restart
+//	                 recovered on restart; also enables replication —
+//	                 a durable server accepts warm-standby followers on
+//	                 its client listener
+//	-replica-of ADDR run as a warm standby mirroring the leader at ADDR
+//	                 (requires -data-dir); on leader death the standby
+//	                 promotes itself and serves on -listen
+//	-epoch-dir DIR   store the replication fencing epoch here instead of
+//	                 inside -data-dir (e.g. on storage that survives a
+//	                 data-dir rebuild)
 //	-session-timeout D  how long a disconnected session may resume
 //	                 (default 10s)
 //	-drain-timeout D maximum graceful-drain time on SIGINT/SIGTERM
@@ -37,7 +45,20 @@
 // connections, lets the broker flush every in-flight delivery to the
 // connected clients, closes the journal (writing a final checkpoint when
 // -data-dir is set), says goodbye to each session and exits 0. A second
-// signal — or the drain timeout — forces an immediate stop.
+// signal — or the drain timeout — forces an immediate stop. A drain that
+// cannot complete — deadline hit, or the final checkpoint/journal close
+// failed — exits 1 so supervisors see the durability risk.
+//
+// Replica pairs: start the leader with -data-dir, then a standby with
+// -replica-of pointing at the leader's -listen address and its own
+// -data-dir. The standby performs a full resync, then mirrors every
+// journal record (publishes, subscription churn, delivery acks) with a
+// dual-fsync barrier — the leader only acknowledges a publish once the
+// record is durable on both sides or the standby has been declared dead.
+// When the standby's failure detector declares the leader dead, it
+// promotes itself: it persists a higher fencing epoch (so the old
+// leader's stale writes are rejected if it comes back) and runs ordinary
+// crash-restart recovery over the mirrored directory.
 package main
 
 import (
@@ -54,8 +75,10 @@ import (
 	"repro/internal/broker"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/health"
 	"repro/internal/noloss"
+	"repro/internal/replicate"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/transport"
@@ -79,6 +102,8 @@ type options struct {
 	maxInflight   int
 	shedPolicy    string
 	dataDir       string
+	replicaOf     string
+	epochDir      string
 
 	sessionTimeout time.Duration
 	drainTimeout   time.Duration
@@ -103,6 +128,12 @@ func (o options) validate() error {
 	if o.drainTimeout <= 0 {
 		return fmt.Errorf("-drain-timeout = %v: must be > 0", o.drainTimeout)
 	}
+	if o.replicaOf != "" && o.dataDir == "" {
+		return errors.New("-replica-of requires -data-dir (the standby mirrors into it)")
+	}
+	if o.epochDir != "" && o.dataDir == "" {
+		return errors.New("-epoch-dir requires -data-dir (fencing is part of durable state)")
+	}
 	return nil
 }
 
@@ -122,6 +153,8 @@ func main() {
 	flag.IntVar(&opt.maxInflight, "max-inflight", 0, "admission bound on in-pipeline events (0 = unlimited)")
 	flag.StringVar(&opt.shedPolicy, "shed-policy", "", "overload policy: block, reject or shed")
 	flag.StringVar(&opt.dataDir, "data-dir", "", "durable broker state directory")
+	flag.StringVar(&opt.replicaOf, "replica-of", "", "run as a warm standby of the leader at this address")
+	flag.StringVar(&opt.epochDir, "epoch-dir", "", "fencing-epoch directory (default: -data-dir)")
 	flag.DurationVar(&opt.sessionTimeout, "session-timeout", 10*time.Second, "disconnected-session resume window")
 	flag.DurationVar(&opt.drainTimeout, "drain-timeout", 30*time.Second, "maximum graceful-drain time on shutdown")
 	flag.StringVar(&opt.httpAddr, "http", "", "serve /metrics and /debug/pprof/ on this address")
@@ -137,14 +170,14 @@ func main() {
 	}
 }
 
-func run(opt options) error {
-	reg := telemetry.NewRegistry()
-
+// buildEngine constructs the world and clustering engine both roles share:
+// a standby needs the identical engine for promotion, a leader for serving.
+func buildEngine(opt options, reg *telemetry.Registry) (*core.Engine, *workload.World, error) {
 	topo := topology.Eval600
 	topo.Seed = opt.seed
 	g, err := topology.Generate(topo)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	w, err := workload.NewStockWorld(g, workload.StockConfig{
 		NumSubscriptions: opt.subs,
@@ -154,7 +187,7 @@ func run(opt options) error {
 		Seed:             opt.seed + 1,
 	})
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	cfg := core.Config{Groups: opt.groups, CellBudget: opt.budget, Threshold: opt.threshold, DynamicMethod: opt.dynamic}
 	switch opt.alg {
@@ -171,22 +204,23 @@ func run(opt options) error {
 	case "noloss":
 		cfg.NoLoss = &noloss.Config{PoolSize: 5000, Iterations: 8}
 	default:
-		return fmt.Errorf("unknown algorithm %q", opt.alg)
+		return nil, nil, fmt.Errorf("unknown algorithm %q", opt.alg)
 	}
 
 	start := time.Now()
 	engine, err := core.NewFromWorld(w, w.Events(2000, opt.seed+2), cfg)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	engine.Instrument(reg)
 	fmt.Printf("engine:     %s, K=%d groups (%d non-empty), built in %v\n",
 		opt.alg, opt.groups, engine.NumGroups(), time.Since(start).Round(time.Millisecond))
+	return engine, w, nil
+}
 
-	srv := transport.NewServer(transport.Config{
-		Registry:       reg,
-		SessionTimeout: opt.sessionTimeout,
-	})
+// brokerOptions assembles the broker construction options shared by every
+// role (the observer wires deliveries into the transport server).
+func brokerOptions(opt options, reg *telemetry.Registry, srv *transport.Server) ([]broker.Option, error) {
 	opts := []broker.Option{
 		broker.WithWorkers(opt.workers),
 		broker.WithDecideWorkers(opt.decideWorkers),
@@ -200,18 +234,115 @@ func run(opt options) error {
 		}
 		h, err := health.New(hc)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		opts = append(opts, broker.WithHealth(h))
 	}
-	var b *broker.Broker
-	if opt.dataDir != "" {
-		b, err = broker.Open(opt.dataDir, engine, opts...)
-	} else {
-		b, err = broker.New(engine, opts...)
-	}
+	return opts, nil
+}
+
+func run(opt options) error {
+	reg := telemetry.NewRegistry()
+	engine, w, err := buildEngine(opt, reg)
 	if err != nil {
 		return err
+	}
+	if opt.replicaOf != "" {
+		return runReplica(opt, reg, engine, w)
+	}
+
+	// A durable server is a replication leader (possibly solo forever):
+	// followers dial the client listener and are routed by the first
+	// frame. The handler closure is safe — no listener exists until
+	// OpenLeader has returned and ldr is set.
+	var ldr *replicate.Leader
+	srvCfg := transport.Config{Registry: reg, SessionTimeout: opt.sessionTimeout}
+	if opt.dataDir != "" {
+		srvCfg.ReplHandler = func(conn net.Conn, r *wire.Reader, w *wire.Writer, hello wire.ReplHello) {
+			ldr.Accept(conn, r, w, hello)
+		}
+	}
+	srv := transport.NewServer(srvCfg)
+	opts, err := brokerOptions(opt, reg, srv)
+	if err != nil {
+		return err
+	}
+	var b *broker.Broker
+	if opt.dataDir != "" {
+		ldr, err = replicate.OpenLeader(opt.dataDir, engine, replicate.LeaderConfig{EpochDir: opt.epochDir}, opts...)
+		if err != nil {
+			return err
+		}
+		b = ldr.Broker()
+	} else {
+		b, err = broker.New(engine, opts...)
+		if err != nil {
+			return err
+		}
+	}
+	return serve(opt, reg, srv, b, ldr)
+}
+
+// runReplica runs the warm-standby role: mirror the leader's journal
+// stream until either a signal stops the process or the failure detector
+// declares the leader dead — then promote and serve clients as the new
+// leader (accepting followers in turn, so the fenced ex-leader can
+// rejoin as the standby).
+func runReplica(opt options, reg *telemetry.Registry, engine *core.Engine, w *workload.World) error {
+	base := durable.BaseInfo{Hash: durable.HashBase(w.Subs), Count: int64(len(w.Subs))}
+	flw, err := replicate.StartFollower(replicate.FollowerConfig{
+		Dir:      opt.dataDir,
+		EpochDir: opt.epochDir,
+		Base:     base,
+		Addr:     opt.replicaOf,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("standby:    mirroring %s into %s (epoch %d)\n", opt.replicaOf, opt.dataDir, flw.Term())
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-sigs:
+		signal.Stop(sigs)
+		fmt.Println("standby:    stopping (leader still alive)")
+		return flw.Close()
+	case <-flw.LeaderDead():
+		signal.Stop(sigs)
+	}
+	fmt.Println("failover:   leader declared dead; promoting")
+
+	var ldr *replicate.Leader
+	srvCfg := transport.Config{Registry: reg, SessionTimeout: opt.sessionTimeout}
+	srvCfg.ReplHandler = func(conn net.Conn, r *wire.Reader, w *wire.Writer, hello wire.ReplHello) {
+		ldr.Accept(conn, r, w, hello)
+	}
+	srv := transport.NewServer(srvCfg)
+	opts, err := brokerOptions(opt, reg, srv)
+	if err != nil {
+		return err
+	}
+	ldr, err = flw.PromoteLeader(engine, replicate.LeaderConfig{EpochDir: opt.epochDir}, opts...)
+	if err != nil {
+		return err
+	}
+	flw.Close() // replication loop only; the promoted broker owns the dir
+	fmt.Printf("promoted:   serving as leader (epoch %d)\n", ldr.Term())
+	return serve(opt, reg, srv, ldr.Broker(), ldr)
+}
+
+// serve owns the listening phase for every role. ldr is non-nil when the
+// broker is a replication leader; it is closed after the transport drain
+// so the final checkpoint ships to a connected follower first, and so the
+// replication session (which Serve waits on like any connection) ends.
+func serve(opt options, reg *telemetry.Registry, srv *transport.Server, b *broker.Broker, ldr *replicate.Leader) error {
+	closeBroker := func() {
+		if ldr != nil {
+			ldr.Close()
+		} else {
+			b.Close()
+		}
 	}
 	if opt.dataDir != "" {
 		rec := b.Recovery()
@@ -219,10 +350,13 @@ func run(opt options) error {
 			opt.dataDir, rec.CheckpointLoaded, rec.JournalsReplayed, rec.RecordsReplayed,
 			rec.Duration.Round(time.Microsecond))
 	}
+	if ldr != nil {
+		fmt.Printf("replicate:  epoch %d; followers attach on the client listener\n", ldr.Term())
+	}
 
 	ln, err := net.Listen("tcp", opt.listen)
 	if err != nil {
-		b.Close()
+		closeBroker()
 		return err
 	}
 	fmt.Printf("listening:  %s (wire protocol v%d)\n", ln.Addr(), wire.Version)
@@ -230,7 +364,7 @@ func run(opt options) error {
 		tsrv, err := telemetry.Serve(opt.httpAddr, reg, nil)
 		if err != nil {
 			ln.Close()
-			b.Close()
+			closeBroker()
 			return err
 		}
 		defer tsrv.Close()
@@ -239,7 +373,9 @@ func run(opt options) error {
 
 	// Graceful drain on the first signal: stop accepting, flush every
 	// delivery to the connected clients, close the journal, exit 0. A
-	// second signal forces an immediate stop.
+	// second signal forces an immediate stop. Any drain failure — deadline
+	// hit, final checkpoint or journal close error — propagates to a
+	// non-zero exit.
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	shutdownErr := make(chan error, 1)
@@ -252,7 +388,16 @@ func run(opt options) error {
 			<-sigs
 			cancel()
 		}()
-		shutdownErr <- srv.Shutdown(ctx)
+		err := srv.Shutdown(ctx)
+		if ldr != nil {
+			// The broker is closed (its final checkpoint shipped through
+			// the live session); now sever replication so the follower
+			// connection Serve is waiting on unwinds.
+			if cerr := ldr.Close(); err == nil {
+				err = cerr
+			}
+		}
+		shutdownErr <- err
 	}()
 
 	if err := srv.Serve(ln, b); !errors.Is(err, transport.ErrServerClosed) {

@@ -436,7 +436,7 @@ func closeOnSignal(b *broker.Broker) func() {
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	var once sync.Once
-	closeBroker := func() { once.Do(b.Close) }
+	closeBroker := func() { once.Do(func() { b.Close() }) }
 	go func() {
 		if _, ok := <-sigs; !ok {
 			return

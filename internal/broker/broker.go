@@ -707,8 +707,12 @@ func (b *Broker) Unsubscribe(slot int) error {
 
 // Close drains the pipeline and stops all goroutines. Safe to call more
 // than once and concurrently with Publish; Publish calls that lose the
-// race return ErrClosed.
-func (b *Broker) Close() {
+// race return ErrClosed. The returned error reports a failed final
+// checkpoint or journal close — a durable broker that cannot persist its
+// shutdown state must not exit 0 (only the first Close observes it;
+// repeat calls return nil).
+func (b *Broker) Close() error {
+	var closeErr error
 	b.closeOnce.Do(func() {
 		if b.controlStop != nil {
 			close(b.controlStop)
@@ -742,11 +746,16 @@ func (b *Broker) Close() {
 			// records. Skipped when a crash point fired — the test harness
 			// wants the disk exactly as the dying process left it.
 			if !b.dur.store.Crashed() {
-				b.doCheckpoint()
+				if err := b.doCheckpoint(); err != nil && !errors.Is(err, faults.ErrCrashed) {
+					closeErr = fmt.Errorf("final checkpoint: %w", err)
+				}
 			}
-			b.dur.store.Close()
+			if err := b.dur.store.Close(); err != nil && closeErr == nil {
+				closeErr = fmt.Errorf("journal close: %w", err)
+			}
 		}
 	})
+	return closeErr
 }
 
 // Stats returns a snapshot of the accounting so far (call after Close for
@@ -1504,7 +1513,12 @@ func (b *Broker) consume(n topology.NodeID, ch <-chan Delivery, pn *atomic.Int64
 			fresh, err = lw.admitDurable(d.Seq, ack)
 			if err != nil {
 				// Store crashed mid-ack: drop the copy unobserved — the
-				// next incarnation redelivers it.
+				// next incarnation redelivers it unless the ack reached
+				// the journal first (the output-commit window; recorded
+				// for chaos oracles).
+				if errors.Is(err, faults.ErrCrashed) && b.dur != nil {
+					b.dur.noteLost(n, d.Seq)
+				}
 				b.durDone(d)
 				continue
 			}

@@ -125,7 +125,36 @@ type durState struct {
 	// recovered seeds windows for consumers not yet spawned.
 	recovered map[topology.NodeID]*seqWindow
 
+	// lost records copies dropped unobserved because a simulated crash
+	// interrupted their ack append — the output-commit window where the
+	// next incarnation cannot tell whether the copy was handed over. Only
+	// chaos harnesses read it (a real crash takes the process with it).
+	lostMu sync.Mutex
+	lost   []durable.AckRecord
+
 	init *recoveredInit
+}
+
+// noteLost records one copy dropped unobserved by a simulated crash.
+func (d *durState) noteLost(n topology.NodeID, seq int64) {
+	d.lostMu.Lock()
+	d.lost = append(d.lost, durable.AckRecord{Node: n, Seq: seq})
+	d.lostMu.Unlock()
+}
+
+// CrashDroppedCopies lists the (node, seq) copies this incarnation dropped
+// unobserved because a simulated crash interrupted the ack append. For
+// each listed pair the delivery count across incarnations is 0 or 1 —
+// whether the suppressing ack reached the journal before the crash is
+// exactly what the crash made unknowable — so chaos oracles assert "never
+// 2" there and "exactly 1" everywhere else. Empty without fault injection.
+func (b *Broker) CrashDroppedCopies() []durable.AckRecord {
+	if b.dur == nil {
+		return nil
+	}
+	b.dur.lostMu.Lock()
+	defer b.dur.lostMu.Unlock()
+	return append([]durable.AckRecord(nil), b.dur.lost...)
 }
 
 // WithDurableOptions tunes the durable store Open attaches (checkpoint
@@ -459,3 +488,13 @@ func (b *Broker) Recovery() durable.RecoveryStats {
 
 // Durable reports whether this broker persists its state (came from Open).
 func (b *Broker) Durable() bool { return b.dur != nil }
+
+// Store exposes the underlying durable store (nil for non-durable
+// brokers). The replication layer uses it to capture catch-up snapshots;
+// nothing else should touch it.
+func (b *Broker) Store() *durable.Store {
+	if b.dur == nil {
+		return nil
+	}
+	return b.dur.store
+}

@@ -3,6 +3,8 @@ package durable
 import (
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -434,5 +436,83 @@ func TestDurableGroupCommitCoalesces(t *testing.T) {
 	_, st := mustOpen(t, dir, BaseInfo{Hash: 5, Count: 1}, quick())
 	if len(st.Outstanding) != 8 {
 		t.Errorf("recovered %d publishes, want 8", len(st.Outstanding))
+	}
+}
+
+// TestDurableTornTailVsCheckpointRotation crashes with a torn append in
+// the window between a checkpoint's journal rotation and its rename —
+// while other appenders race the dying store. Recovery must see the
+// rotation but not the checkpoint: both epochs replay contiguously, the
+// torn frame truncates off the newest journal's tail, and every append
+// that was acknowledged before the crash survives. Run under -race (the
+// chaos targets do): the point is the locking between append, rotation
+// and the crash injector, not just the disk layout.
+func TestDurableTornTailVsCheckpointRotation(t *testing.T) {
+	dir := t.TempDir()
+	base := BaseInfo{Hash: 7, Count: 1}
+	opts := quick()
+	// Appends 1-3 land in epoch 1; the rotation happens; appends 4-7 land
+	// in epoch 2; the 8th is torn mid-frame, killing the store before
+	// CommitCheckpoint can rename the checkpoint into place.
+	opts.Crash = faults.NewCrashInjector(faults.CrashPlan{AtAppend: 8, Point: faults.CrashTornAppend})
+	s, _ := mustOpen(t, dir, base, opts)
+	for seq := int64(0); seq < 3; seq++ {
+		if err := s.AppendPublish(seq, testEvent(1, 0.1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.BeginCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two appenders race each other and the pending checkpoint commit.
+	// Appends serialize under the store lock, so exactly four more succeed
+	// before the torn one kills the store; which seqs survive is the race.
+	var wg sync.WaitGroup
+	var okCount atomic.Int64
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(seqBase int64) {
+			defer wg.Done()
+			for i := int64(0); i < 6; i++ {
+				if err := s.AppendPublish(seqBase+i, testEvent(1, 0.2)); err == nil {
+					okCount.Add(1)
+				} else if err != faults.ErrCrashed {
+					t.Errorf("append: %v", err)
+				}
+			}
+		}(100 * int64(g+1))
+	}
+	wg.Wait()
+	if !s.Crashed() {
+		t.Fatal("store not dead after torn append")
+	}
+	if got := okCount.Load(); got != 4 {
+		t.Fatalf("%d concurrent appends acknowledged, want 4", got)
+	}
+	// The crash fired between the rotation and the rename: the commit must
+	// refuse rather than install a checkpoint the journals contradict.
+	if err := s.CommitCheckpoint(&Checkpoint{NextSeq: 3, NextID: 1}); err != faults.ErrCrashed {
+		t.Fatalf("post-crash commit returned %v, want ErrCrashed", err)
+	}
+	s.Close()
+
+	s2, st := mustOpen(t, dir, base, quick())
+	defer s2.Close()
+	if st == nil {
+		t.Fatal("no state recovered")
+	}
+	if st.Stats.CheckpointLoaded {
+		t.Error("uncommitted checkpoint was loaded")
+	}
+	if st.Stats.JournalsReplayed != 2 {
+		t.Errorf("JournalsReplayed = %d, want 2 (rotation survived the crash)", st.Stats.JournalsReplayed)
+	}
+	if st.Stats.TornTruncations != 1 || st.Stats.TornTailBytes == 0 {
+		t.Errorf("torn stats = %+v, want one truncation with bytes > 0", st.Stats)
+	}
+	// 3 acknowledged in epoch 1 + 4 in epoch 2; the torn record is gone.
+	if len(st.Outstanding) != 7 {
+		t.Errorf("recovered %d publishes, want 7: %+v", len(st.Outstanding), st.Outstanding)
 	}
 }

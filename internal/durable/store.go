@@ -32,6 +32,10 @@ type Options struct {
 	CheckpointInterval time.Duration
 	// Crash arms deterministic crash-point injection for chaos tests.
 	Crash *faults.CrashInjector
+	// Tap, when set, observes the store's record stream for replication
+	// and gates durability barriers on the replica's acknowledgement. See
+	// the Tap interface for the exact hook points and locking contract.
+	Tap Tap
 }
 
 func (o Options) withDefaults() Options {
@@ -87,6 +91,7 @@ type Store struct {
 	base  BaseInfo
 	opts  Options
 	crash *faults.CrashInjector
+	tap   Tap
 	rec   RecoveryStats
 
 	mu       sync.Mutex // guards the journal file, writer and counts
@@ -136,7 +141,7 @@ func Open(dir string, base BaseInfo, opts Options) (*Store, *State, error) {
 		return nil, nil, err
 	}
 
-	s := &Store{dir: dir, base: base, opts: opts, crash: opts.Crash}
+	s := &Store{dir: dir, base: base, opts: opts, crash: opts.Crash, tap: opts.Tap}
 
 	if cp == nil && len(epochs) == 0 {
 		if err := s.openJournal(1, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, true); err != nil {
@@ -465,6 +470,13 @@ func (s *Store) AppendedSinceCheckpoint() int64 {
 // Crashed reports whether an injected crash point has fired.
 func (s *Store) Crashed() bool { return s.crash.Dead() }
 
+// Dir returns the directory the store persists into.
+func (s *Store) Dir() string { return s.dir }
+
+// Base returns the subscription-base fingerprint the store was opened
+// against — a replica must be seeded with the same base.
+func (s *Store) Base() BaseInfo { return s.base }
+
 // append frames and buffers one record, returning the barrier ticket that
 // a Sync/syncTo must reach to make it durable. Crash points fire here.
 func (s *Store) append(payload []byte) (int64, error) {
@@ -499,13 +511,35 @@ func (s *Store) append(payload []byte) (int64, error) {
 	s.appended++
 	s.ctr.appends.Inc()
 	s.ctr.appendBytes.Add(int64(len(frame)))
+	if s.tap != nil {
+		// Enqueue-only (the tap must not block): crashed appends never get
+		// here, so a record that ships always returned its ticket locally.
+		s.tap.AppendRecord(s.writeSeq, payload)
+	}
 	return s.writeSeq, nil
 }
 
 // syncTo is the group-commit barrier: it returns once every record with a
-// ticket ≤ the argument is flushed and fsynced. Concurrent callers
-// coalesce — one fsync satisfies all barriers issued before it.
+// ticket ≤ the argument is flushed and fsynced — and, when a replication
+// tap is installed, acknowledged by the replica (or the tap decided to
+// proceed without one). Concurrent callers coalesce — one fsync satisfies
+// all barriers issued before it.
 func (s *Store) syncTo(ticket int64) error {
+	if err := s.localSyncTo(ticket); err != nil {
+		return err
+	}
+	// Outside syncMu: the remote round-trip must not serialise local group
+	// commit, and the tap coalesces concurrent waiters itself. Always
+	// consulted (even when an earlier barrier already covered the local
+	// fsync) so a ticket is never acknowledged before the replica has it.
+	if s.tap != nil {
+		return s.tap.Barrier(ticket)
+	}
+	return nil
+}
+
+// localSyncTo is the local half of the barrier: flush + fsync.
+func (s *Store) localSyncTo(ticket int64) error {
 	s.syncMu.Lock()
 	defer s.syncMu.Unlock()
 	if s.synced >= ticket {
@@ -581,10 +615,19 @@ func (s *Store) AppendPublishes(recs []PublishRecord) error {
 }
 
 // AppendAck journals a delivery admission (buffered; rides the next
-// barrier).
+// fsync barrier locally). With a replication tap installed it does wait
+// for the replica's acknowledgement: a delivery may only be observed once
+// the ack record that suppresses its replay exists on both sides —
+// otherwise a promoted follower would deliver the copy again.
 func (s *Store) AppendAck(node topology.NodeID, seq int64) error {
-	_, err := s.append(encodeAckRecord(nil, AckRecord{Node: node, Seq: seq}))
-	return err
+	t, err := s.append(encodeAckRecord(nil, AckRecord{Node: node, Seq: seq}))
+	if err != nil {
+		return err
+	}
+	if s.tap != nil {
+		return s.tap.Barrier(t)
+	}
+	return nil
 }
 
 // BeginCheckpoint rotates to a fresh journal epoch. The caller then
@@ -615,6 +658,11 @@ func (s *Store) BeginCheckpoint() error {
 	}
 	old.Close()
 	s.appended = 0
+	if s.tap != nil {
+		// Under s.mu, so the rotation marker sits between the records of
+		// the old and new epochs in the shipped stream.
+		s.tap.Rotate(s.epoch)
+	}
 	return nil
 }
 
@@ -641,7 +689,8 @@ func (s *Store) CommitCheckpoint(cp *Checkpoint) error {
 	s.mu.Unlock()
 
 	tmp := filepath.Join(s.dir, ckptTmpName)
-	if err := writeFileSync(tmp, encodeCheckpoint(cp, epoch, s.base)); err != nil {
+	encoded := encodeCheckpoint(cp, epoch, s.base)
+	if err := writeFileSync(tmp, encoded); err != nil {
 		return err
 	}
 	if s.crash.OnCheckpoint() {
@@ -659,6 +708,12 @@ func (s *Store) CommitCheckpoint(cp *Checkpoint) error {
 		}
 	}
 	s.ctr.checkpoints.Inc()
+	if s.tap != nil {
+		// After install so a shipped checkpoint is always one the leader
+		// actually has; any records appended meanwhile belong to the
+		// current epoch and ride ahead or behind harmlessly.
+		s.tap.Checkpoint(epoch, encoded)
+	}
 	return nil
 }
 

@@ -82,7 +82,7 @@ func RunDurable(env *StockEnv, dir string, cfg DurableConfig) (*DurableResult, e
 	if err != nil {
 		return nil, err
 	}
-	register(b.Close)
+	register(func() { b.Close() })
 	acked := 0
 	for _, ev := range env.Eval[:half] {
 		if err := b.Publish(ev); err == nil {
@@ -110,7 +110,7 @@ func RunDurable(env *StockEnv, dir string, cfg DurableConfig) (*DurableResult, e
 	if err != nil {
 		return nil, err
 	}
-	register(b.Close)
+	register(func() { b.Close() })
 	acked = 0
 	for _, ev := range env.Eval[half:] {
 		switch err := b.Publish(ev); {
@@ -141,7 +141,7 @@ func RunDurable(env *StockEnv, dir string, cfg DurableConfig) (*DurableResult, e
 	if err != nil {
 		return nil, err
 	}
-	register(b.Close)
+	register(func() { b.Close() })
 	b.Close()
 	register(nil)
 	st = b.Stats()

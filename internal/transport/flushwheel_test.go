@@ -1,0 +1,92 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// TestFlushWheelFires proves the shared wheel delivers one fire per arm:
+// flushDue set, flushArmed cleared, waiters woken.
+func TestFlushWheelFires(t *testing.T) {
+	srv := NewServer(Config{FlushWindow: time.Millisecond})
+	defer srv.finishClose()
+	var sessions []*session
+	for i := 0; i < 3; i++ {
+		s := newSession(srv, uint64(i+1), 16)
+		s.flushArmed = true
+		sessions = append(sessions, s)
+		s.mu.Lock()
+		srv.wheel.arm(s)
+		s.mu.Unlock()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for _, s := range sessions {
+		for {
+			s.mu.Lock()
+			due, armed := s.flushDue, s.flushArmed
+			s.mu.Unlock()
+			if due && !armed {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("session %d never fired (due=%v armed=%v)", s.token, due, armed)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+}
+
+// TestFlushWheelStop pins shutdown: a stopped wheel's runner exits and a
+// late arm never fires (the sessions it would wake are dead anyway).
+func TestFlushWheelStop(t *testing.T) {
+	srv := NewServer(Config{FlushWindow: time.Millisecond})
+	wheel := srv.wheel
+	srv.finishClose()
+	s := newSession(srv, 1, 16)
+	wheel.arm(s) // must not panic or fire
+	time.Sleep(5 * time.Millisecond)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.flushDue {
+		t.Error("stopped wheel fired an armed session")
+	}
+}
+
+// TestFlushWindowStillCoalesces drives a burst through one session and
+// checks the wheel path preserves the coalescing contract: deliveries
+// are not written before the window fires (flushDue gate) unless a full
+// batch accumulates.
+func TestFlushWindowStillCoalesces(t *testing.T) {
+	srv := NewServer(Config{FlushWindow: 50 * time.Millisecond, MaxBatch: 64})
+	defer srv.finishClose()
+	s := newSession(srv, 1, 1024)
+	s.mu.Lock()
+	s.queue = append(s.queue, wireDeliverN(4)...)
+	ready := s.deliveriesReadyLocked()
+	s.mu.Unlock()
+	if ready {
+		t.Fatal("partial batch ready before the flush window fired")
+	}
+	s.flushFire()
+	s.mu.Lock()
+	ready = s.deliveriesReadyLocked()
+	s.mu.Unlock()
+	if !ready {
+		t.Fatal("batch not ready after the flush window fired")
+	}
+	// A full batch bypasses the window entirely.
+	s2 := newSession(srv, 2, 1024)
+	s2.mu.Lock()
+	s2.queue = append(s2.queue, wireDeliverN(64)...)
+	ready = s2.deliveriesReadyLocked()
+	s2.mu.Unlock()
+	if !ready {
+		t.Fatal("full batch still waiting on the flush window")
+	}
+}
+
+func wireDeliverN(n int) []wire.Deliver {
+	return make([]wire.Deliver, n)
+}

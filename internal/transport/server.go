@@ -54,6 +54,13 @@ type Config struct {
 	PubDedupWindow int
 	// HandshakeTimeout bounds the hello exchange (default 5s).
 	HandshakeTimeout time.Duration
+	// ReplHandler, when set, receives connections whose first frame is a
+	// replication hello (a follower dialing in), letting client traffic
+	// and journal shipping share one listener. The handler owns the
+	// connection and blocks until the replication session ends — wire a
+	// replicate.Leader's Accept here. Shutdown waits for it like any
+	// other connection, so stop the leader first.
+	ReplHandler func(conn net.Conn, r *wire.Reader, w *wire.Writer, hello wire.ReplHello)
 }
 
 func (c *Config) fill() {
@@ -102,6 +109,10 @@ type Server struct {
 	draining  bool
 	closed    bool
 
+	// wheel schedules flush-window deadlines for every session on one
+	// goroutine (nil when FlushWindow is disabled).
+	wheel *flushWheel
+
 	wg sync.WaitGroup
 }
 
@@ -110,12 +121,16 @@ type Server struct {
 // broker.WithObserver(srv.Dispatch), ...) → srv.Serve(ln, b).
 func NewServer(cfg Config) *Server {
 	cfg.fill()
-	return &Server{
+	srv := &Server{
 		cfg:      cfg,
 		met:      newMetrics(cfg.Registry, "wire"),
 		sessions: make(map[uint64]*session),
 		byNode:   make(map[topology.NodeID]map[*session]int),
 	}
+	if cfg.FlushWindow > 0 {
+		srv.wheel = newFlushWheel(cfg.FlushWindow)
+	}
+	return srv
 }
 
 // Telemetry returns the registry transport metrics land in.
@@ -217,6 +232,19 @@ func (srv *Server) handshake(conn net.Conn, r *wire.Reader, w *wire.Writer) (*se
 	payload, err := r.ReadFrame()
 	if err != nil {
 		srv.met.badFrames.Inc()
+		return nil, 0, false
+	}
+	if srv.cfg.ReplHandler != nil && wire.MsgType(payload) == wire.TypeReplHello {
+		rh, err := wire.DecodeReplHello(payload)
+		if err != nil {
+			srv.met.badFrames.Inc()
+			return nil, 0, false
+		}
+		conn.SetDeadline(time.Time{})
+		// Ownership transfers: the handler blocks for the replication
+		// session's lifetime and closes the conn (handle's close after the
+		// false return is a harmless double close).
+		srv.cfg.ReplHandler(conn, r, w, rh)
 		return nil, 0, false
 	}
 	hello, err := wire.DecodeHello(payload)
@@ -500,7 +528,9 @@ func (srv *Server) endSession(sess *session) {
 // queues and then checkpoints and closes the journal), wait until every
 // session has written and had acknowledged all of its deliveries, then
 // say goodbye. If ctx expires first, remaining sessions are killed and
-// ctx.Err() is returned.
+// ctx.Err() is returned; otherwise any broker close error (a failed final
+// checkpoint or journal close — durability at risk) is returned so the
+// operator's exit status reflects it.
 func (srv *Server) Shutdown(ctx context.Context) error {
 	srv.mu.Lock()
 	if srv.closed {
@@ -528,9 +558,10 @@ func (srv *Server) Shutdown(ctx context.Context) error {
 	// queues; it can block on a full session, so run it concurrently and
 	// be ready to kill sessions if the deadline passes.
 	brokerDone := make(chan struct{})
+	var brokerErr error
 	go func() {
 		if b != nil {
-			b.Close()
+			brokerErr = b.Close()
 		}
 		close(brokerDone)
 	}()
@@ -594,7 +625,7 @@ func (srv *Server) Shutdown(ctx context.Context) error {
 		srv.endSession(s)
 	}
 	srv.finishClose()
-	return nil
+	return brokerErr
 }
 
 // Close force-stops the server without draining.
@@ -624,5 +655,10 @@ func (srv *Server) Close() error {
 func (srv *Server) finishClose() {
 	srv.mu.Lock()
 	srv.closed = true
+	wheel := srv.wheel
+	srv.wheel = nil
 	srv.mu.Unlock()
+	if wheel != nil {
+		wheel.stop()
+	}
 }

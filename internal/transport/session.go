@@ -64,6 +64,12 @@ type session struct {
 	// subscribing node, for cleanup and byNode maintenance.
 	slots map[int64]topology.NodeID
 
+	// flushDue/flushArmed drive flush-window coalescing via the server's
+	// shared flush wheel: the writer arms the wheel on the first delivery
+	// of a burst and waits; the wheel's fire sets flushDue and wakes it.
+	flushDue   bool
+	flushArmed bool
+
 	// dead marks a terminated session: enqueue drops, writers exit.
 	dead bool
 
@@ -285,15 +291,24 @@ func (s *session) flushed() bool {
 // writeLoop is the per-connection writer goroutine: it drains control
 // frames unconditionally and deliveries while credits last, coalescing
 // deliveries that share a flush window into one batch frame and all
-// frames of a wake into one buffered flush. It exits when the connection
-// is replaced, the session dies, or a write fails.
+// frames of a wake into one buffered flush. Coalescing deadlines come
+// from the server's shared flush wheel, not a per-writer sleep: the loop
+// arms the wheel on the first delivery of a burst and waits until the
+// window fires, the batch fills, or a control frame needs the wire. It
+// exits when the connection is replaced, the session dies, or a write
+// fails.
 func (s *session) writeLoop(conn net.Conn, w *wire.Writer, gen int) {
 	var scratch []byte
 	met := s.srv.met
 	for {
 		s.mu.Lock()
-		for s.connGen == gen && !s.dead &&
-			len(s.ctrl) == 0 && (len(s.queue) == 0 || s.credits <= 0) {
+		for s.connGen == gen && !s.dead && len(s.ctrl) == 0 && !s.deliveriesReadyLocked() {
+			if len(s.queue) > 0 && s.credits > 0 && !s.flushArmed {
+				// First delivery of a burst: give followers one window to
+				// coalesce before paying for a flush.
+				s.flushArmed = true
+				s.srv.wheel.arm(s)
+			}
 			s.cond.Wait()
 		}
 		if s.connGen != gen || s.dead {
@@ -302,26 +317,15 @@ func (s *session) writeLoop(conn net.Conn, w *wire.Writer, gen int) {
 		}
 		ctrl := s.ctrl
 		s.ctrl = nil
-		batch := s.takeBatchLocked()
+		var batch []wire.Deliver
+		if s.deliveriesReadyLocked() {
+			batch = s.takeBatchLocked()
+			s.flushDue = false
+		}
 		if len(batch) == 0 && len(s.queue) > 0 && s.credits <= 0 {
 			met.creditStalls.Inc()
 		}
 		s.mu.Unlock()
-
-		// Flush-window coalescing: give a burst a moment to accumulate
-		// before paying for a flush, then take whatever arrived.
-		if fw := s.srv.cfg.FlushWindow; fw > 0 && len(batch) > 0 && len(batch) < s.srv.cfg.MaxBatch {
-			time.Sleep(fw)
-			s.mu.Lock()
-			if s.connGen != gen || s.dead {
-				s.mu.Unlock()
-				return
-			}
-			batch = append(batch, s.takeBatchLocked()...)
-			ctrl = append(ctrl, s.ctrl...)
-			s.ctrl = nil
-			s.mu.Unlock()
-		}
 
 		t0 := time.Now()
 		frames := 0
@@ -358,6 +362,25 @@ func (s *session) writeLoop(conn net.Conn, w *wire.Writer, gen int) {
 			return
 		}
 	}
+}
+
+// deliveriesReadyLocked reports whether queued deliveries should go to
+// the wire now: credits available and either no flush window, the window
+// already fired (flushDue), or a full batch is waiting. Caller holds mu.
+func (s *session) deliveriesReadyLocked() bool {
+	if len(s.queue) == 0 || s.credits <= 0 {
+		return false
+	}
+	return s.srv.cfg.FlushWindow <= 0 || s.flushDue || len(s.queue) >= s.srv.cfg.MaxBatch
+}
+
+// flushFire is the wheel's callback: the session's flush window elapsed.
+func (s *session) flushFire() {
+	s.mu.Lock()
+	s.flushDue = true
+	s.flushArmed = false
+	s.cond.Broadcast()
+	s.mu.Unlock()
 }
 
 // takeBatchLocked moves up to credits deliveries from queue to unacked

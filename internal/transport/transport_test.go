@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"net"
+	"os"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -400,4 +402,118 @@ func TestOversizedFrameDropsConn(t *testing.T) {
 		t.Fatalf("server died after oversized frame: %v", err)
 	}
 	c.Close()
+}
+
+// TestGoroutineSlopePerConnection pins the per-connection goroutine
+// budget: flush coalescing runs on the server's single shared wheel, so
+// adding a connection must cost a small constant number of goroutines
+// (reader + writer each side), never a per-session sleeper or timer
+// goroutine. Measured as the slope between a small and a large fleet so
+// fixed overhead (broker workers, wheel, listener) cancels out.
+func TestGoroutineSlopePerConnection(t *testing.T) {
+	addr, _, w, _ := startServer(t, transport.Config{}, 420)
+
+	var conns []*transport.Conn
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	connect := func(k int) {
+		for i := 0; i < k; i++ {
+			c, err := transport.Dial(transport.ClientConfig{Addr: addr})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.Subscribe(topology.NodeID(len(conns)), allSpace(w)); err != nil {
+				t.Fatal(err)
+			}
+			conns = append(conns, c)
+		}
+	}
+	measure := func() int {
+		// A burst exercises every writer's flush path before measuring.
+		for _, ev := range w.Events(5, 421+int64(len(conns))) {
+			if err := conns[0].Publish(ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+		time.Sleep(200 * time.Millisecond)
+		best := 1 << 30
+		for i := 0; i < 20; i++ {
+			if n := runtime.NumGoroutine(); n < best {
+				best = n
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		return best
+	}
+
+	connect(4)
+	small := measure()
+	connect(32)
+	large := measure()
+	slope := float64(large-small) / 32
+	t.Logf("goroutines: %d @ 4 conns, %d @ 36 conns, slope %.2f/conn", small, large, slope)
+	// Reader + writer on each side is 4; headroom for the client's
+	// bookkeeping goroutines. A per-session flush sleeper or timer
+	// goroutine would push this past 6.
+	if slope > 6 {
+		t.Errorf("per-connection goroutine slope %.2f, want ≤ 6", slope)
+	}
+}
+
+// TestShutdownPropagatesJournalCloseError pins the daemon's exit-code
+// contract: a drain whose final checkpoint or journal close fails must
+// surface the failure from Shutdown — pubsub-server turns it into a
+// non-zero exit — instead of reporting a clean drain while durable state
+// is at risk.
+func TestShutdownPropagatesJournalCloseError(t *testing.T) {
+	dir := t.TempDir()
+	e, w := testWorld(t, 340)
+	srv := transport.NewServer(transport.Config{})
+	b, err := broker.Open(dir, e, broker.WithWorkers(2), broker.WithObserver(srv.Dispatch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln, b) }()
+	// A connected client both proves Serve is up (Shutdown must see the
+	// broker Serve registered) and gives the drain a session to flush.
+	c, err := transport.Dial(transport.ClientConfig{Addr: ln.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range w.Events(5, 341) {
+		if err := b.Publish(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Rip the journal directory out from under the broker: the final
+	// checkpoint on close has nowhere to land.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err == nil {
+		t.Fatal("Shutdown reported a clean drain after losing the journal directory")
+	}
+	select {
+	case err := <-serveErr:
+		if !errors.Is(err, transport.ErrServerClosed) {
+			t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Shutdown")
+	}
 }

@@ -46,6 +46,7 @@ import (
 	"repro/internal/health"
 	"repro/internal/multicast"
 	"repro/internal/noloss"
+	"repro/internal/replicate"
 	"repro/internal/space"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
@@ -437,6 +438,45 @@ var (
 // WireProtocolVersion is the frame-protocol version this build speaks;
 // hellos carrying any other version are rejected.
 const WireProtocolVersion = wire.Version
+
+// Replication: warm-standby broker pairs. A ReplicaLeader ships every
+// journal record to a ReplicaFollower over the wire framing and fsyncs on
+// both sides before a publish is acknowledged; on leader death the
+// follower promotes itself behind a monotonically increasing fencing
+// epoch, preserving exactly-once delivery across the handover (see the
+// Replicated broker pairs section of DESIGN.md).
+type (
+	// ReplicaLeader is a durable broker that streams its journal to a
+	// warm-standby follower and gates publishes on the remote fsync.
+	ReplicaLeader = replicate.Leader
+	// ReplicaLeaderConfig tunes the leader: ack timeout, heartbeat
+	// cadence, failure detector, fencing-epoch directory.
+	ReplicaLeaderConfig = replicate.LeaderConfig
+	// ReplicaLeaderStats counts shipped records, acks, solo drops and
+	// session turnovers.
+	ReplicaLeaderStats = replicate.LeaderStats
+	// ReplicaFollower mirrors a leader's journal into its own directory
+	// and can promote itself into a serving broker when the leader dies.
+	ReplicaFollower = replicate.Follower
+	// ReplicaFollowerConfig tunes the follower: leader address, data and
+	// epoch directories, reconnect backoff, failure detector.
+	ReplicaFollowerConfig = replicate.FollowerConfig
+)
+
+// Replication constructors and errors.
+var (
+	// OpenReplicaLeader opens a durable broker whose journal appends ship
+	// to any connected follower; serve followers with its Serve or Accept.
+	OpenReplicaLeader = replicate.OpenLeader
+	// StartReplicaFollower connects a warm standby to a leader and keeps
+	// its mirror in sync until Promote or Close.
+	StartReplicaFollower = replicate.StartFollower
+	// ErrReplicaFenced reports that a higher fencing epoch was observed:
+	// another leader was promoted and this one must stand down.
+	ErrReplicaFenced = replicate.ErrFenced
+	// ErrReplicaNotLeader is returned by follower publish/apply paths.
+	ErrReplicaNotLeader = replicate.ErrNotLeader
+)
 
 // Persistence: round-trippable text formats for topologies, subscription
 // sets and event traces (bring-your-own-workload, archive-for-repro).

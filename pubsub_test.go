@@ -151,13 +151,18 @@ func TestFacadeDurable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Delivery acks append to the journal asynchronously, so which append
+	// is the 120th — a publish's or an ack's — depends on scheduling. Keep
+	// publishing until the crash surfaces through Publish: once any append
+	// trips the plan the store is dead and the next publish must fail.
 	crashed := 0
-	for _, ev := range w.Events(60, 97) {
+	for _, ev := range w.Events(500, 97) {
 		if err := b.Publish(ev); err != nil {
 			if !errors.Is(err, pubsub.ErrCrashed) {
 				t.Fatalf("publish: %v", err)
 			}
 			crashed++
+			break
 		}
 	}
 	b.Close()
