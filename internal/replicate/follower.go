@@ -171,8 +171,9 @@ func (f *Follower) run() {
 
 // chargeFailure reports one leader failure and returns true when the
 // breaker has opened — leader declared dead, run loop should exit. A
-// follower that never completed a catch-up refuses to promote (its
-// mirror is incomplete) and keeps retrying instead.
+// follower whose mirror is incomplete — it never finished a catch-up,
+// or a reconnect's reset wiped the directory and the resync has not
+// completed yet — refuses to promote and keeps retrying instead.
 func (f *Follower) chargeFailure() bool {
 	f.tracker.ReportFailure(peerNode)
 	if f.tracker.AllowDest(peerNode) {
@@ -266,17 +267,20 @@ func (f *Follower) handle(w *wire.Writer, payload []byte) error {
 		if err := f.checkTerm(w, m.Term); err != nil {
 			return err
 		}
-		f.applyMu.Lock()
-		err = f.rep.Reset(m.JournalEpoch, m.Ckpt)
-		f.applyMu.Unlock()
-		if err != nil {
-			return err
-		}
+		// The reset is about to wipe the mirror: drop the promotion gate
+		// with it (before the wipe, so no window exists where the directory
+		// is partial but the gate is open). A leader lost mid-resync then
+		// leaves a follower that refuses to promote until this session's
+		// catch-up completes (watermark >= catchupLast re-arms the gate).
 		f.mu.Lock()
+		f.everSynced = false
 		f.catchupLast = m.LastIdx
 		f.watermark = 0
 		f.mu.Unlock()
-		return nil
+		f.applyMu.Lock()
+		err = f.rep.Reset(m.JournalEpoch, m.Ckpt)
+		f.applyMu.Unlock()
+		return err
 	case wire.TypeReplicate:
 		m, err := wire.DecodeReplicate(payload)
 		if err != nil {

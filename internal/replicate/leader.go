@@ -3,6 +3,7 @@ package replicate
 import (
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/broker"
@@ -72,9 +73,25 @@ type feed struct {
 	w    *wire.Writer
 	wmu  sync.Mutex // shipper vs heartbeat writes
 
-	// cursor (next buf element to ship) is guarded by Leader.mu.
-	cursor int
-	dead   bool
+	// progress is the last sign of follower liveness (unix nanos): a
+	// catch-up batch flushed out, or any frame received back. Leader-
+	// initiated heartbeats deliberately do not count — a pulse the leader
+	// generates itself proves nothing about the other side.
+	progress atomic.Int64
+
+	// cursor (next buf element to ship), catching, snapIdx and dead are
+	// guarded by Leader.mu.
+	cursor   int
+	catching bool  // resync in flight: barriers extend instead of dropping
+	snapIdx  int64 // catch-up snapshot ticket; the ack that ends catching
+	dead     bool
+}
+
+func (s *feed) touch() { s.progress.Store(time.Now().UnixNano()) }
+
+// alive reports whether the session showed liveness within window.
+func (s *feed) alive(window time.Duration) bool {
+	return time.Since(time.Unix(0, s.progress.Load())) < window
 }
 
 func (s *feed) write(payloads ...[]byte) error {
@@ -244,6 +261,21 @@ func (l *Leader) Barrier(idx int64) error {
 				l.mu.Unlock()
 			})
 		} else if !time.Now().Before(deadline) {
+			// Mid-resync liveness is coarse: the follower acks once per
+			// applied catch-up frame (up to shipBatch records), so allow a
+			// few AckTimeouts of silence before giving up on the resync.
+			if l.sess.catching && l.sess.alive(3*l.cfg.AckTimeout) {
+				// Mid-resync the follower legitimately cannot ack new
+				// tickets yet. While catch-up traffic is still flowing
+				// (batches flushing out, per-batch acks coming back),
+				// extend the wait instead of severing a session that would
+				// only restart the resync from scratch — under steady
+				// publish load that severing livelocks the pair into
+				// perpetual catch-up and silently unreplicated operation.
+				deadline = time.Now().Add(l.cfg.AckTimeout)
+				armed.Reset(l.cfg.AckTimeout)
+				continue
+			}
 			// The follower stopped acknowledging: drop it; a reconnect
 			// resyncs from disk. A dying leader loops once more and takes
 			// the ErrCrashed exit above instead of going solo.
@@ -290,17 +322,27 @@ func (l *Leader) fence(term int64) {
 		l.mu.Unlock()
 		return
 	}
-	l.fenced = true
 	if term > l.term {
 		l.term = term
 	}
 	l.stats.Fences++
 	// Persist before the fence becomes observable: Barrier reports
 	// ErrFenced only after this mutex is released, so any publisher that
-	// has seen the error may rely on the higher epoch being on disk. The
-	// write error itself is best effort — a restart re-learns the epoch
-	// from whoever it talks to.
-	durable.StoreEpoch(l.epochDir, l.term)
+	// has seen the error may rely on the higher epoch being on disk.
+	if err := durable.StoreEpoch(l.epochDir, l.term); err != nil {
+		// The fence cannot be made durable — a restart would forget it
+		// and serve writes at the stale term, reopening the split-brain
+		// window. Fail closed instead: treat this leader as crashed so
+		// pending and future barriers return ErrCrashed, never an
+		// ErrFenced that advertises an epoch that is not on disk. (A
+		// later fence call retries the persist; fenced is still unset.)
+		l.killed = true
+		l.dropSessionLocked()
+		l.cond.Broadcast()
+		l.mu.Unlock()
+		return
+	}
+	l.fenced = true
 	l.cond.Broadcast()
 	l.mu.Unlock()
 }
@@ -336,18 +378,23 @@ func (l *Leader) Accept(conn net.Conn, r *wire.Reader, w *wire.Writer, hello wir
 	}
 	// A new session replaces any existing one (follower reconnect).
 	l.dropSessionLocked()
-	s := &feed{conn: conn, w: w}
+	s := &feed{conn: conn, w: w, catching: true}
+	s.touch()
 	l.sess = s
 	l.buf = nil
 	l.stats.Resyncs++
 	term := l.term
 	l.mu.Unlock()
 
+	// The read loop starts before catch-up: the follower acks every
+	// catch-up batch it fsyncs (at its pre-sync watermark), and those acks
+	// are the liveness signal that keeps barriers patient during a long
+	// resync. The final ack at snapIdx ends the catching state.
+	go l.readLoop(s, r)
 	if !l.catchup(s, term) {
 		l.killSession(s)
 		return
 	}
-	go l.readLoop(s, r)
 	go l.heartbeatLoop(s)
 	l.shipLoop(s)
 }
@@ -363,6 +410,20 @@ func (l *Leader) catchup(s *feed, term int64) bool {
 	if err != nil {
 		return false
 	}
+	l.mu.Lock()
+	// snapIdx is published before the first frame ships: the read loop
+	// clears catching on the first ack at or past it.
+	s.snapIdx = snapIdx
+	l.mu.Unlock()
+	// send is write plus a progress touch: each batch the network accepts
+	// is evidence the resync is still flowing.
+	send := func(payloads ...[]byte) error {
+		if err := s.write(payloads...); err != nil {
+			return err
+		}
+		s.touch()
+		return nil
+	}
 	fromEpoch := int64(1)
 	if len(ckptRaw) > 0 {
 		e, _, err := durable.DecodeCheckpointMeta(ckptRaw)
@@ -374,7 +435,7 @@ func (l *Leader) catchup(s *feed, term int64) bool {
 	pre := wire.AppendCatchup(nil, wire.Catchup{
 		Term: term, JournalEpoch: fromEpoch, LastIdx: snapIdx, Ckpt: ckptRaw,
 	})
-	if err := s.write(pre); err != nil {
+	if err := send(pre); err != nil {
 		return false
 	}
 	// Catch-up batches carry FirstIdx 0: "apply, indices unknown". Only
@@ -389,14 +450,14 @@ func (l *Leader) catchup(s *feed, term int64) bool {
 		}
 		f := wire.AppendReplicate(nil, wire.Replicate{Term: term, Recs: recs})
 		recs, nbytes = recs[:0], 0
-		return s.write(f)
+		return send(f)
 	}
 	err = durable.IterateRecords(l.store.Dir(), fromEpoch, l.store.Base(), func(epoch int64, payload []byte) error {
 		if epoch != curEpoch {
 			if err := flush(); err != nil {
 				return err
 			}
-			if err := s.write(wire.AppendReplRotate(nil, wire.ReplRotate{Term: term, JournalEpoch: epoch})); err != nil {
+			if err := send(wire.AppendReplRotate(nil, wire.ReplRotate{Term: term, JournalEpoch: epoch})); err != nil {
 				return err
 			}
 			curEpoch = epoch
@@ -417,7 +478,7 @@ func (l *Leader) catchup(s *feed, term int64) bool {
 	}
 	// End marker: an empty batch at snapIdx+1 tells the follower it is
 	// current through snapIdx, which it acks after fsync.
-	if err := s.write(wire.AppendReplicate(nil, wire.Replicate{Term: term, FirstIdx: snapIdx + 1})); err != nil {
+	if err := send(wire.AppendReplicate(nil, wire.Replicate{Term: term, FirstIdx: snapIdx + 1})); err != nil {
 		return false
 	}
 
@@ -503,6 +564,7 @@ func (l *Leader) readLoop(s *feed, r *wire.Reader) {
 			l.killSession(s)
 			return
 		}
+		s.touch()
 		switch wire.MsgType(payload) {
 		case wire.TypeReplAck:
 			m, err := wire.DecodeReplAck(payload)
@@ -516,6 +578,11 @@ func (l *Leader) readLoop(s *feed, r *wire.Reader) {
 				return
 			}
 			l.mu.Lock()
+			if s.catching && m.Idx >= s.snapIdx {
+				// The follower fsynced through the catch-up snapshot: the
+				// resync is over, barriers revert to the plain AckTimeout.
+				s.catching = false
+			}
 			if m.Idx > l.acked {
 				l.acked = m.Idx
 				l.stats.Acked = m.Idx

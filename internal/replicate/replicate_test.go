@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -492,6 +494,264 @@ func TestStaleLeaderRejoinsAsFollower(t *testing.T) {
 	flw2.Close()
 	ldr2.Close() // drain before the oracle reads
 	checkOracle(t, p.w, evs, acked, p.o)
+}
+
+// TestNoPromotionOverPartialResync pins the promotion gate across
+// reconnects: once a reconnect's catch-up has wiped the mirror, a leader
+// lost mid-resync must NOT be declared dead — the directory is partially
+// re-seeded, and promoting over it would lose acknowledged publishes.
+// The gate re-arms once a later resync completes.
+func TestNoPromotionOverPartialResync(t *testing.T) {
+	seed := int64(571)
+	cfg := core.Config{Groups: 25, CellBudget: 500}
+	e, w := testEngine(t, cfg, seed)
+	ldr, err := OpenLeader(t.TempDir(), e, LeaderConfig{
+		AckTimeout: 5 * time.Second, Heartbeat: 10 * time.Millisecond,
+		Health: fastHealth(), Durable: noAutoCkpt(nil),
+	}, broker.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ldr.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go ldr.Serve(ln)
+
+	// A backlog so the second catch-up below has far more than 4 KiB to
+	// stream when it is cut.
+	evs := w.Events(100, seed+10)
+	for i := range evs[:80] {
+		if err := ldr.Decide(evs[i]); err != nil {
+			t.Fatalf("solo publish %d: %v", i, err)
+		}
+	}
+
+	// Connection plan: #1 syncs cleanly, #2 is cut 4 KiB in (after the
+	// catch-up preamble has wiped the mirror, long before the backlog fits
+	// through), and every later dial fails until the test heals the net.
+	ci, err := faults.NewConnInjector(faults.ConnConfig{Seed: seed, CutAfterBytes: []int64{0, 4 << 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var conns []net.Conn
+	dials, healed := 0, false
+	flw, err := StartFollower(FollowerConfig{
+		Dir: t.TempDir(), Base: baseOf(w), Addr: ln.Addr().String(),
+		Health: fastHealth(), ReadTimeout: 200 * time.Millisecond,
+		Reconnect: 10 * time.Millisecond,
+		Dialer: func(addr string) (net.Conn, error) {
+			mu.Lock()
+			n := dials
+			dials++
+			ok := healed || n < 2
+			mu.Unlock()
+			if !ok {
+				return nil, errors.New("injected dial failure")
+			}
+			c, err := net.Dial("tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			wc := ci.Wrap(c)
+			mu.Lock()
+			conns = append(conns, wc)
+			mu.Unlock()
+			return wc, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer flw.Close()
+	waitFor(t, 10*time.Second, "initial catch-up", flw.Synced)
+
+	// Sever session 1: the reconnect starts catch-up 2, which resets the
+	// replica and dies mid-stream; the dial failures then open the breaker
+	// with the mirror partially re-seeded.
+	mu.Lock()
+	c1 := conns[0]
+	mu.Unlock()
+	c1.Close()
+	select {
+	case <-flw.LeaderDead():
+		t.Fatal("leader declared dead over a partially re-seeded mirror")
+	case <-time.After(400 * time.Millisecond):
+	}
+
+	// Heal the network: the follower resyncs from scratch, re-arming the
+	// gate; a real leader death must then be declared.
+	mu.Lock()
+	healed = true
+	mu.Unlock()
+	waitFor(t, 10*time.Second, "resync after heal", flw.Synced)
+	ldr.Kill()
+	ln.Close()
+	select {
+	case <-flw.LeaderDead():
+	case <-time.After(5 * time.Second):
+		t.Fatal("leader death not declared after the resync completed")
+	}
+}
+
+// slowConn throttles reads to chunk bytes per delay tick, stretching a
+// catch-up stream long past the leader's AckTimeout.
+type slowConn struct {
+	net.Conn
+	chunk int
+	delay time.Duration
+}
+
+func (c *slowConn) Read(p []byte) (int, error) {
+	time.Sleep(c.delay)
+	if len(p) > c.chunk {
+		p = p[:c.chunk]
+	}
+	return c.Conn.Read(p)
+}
+
+// TestBarrierExtendsDuringSlowCatchup pins the resync-livelock fix: a
+// publish barrier must not sever a follower session that is still
+// mid-catch-up (the follower cannot ack new tickets until the resync
+// completes) while catch-up traffic keeps flowing. Severing it restarts
+// the resync from scratch, so under steady publish load a pair whose
+// resync outlasts AckTimeout would livelock in perpetual catch-up.
+func TestBarrierExtendsDuringSlowCatchup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow-catch-up regression is timing heavy; run without -short")
+	}
+	seed := int64(581)
+	cfg := core.Config{Groups: 25, CellBudget: 500}
+	e, w := testEngine(t, cfg, seed)
+	ldr, err := OpenLeader(t.TempDir(), e, LeaderConfig{
+		AckTimeout: 200 * time.Millisecond, Heartbeat: 10 * time.Millisecond,
+		Health: fastHealth(), Durable: noAutoCkpt(nil),
+	}, broker.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ldr.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go ldr.Serve(ln)
+
+	// A backlog that takes several AckTimeouts to fit through the
+	// throttled link below (~250 KB/s).
+	evs := w.Events(220, seed+10)
+	for i := range evs[:200] {
+		if err := ldr.Decide(evs[i]); err != nil {
+			t.Fatalf("solo publish %d: %v", i, err)
+		}
+	}
+
+	flw, err := StartFollower(FollowerConfig{
+		Dir: t.TempDir(), Base: baseOf(w), Addr: ln.Addr().String(),
+		Health: fastHealth(), ReadTimeout: 500 * time.Millisecond,
+		Reconnect: 10 * time.Millisecond,
+		Dialer: func(addr string) (net.Conn, error) {
+			c, err := net.Dial("tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			return &slowConn{Conn: c, chunk: 512, delay: 2 * time.Millisecond}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer flw.Close()
+
+	// Publish the moment the session attaches — mid-catch-up, with the
+	// resync still far from done. The barrier must wait it out.
+	waitFor(t, 5*time.Second, "session attach", func() bool { return !ldr.Solo() })
+	if err := ldr.Decide(evs[200]); err != nil {
+		t.Fatalf("publish during catch-up: %v", err)
+	}
+	waitFor(t, 30*time.Second, "slow resync", flw.Synced)
+	st := ldr.Stats()
+	if st.SoloDrops != 0 {
+		t.Errorf("SoloDrops = %d: barrier severed a live mid-catch-up session", st.SoloDrops)
+	}
+	if st.Resyncs != 1 {
+		t.Errorf("Resyncs = %d, want 1 (a severed catch-up restarts the resync)", st.Resyncs)
+	}
+}
+
+// TestFenceFailsClosedWhenEpochPersistFails pins the fence durability
+// contract: when the higher epoch cannot be persisted, the leader must
+// fail closed (ErrCrashed) rather than advertise ErrFenced — a publisher
+// seeing ErrFenced may rely on the epoch being on disk, and a restarted
+// leader that forgot the fence would reopen the split-brain window.
+func TestFenceFailsClosedWhenEpochPersistFails(t *testing.T) {
+	seed := int64(591)
+	cfg := core.Config{Groups: 25, CellBudget: 500}
+	e, w := testEngine(t, cfg, seed)
+	epochDir := filepath.Join(t.TempDir(), "epochs")
+	ldr, err := OpenLeader(t.TempDir(), e, LeaderConfig{
+		AckTimeout: time.Second, Heartbeat: 10 * time.Millisecond,
+		EpochDir: epochDir, Health: fastHealth(), Durable: noAutoCkpt(nil),
+	}, broker.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ldr.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go ldr.Serve(ln)
+	evs := w.Events(2, seed+10)
+	if err := ldr.Decide(evs[0]); err != nil {
+		t.Fatalf("healthy solo publish: %v", err)
+	}
+
+	// Sabotage the epoch directory: a plain file in its place makes
+	// StoreEpoch's MkdirAll fail on the next fence.
+	if err := os.RemoveAll(epochDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(epochDir, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A promoted node dials in with a higher term, triggering the fence.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fw := wire.NewWriter(conn, wire.DefaultMaxFrame)
+	if err := writeFrame(fw, wire.AppendReplHello(nil, wire.ReplHello{Version: wire.Version, Term: 7})); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err := ldr.Decide(evs[1])
+		if errors.Is(err, faults.ErrCrashed) {
+			break
+		}
+		if errors.Is(err, ErrFenced) {
+			t.Fatal("leader advertised ErrFenced without a durable epoch")
+		}
+		if err != nil {
+			t.Fatalf("unexpected publish error: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("leader never reacted to the higher epoch")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if ldr.Fenced() {
+		t.Error("Fenced() = true though the epoch persist failed")
+	}
 }
 
 // TestShardContract pins both halves of the Shard interface: the standby
