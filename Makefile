@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 race chaos chaos-recovery chaos-wire chaos-replicate bench bench-json bench-baseline bench-decide bench-decide-n bench-recovery bench-wire bench-replicate bench-smoke vet staticcheck fmt
+.PHONY: all build test tier1 race chaos chaos-recovery chaos-wire chaos-replicate bench bench-json bench-baseline bench-decide bench-decide-n bench-recovery bench-wire bench-replicate bench-smoke bench-1m bench-1m-smoke alloc-regression vet staticcheck fmt
 
 # Label recorded next to a bench-baseline entry in BENCH_cluster.json.
 BENCH_LABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo local)
@@ -10,11 +10,19 @@ all: build tier1
 build:
 	$(GO) build ./...
 
-# tier1 is the CI gate: vet, staticcheck (when installed) and the
-# race-enabled short suite (the heavy chaos scenario is skipped under
-# -short so this stays fast).
-tier1: vet staticcheck
+# tier1 is the CI gate: vet, staticcheck (when installed), the
+# zero-allocation regressions and the race-enabled short suite (the heavy
+# chaos scenario is skipped under -short so this stays fast).
+tier1: vet staticcheck alloc-regression
 	$(GO) test -race -short ./...
+
+# alloc-regression pins the decide path and the small-frame read loop at
+# zero allocations per operation via testing.AllocsPerRun. It must run
+# without the race detector (shadow allocations would inflate the counts),
+# which is why it is a separate tier1 prerequisite rather than part of the
+# race suite.
+alloc-regression:
+	$(GO) test -count=1 -run 'TestDecidePathZeroAllocs|TestReadFrameZeroCopySmall' ./internal/broker/ ./internal/wire/
 
 # staticcheck runs honnef.co/go/tools when the binary is on PATH and is a
 # no-op otherwise, so tier1 never depends on tooling the container lacks.
@@ -68,7 +76,7 @@ bench-baseline:
 # BENCH_cluster.json. Worker scaling only shows on multi-core hosts;
 # the recorded GOMAXPROCS qualifies each entry.
 bench-decide:
-	$(GO) test -run '^$$' -bench 'BenchmarkPublishDecide' -benchmem -count=3 ./internal/broker/ | \
+	$(GO) test -run '^$$' -bench 'BenchmarkPublishDecide$$' -benchmem -count=3 ./internal/broker/ | \
 		$(GO) run ./cmd/benchrecord -file BENCH_cluster.json -label "$(BENCH_LABEL)-decide"
 
 # bench-recovery measures the durability layer — journal append throughput
@@ -93,7 +101,7 @@ bench-wire:
 # entry's gomaxprocs field qualifies the numbers.
 MP ?= 4
 bench-decide-n:
-	export GOMAXPROCS=$(MP); $(GO) test -run '^$$' -bench 'BenchmarkPublishDecide' -benchmem -count=3 ./internal/broker/ | \
+	export GOMAXPROCS=$(MP); $(GO) test -run '^$$' -bench 'BenchmarkPublishDecide$$' -benchmem -count=3 ./internal/broker/ | \
 		$(GO) run ./cmd/benchrecord -file BENCH_cluster.json -label "$(BENCH_LABEL)-decide-p$(MP)"
 
 # chaos-wire runs the transport suite — loopback e2e, credit exhaustion,
@@ -116,10 +124,27 @@ bench-replicate:
 	$(GO) test -run '^$$' -bench 'ReplicationLag|Failover' -count=3 ./internal/replicate/ | \
 		$(GO) run ./cmd/benchrecord -file BENCH_cluster.json -label "$(BENCH_LABEL)-replicate"
 
+# bench-1m measures the decide plane at 1,048,576 subscribers (one per
+# stub node of an 8×32×64×64 transit–stub network) across 1, 2 and 4
+# decide workers, and appends a labelled entry to BENCH_cluster.json.
+# Setup (topology, R*-tree, clustering) takes about a minute and is cached
+# across worker counts and -count repetitions; the explicit -timeout keeps
+# a wedged run from eating the default 10-minute budget silently.
+bench-1m:
+	$(GO) test -run '^$$' -bench 'BenchmarkPublishDecide1M' -benchmem -count=2 -benchtime=2000x -timeout 30m ./internal/broker/ | \
+		$(GO) run ./cmd/benchrecord -file BENCH_cluster.json -label "$(BENCH_LABEL)-1m"
+
+# bench-1m-smoke is the CI-scale run: -short drops the world to 65,536
+# subscribers, proving the million-subscriber path builds and decides
+# without paying the full setup.
+bench-1m-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkPublishDecide1M' -short -benchmem -benchtime=200x -timeout 10m ./internal/broker/
+
 # bench-smoke compiles and runs every benchmark in the repo exactly once —
-# a cheap CI guard that benchmarks keep building and don't panic.
+# a cheap CI guard that benchmarks keep building and don't panic. -short
+# keeps scale-aware benchmarks (the 1M decide world) at their reduced size.
 bench-smoke:
-	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+	$(GO) test -run '^$$' -bench . -benchtime=1x -short ./...
 
 vet:
 	$(GO) vet ./...

@@ -212,6 +212,15 @@ func update(path string, entry Entry) error {
 	} else if !os.IsNotExist(err) {
 		return err
 	}
+	// Labels name points on the trajectory; recording the same label twice
+	// would silently fork it (whichever entry a reader finds first wins).
+	// Refuse, pointing at the collision, so the caller picks a new label.
+	for _, ex := range f.Entries {
+		if ex.Label == entry.Label {
+			return fmt.Errorf("label %q already recorded in %s on %s; pick a new label",
+				entry.Label, path, ex.Date)
+		}
+	}
 	if len(f.Entries) > 0 {
 		base := f.Entries[0].Benchmarks
 		for name, st := range entry.Benchmarks {

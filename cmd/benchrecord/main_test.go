@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testEntry(label string, ns float64) Entry {
+	return Entry{
+		Label: label, Date: "2026-08-08T00:00:00Z",
+		Benchmarks: map[string]Stat{"BenchmarkX": {NsOp: ns, Count: 1}},
+	}
+}
+
+// TestUpdateRefusesDuplicateLabel: recording the same label twice must
+// fail, and the error must name the existing entry's date so the operator
+// can tell which run holds the label.
+func TestUpdateRefusesDuplicateLabel(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := update(path, testEntry("baseline", 100)); err != nil {
+		t.Fatal(err)
+	}
+	err := update(path, testEntry("baseline", 50))
+	if err == nil {
+		t.Fatal("duplicate label accepted")
+	}
+	if !strings.Contains(err.Error(), "baseline") || !strings.Contains(err.Error(), "2026-08-08T00:00:00Z") {
+		t.Fatalf("error %q does not name the colliding label and its date", err)
+	}
+	// The refused write must not have touched the file.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Entries) != 1 {
+		t.Fatalf("file has %d entries after refused duplicate, want 1", len(f.Entries))
+	}
+}
+
+// TestUpdateSpeedupVsFirst: later entries under fresh labels still append
+// and carry speedups against the first entry.
+func TestUpdateSpeedupVsFirst(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := update(path, testEntry("baseline", 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := update(path, testEntry("tuned", 50)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Entries) != 2 {
+		t.Fatalf("got %d entries, want 2", len(f.Entries))
+	}
+	if got := f.Entries[1].Benchmarks["BenchmarkX"].SpeedupVsFirst; got != 2 {
+		t.Fatalf("SpeedupVsFirst = %v, want 2", got)
+	}
+}

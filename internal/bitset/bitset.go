@@ -76,13 +76,7 @@ func (s *Set) Test(i int) bool {
 }
 
 // Count returns the number of set bits.
-func (s *Set) Count() int {
-	c := 0
-	for _, w := range s.words {
-		c += bits.OnesCount64(w)
-	}
-	return c
-}
+func (s *Set) Count() int { return onesCountWords(s.words) }
 
 // Any reports whether at least one bit is set.
 func (s *Set) Any() bool {
@@ -179,11 +173,7 @@ func (s *Set) Equal(t *Set) bool {
 // This is the inner loop of the paper's expected-waste distance d(a, b).
 func (s *Set) AndNotCount(t *Set) int {
 	s.checkSame(t)
-	c := 0
-	for i, w := range s.words {
-		c += bits.OnesCount64(w &^ t.words[i])
-	}
-	return c
+	return andNotCountWords(s.words, t.words)
 }
 
 // WastePair returns (|s ∖ t|, |t ∖ s|) in a single fused word loop. The
@@ -191,13 +181,7 @@ func (s *Set) AndNotCount(t *Set) int {
 // together halves the memory traffic of two AndNotCount passes.
 func (s *Set) WastePair(t *Set) (sNotT, tNotS int) {
 	s.checkSame(t)
-	tw := t.words
-	for i, w := range s.words {
-		v := tw[i]
-		sNotT += bits.OnesCount64(w &^ v)
-		tNotS += bits.OnesCount64(v &^ w)
-	}
-	return sNotT, tNotS
+	return wastePairWords(s.words, t.words)
 }
 
 // UnionWithCount sets s = s ∪ t in place and returns the resulting |s ∪ t|,
@@ -242,13 +226,7 @@ func WasteMany(a *Set, bs []*Set, aNotB, bNotA []int) {
 		}
 		blk := words[lo:hi]
 		for g, t := range bs {
-			tw := t.words[lo:hi]
-			ca, cb := 0, 0
-			for i, w := range blk {
-				v := tw[i]
-				ca += bits.OnesCount64(w &^ v)
-				cb += bits.OnesCount64(v &^ w)
-			}
+			ca, cb := wastePairWords(blk, t.words[lo:hi])
 			aNotB[g] += ca
 			bNotA[g] += cb
 		}
@@ -279,12 +257,7 @@ func IntersectMany(a *Set, bs []*Set, x []int) {
 		}
 		blk := words[lo:hi]
 		for g, t := range bs {
-			tw := t.words[lo:hi]
-			c := 0
-			for i, w := range blk {
-				c += bits.OnesCount64(w & tw[i])
-			}
-			x[g] += c
+			x[g] += andCountWords(blk, t.words[lo:hi])
 		}
 	}
 }
@@ -292,32 +265,20 @@ func IntersectMany(a *Set, bs []*Set, x []int) {
 // IntersectCount returns |s ∩ t| without allocating.
 func (s *Set) IntersectCount(t *Set) int {
 	s.checkSame(t)
-	c := 0
-	for i, w := range s.words {
-		c += bits.OnesCount64(w & t.words[i])
-	}
-	return c
+	return andCountWords(s.words, t.words)
 }
 
 // UnionCount returns |s ∪ t| without allocating.
 func (s *Set) UnionCount(t *Set) int {
 	s.checkSame(t)
-	c := 0
-	for i, w := range s.words {
-		c += bits.OnesCount64(w | t.words[i])
-	}
-	return c
+	return orCountWords(s.words, t.words)
 }
 
 // SymmetricDiffCount returns |s ⊕ t|, the squared Euclidean distance between
 // the two membership vectors (paper §4.1).
 func (s *Set) SymmetricDiffCount(t *Set) int {
 	s.checkSame(t)
-	c := 0
-	for i, w := range s.words {
-		c += bits.OnesCount64(w ^ t.words[i])
-	}
-	return c
+	return xorCountWords(s.words, t.words)
 }
 
 // Intersects reports whether s ∩ t is non-empty.

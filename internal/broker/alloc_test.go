@@ -1,0 +1,44 @@
+package broker
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestDecidePathZeroAllocs pins the steady-state decide path at zero
+// allocations per event: after warm-up (lazy shortest-path trees filled,
+// scratch buffers grown to capacity), DecisionSnapshot.DecideInto with a
+// reused DecideScratch must not touch the heap — the property
+// BenchmarkPublishDecide's 0 allocs/op depends on. Any new allocation on
+// the path (a map rebuild, a sort closure, an escaping slice) fails this
+// test before it shows up as a throughput regression.
+//
+// Skipped under -race: the detector's shadow memory inflates
+// testing.AllocsPerRun. `make tier1` runs the race suite and this test via
+// a separate uninstrumented invocation (see the tier1 target).
+func TestDecidePathZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun counts race-detector shadow allocations")
+	}
+	e, w := testEngine(t, core.Config{
+		Groups: 20, CellBudget: 400, DynamicMethod: true,
+	}, 350)
+	snap := e.Snapshot()
+	view := e.NewSPTView()
+	sc := &core.DecideScratch{}
+	evs := w.Events(512, 351)
+	// Warm-up: every distinct publisher root fills its shared SPT lazily on
+	// first use, and the scratch grows to the workload's high-water mark.
+	for _, ev := range evs {
+		snap.DecideInto(ev, view, sc)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(400, func() {
+		snap.DecideInto(evs[i%len(evs)], view, sc)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("decide path allocates %.1f times per event, want 0", allocs)
+	}
+}

@@ -146,12 +146,46 @@ type queued struct {
 	replay bool
 }
 
+// decideScratch is a decision worker's reusable per-event buffer set: the
+// core decide scratch (R*-tree hits, interested nodes, remainder) plus the
+// broadcast-target slice. Pooled so the decide plane allocates nothing per
+// event in steady state: decideOne acquires one, the Decision it carries
+// aliases its buffers, and the fan-out worker that finishes the event
+// returns it to the pool. Never pooled when a decision observer is
+// attached — the observer reads the Decision after the fan-out hand-off,
+// which would race the next event's reuse.
+type decideScratch struct {
+	dec   core.DecideScratch
+	nodes []topology.NodeID
+}
+
+var decideScratchPool = sync.Pool{New: func() any { return new(decideScratch) }}
+
+// interestedIn reports whether n had a matching subscription, by binary
+// search over the decision's sorted interested list — replacing a per-event
+// map build on the decide hot path.
+func interestedIn(d *core.Decision, n topology.NodeID) bool {
+	lo, hi := 0, len(d.Interested)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if d.Interested[mid] < n {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(d.Interested) && d.Interested[lo] == n
+}
+
 // routed couples a decided event with its destinations.
 type routed struct {
-	seq        int64
-	ev         workload.Event
-	d          core.Decision
-	interested map[topology.NodeID]bool
+	seq int64
+	ev  workload.Event
+	d   core.Decision
+	// scratch is the pooled buffer set backing d's slices (and nodes, for
+	// broadcasts); the fan-out worker that retires the event returns it.
+	// Nil when the decision was allocated fresh (observer attached).
+	scratch *decideScratch
 	// t0 stamps the decision; delivery latency is measured from here.
 	t0 time.Time
 	// trace is the event's sampled lifecycle trace, nil when untraced.
@@ -843,14 +877,19 @@ func (b *Broker) decideOne(q queued, w int, view *multicast.SPTView) {
 	snap := q.snap
 	trace := b.tracer.Begin(q.seq)
 	t0 := time.Now()
-	d := snap.Decide(q.ev, view)
+	var sc *decideScratch
+	var d core.Decision
+	if b.decisionObs == nil {
+		sc = decideScratchPool.Get().(*decideScratch)
+		d = snap.DecideInto(q.ev, view, &sc.dec)
+	} else {
+		// The observer reads the Decision after the fan-out hand-off;
+		// pooled buffers would be reused under it, so keep fresh slices.
+		d = snap.Decide(q.ev, view)
+	}
 	dt := time.Since(t0)
 	b.decideNs[w].ObserveDuration(dt)
 	trace.Add("decide", t0, dt, -1, d.Group, 0, methodNote(d.Method))
-	interested := make(map[topology.NodeID]bool, len(d.Interested))
-	for _, n := range d.Interested {
-		interested[n] = true
-	}
 	if !q.replay {
 		// Recovery redeliveries were counted by the incarnation that
 		// journaled them (preserved via checkpoint); counting them again
@@ -865,7 +904,7 @@ func (b *Broker) decideOne(q queued, w int, view *multicast.SPTView) {
 			b.ctr.unicast.Add(1)
 		}
 	}
-	r := routed{seq: q.seq, ev: q.ev, d: d, interested: interested, t0: t0, trace: trace, tok: q.tok}
+	r := routed{seq: q.seq, ev: q.ev, d: d, scratch: sc, t0: t0, trace: trace, tok: q.tok}
 	switch d.Method {
 	case multicast.NetworkMulticast:
 		// The snapshot's group tables are immutable; share the member
@@ -875,10 +914,19 @@ func (b *Broker) decideOne(q queued, w int, view *multicast.SPTView) {
 		// Freeze the flood targets now so fan-out and routing paths agree
 		// even if a Subscribe grows the route table in between.
 		rt := b.routes.Load()
-		r.nodes = make([]topology.NodeID, 0, len(rt.inboxes))
-		for n := range rt.inboxes {
-			r.nodes = append(r.nodes, n)
+		var nodes []topology.NodeID
+		if sc != nil {
+			nodes = sc.nodes[:0]
+		} else {
+			nodes = make([]topology.NodeID, 0, len(rt.inboxes))
 		}
+		for n := range rt.inboxes {
+			nodes = append(nodes, n)
+		}
+		if sc != nil {
+			sc.nodes = nodes
+		}
+		r.nodes = nodes
 	}
 	if b.inj != nil {
 		r.paths = routePaths(view, &r)
@@ -905,6 +953,9 @@ func (b *Broker) decideOne(q queued, w int, view *multicast.SPTView) {
 					b.dur.inflight.Delete(q.seq)
 				}
 				trace.Add("shed", enq, time.Since(enq), -1, d.Group, 0, "low-fanout")
+				if sc != nil {
+					decideScratchPool.Put(sc)
+				}
 				return
 			}
 			b.fanoutCh <- r
@@ -1261,6 +1312,12 @@ func (b *Broker) fanout() {
 			b.dur.inflight.Delete(r.seq)
 		}
 		r.tok.Release()
+		if r.scratch != nil {
+			// Every copy is in its inbox (Delivery holds values, not the
+			// decision's slices), so the event no longer references the
+			// scratch-backed buffers.
+			decideScratchPool.Put(r.scratch)
+		}
 	}
 }
 
@@ -1278,7 +1335,7 @@ func (b *Broker) fanoutOne(r routed) {
 				Seq:        r.seq,
 				Method:     multicast.Broadcast,
 				Group:      -1,
-				Interested: r.interested[n],
+				Interested: interestedIn(&r.d, n),
 			})
 		}
 		return
@@ -1290,7 +1347,7 @@ func (b *Broker) fanoutOne(r routed) {
 				Seq:        r.seq,
 				Method:     multicast.NetworkMulticast,
 				Group:      r.d.Group,
-				Interested: r.interested[n],
+				Interested: interestedIn(&r.d, n),
 			})
 		}
 		for _, n := range r.d.Remainder {

@@ -1,0 +1,8 @@
+//go:build !race
+
+package broker
+
+// raceEnabled reports whether the race detector instruments this build.
+// testing.AllocsPerRun counts the detector's shadow allocations, so the
+// zero-allocation regression test only runs in uninstrumented builds.
+const raceEnabled = false

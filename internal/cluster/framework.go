@@ -33,8 +33,42 @@ type HyperCell struct {
 	Cells []space.CellID
 	// Members is the subscriber membership vector s(a).
 	Members *bitset.Set
+	// Packed is a compressed view of Members, present only when the cell is
+	// sparse enough for the chunked representation to win (see packIfSparse).
+	// It is a read-only mirror: Members stays authoritative.
+	Packed *bitset.Compressed
 	// Prob is the empirical publication probability mass of the cells.
 	Prob float64
+}
+
+// ForEachMember visits the cell's member indices in ascending order,
+// iterating the compressed view when one exists (for a sparse cell that
+// touches only its populated chunks, instead of every word of the universe).
+func (h *HyperCell) ForEachMember(fn func(i int) bool) {
+	if h.Packed != nil {
+		h.Packed.ForEach(fn)
+		return
+	}
+	h.Members.ForEach(fn)
+}
+
+// packOccupancyDen is the density cutoff for choosing the compressed
+// representation: a vector is packed when |s| ≤ n/packOccupancyDen. At 1/16
+// occupancy an array container (2 bytes/member) is ≥ 4x smaller than the
+// dense words it replaces, and the chunk-skipping kernels touch
+// proportionally less memory.
+const packOccupancyDen = 16
+
+// packIfSparse returns a compressed view of s when its occupancy is at or
+// below the cutoff, nil otherwise (dense stays the representation of record).
+func packIfSparse(s *bitset.Set) *bitset.Compressed {
+	if s == nil {
+		return nil
+	}
+	if cnt := s.Count(); cnt*packOccupancyDen <= s.Len() {
+		return bitset.Compress(s)
+	}
+	return nil
 }
 
 // Rating is the paper's popularity rating r(a) = p(a)·|s(a)|.
@@ -183,6 +217,11 @@ func buildInput(w *workload.World, grid *space.Grid, budget int, prep func(), ce
 	if budget > 0 && len(cells) > budget {
 		cells = cells[:budget]
 	}
+	// Attach compressed views to the sparse survivors: the clustering scans
+	// (closestWith, add/remove) pick them up per cell by occupancy.
+	for i := range cells {
+		cells[i].Packed = packIfSparse(cells[i].Members)
+	}
 	return &Input{Cells: cells, NumSubscribers: ns, TotalHyperCells: total}, nil
 }
 
@@ -190,8 +229,21 @@ func buildInput(w *workload.World, grid *space.Grid, budget int, prep func(), ce
 // vector of its cells and the grid cells it covers.
 type Group struct {
 	Members *bitset.Set
-	Prob    float64
-	Cells   []space.CellID
+	// Packed is an optional compressed mirror of Members, built by
+	// Result.PackMembers for sparse groups. Members stays authoritative;
+	// Packed must be rebuilt (or dropped) if Members is mutated.
+	Packed *bitset.Compressed
+	Prob   float64
+	Cells  []space.CellID
+}
+
+// Member reports whether subscriber index i belongs to the group, testing
+// the compressed view when one exists.
+func (g *Group) Member(i int) bool {
+	if g.Packed != nil {
+		return g.Packed.Test(i)
+	}
+	return g.Members.Test(i)
 }
 
 // Result couples the groups with the cell→group index used for matching.
@@ -229,6 +281,16 @@ func BuildResult(in *Input, assign Assignment) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// PackMembers attaches compressed views to every group sparse enough to
+// benefit (see packIfSparse). Callers that freeze a Result for the decide
+// plane invoke this once after clustering; callers that keep mutating
+// Members must not.
+func (r *Result) PackMembers() {
+	for i := range r.Groups {
+		r.Groups[i].Packed = packIfSparse(r.Groups[i].Members)
+	}
 }
 
 // NodesOf translates a group's membership vector into network node ids

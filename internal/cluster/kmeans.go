@@ -98,7 +98,7 @@ func newKState(in *Input, k, workers int) *kstate {
 
 func (st *kstate) add(ci, g int) {
 	cell := &st.in.Cells[ci]
-	cell.Members.ForEach(func(i int) bool {
+	cell.ForEachMember(func(i int) bool {
 		st.counts[g][i]++
 		if st.counts[g][i] == 1 {
 			st.members[g].Set(i)
@@ -114,7 +114,7 @@ func (st *kstate) add(ci, g int) {
 func (st *kstate) remove(ci int) {
 	g := st.assign[ci]
 	cell := &st.in.Cells[ci]
-	cell.Members.ForEach(func(i int) bool {
+	cell.ForEachMember(func(i int) bool {
 		st.counts[g][i]--
 		if st.counts[g][i] == 0 {
 			st.members[g].Clear(i)
@@ -143,7 +143,15 @@ func (st *kstate) closest(ci int) int {
 // chosen group — are bit-identical to the two-scan formulation.
 func (st *kstate) closestWith(ci int, xCnt []int) int {
 	cell := &st.in.Cells[ci]
-	bitset.IntersectMany(cell.Members, st.members, xCnt)
+	if cell.Packed != nil {
+		// Sparse cell: the compressed scan touches only its populated
+		// chunks of the K group vectors instead of every word. The counts
+		// are bit-identical (proven by the compressed-vs-dense property
+		// tests), so the chosen group is too.
+		bitset.IntersectManyPacked(cell.Packed, st.members, xCnt)
+	} else {
+		bitset.IntersectMany(cell.Members, st.members, xCnt)
+	}
 	ca := st.cellOnes[ci]
 	best, bestD := -1, 0.0
 	for g := range st.members {
@@ -163,11 +171,16 @@ func (st *kstate) closestWith(ci int, xCnt []int) int {
 func (st *kstate) computeTargets(n int, id func(int) int, target []int) {
 	parallelRange(st.workers, n, func(lo, hi int) {
 		xCnt := st.xCnt
-		if lo != 0 || hi != n { // sharded: private scratch per worker
-			xCnt = make([]int, len(st.members))
+		var sc *bitset.Scratch
+		if lo != 0 || hi != n { // sharded: pooled private scratch per worker
+			sc = bitset.GetScratch()
+			xCnt = sc.Ints(len(st.members))
 		}
 		for i := lo; i < hi; i++ {
 			target[i] = st.closestWith(id(i), xCnt)
+		}
+		if sc != nil {
+			sc.Release()
 		}
 	})
 }

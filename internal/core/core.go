@@ -97,7 +97,7 @@ type Engine struct {
 	nlIdx *matching.NoLossIndex
 
 	groupNodes [][]topology.NodeID
-	overlays   []multicast.Overlay
+	overlays   *overlayTable
 
 	// quarantined groups are skipped by Decide (fallback to unicast) until
 	// the next Refresh/rebuild; the broker's fault-tolerance layer marks
@@ -249,12 +249,11 @@ func (e *Engine) rebuild() error {
 		e.nlIdx = idx
 		e.gridIdx, e.gridIn, e.gridRes = nil, nil, nil
 		e.groupNodes = make([][]topology.NodeID, len(idx.Groups()))
-		e.overlays = make([]multicast.Overlay, len(idx.Groups()))
 		for i := range idx.Groups() {
 			g := idx.Groups()[i]
 			e.groupNodes[i] = g.NodesOf(w)
-			e.overlays[i] = e.model.BuildOverlay(e.groupNodes[i])
 		}
+		e.overlays = newOverlayTable(e.shared, e.groupNodes)
 		e.clearQuarantines()
 		e.markRebuilt()
 		e.tel.liveGroups.Set(int64(len(e.groupNodes)))
@@ -290,14 +289,21 @@ func (e *Engine) adoptGridAssignment(in *cluster.Input, assign cluster.Assignmen
 	if err != nil {
 		return fmt.Errorf("core: grid index: %w", err)
 	}
+	// Attach compressed mirrors to the now-frozen group vectors: the decide
+	// plane's membership tests and the snapshot readers go through them for
+	// sparse groups.
+	res.PackMembers()
 	e.gridIn, e.gridRes, e.gridIdx = in, res, idx
 	e.nlIdx = nil
 	e.groupNodes = make([][]topology.NodeID, len(res.Groups))
-	e.overlays = make([]multicast.Overlay, len(res.Groups))
 	for i := range res.Groups {
 		e.groupNodes[i] = res.Groups[i].NodesOf(e.world)
-		e.overlays[i] = e.model.BuildOverlay(e.groupNodes[i])
 	}
+	// Overlays are built lazily on first ALM costing (see overlayTable):
+	// eager per-group Prim over the metric closure made construction
+	// quadratic in group size and is pure waste for runs that never price
+	// app-level multicast.
+	e.overlays = newOverlayTable(e.shared, e.groupNodes)
 	e.clearQuarantines()
 	e.markRebuilt()
 	e.tel.liveGroups.Set(int64(len(e.groupNodes)))
@@ -374,6 +380,6 @@ func (e *Engine) Group(i int) GroupInfo {
 	return GroupInfo{
 		Index:       i,
 		Nodes:       append([]topology.NodeID(nil), e.groupNodes[i]...),
-		OverlayCost: e.overlays[i].TreeCost,
+		OverlayCost: e.overlays.get(i).TreeCost,
 	}
 }

@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/cluster"
 	"repro/internal/matching"
@@ -64,8 +64,21 @@ type decider struct {
 	nlIdx   *matching.NoLossIndex
 
 	groupNodes  [][]topology.NodeID
-	overlays    []multicast.Overlay
+	overlays    *overlayTable
 	quarantined map[int]bool
+}
+
+// DecideScratch holds the temporaries one delivery decision fills: the
+// R*-tree hit list, the interested-node list and the unicast-remainder
+// list. A decide worker allocates one scratch and reuses it across events
+// (DecisionSnapshot.DecideInto), making the decide path allocation-free in
+// steady state. The Decision returned against a scratch aliases its
+// buffers: it is valid only until the scratch's next use, and callers that
+// retain a Decision must copy the slices first.
+type DecideScratch struct {
+	hits  []int
+	nodes []topology.NodeID
+	rem   []topology.NodeID
 }
 
 // dec builds a decider over the engine's live state.
@@ -96,34 +109,42 @@ func (e *Engine) Decide(ev workload.Event) Decision {
 		e.tel.decides.Inc()
 	}
 	dc := e.dec()
-	return dc.decide(ev, e.model)
+	return dc.decide(ev, e.model, nil)
 }
 
 // decide runs the full decision: static routing plus (when enabled) the
-// dynamic method comparison.
-func (dc *decider) decide(ev workload.Event, cost costModel) Decision {
-	d := dc.decideStatic(ev)
+// dynamic method comparison. A nil scratch allocates fresh slices, giving
+// the caller a Decision it may retain.
+func (dc *decider) decide(ev workload.Event, cost costModel, sc *DecideScratch) Decision {
+	if sc == nil {
+		sc = &DecideScratch{}
+	}
+	d := dc.decideStatic(ev, sc)
 	if !dc.dynamic {
 		return d
 	}
 	return dc.pickMethod(ev, d, cost)
 }
 
-// decideStatic is the Fig 5/6 routing without method re-selection.
-func (dc *decider) decideStatic(ev workload.Event) Decision {
+// decideStatic is the Fig 5/6 routing without method re-selection. The
+// returned Decision's slices are backed by sc.
+func (dc *decider) decideStatic(ev workload.Event, sc *DecideScratch) Decision {
 	d := Decision{Group: -1, Method: multicast.Unicast}
-	hits := dc.tree.SearchPoint(ev.Point)
-	sort.Ints(hits)
+	hits := dc.tree.SearchPointAppend(ev.Point, sc.hits[:0])
+	sc.hits = hits
+	slices.Sort(hits)
 	d.MatchedSubs = hits
-	seen := map[topology.NodeID]bool{}
+	// Distinct interested nodes, ascending: collect every owner, then
+	// sort + compact. Same output as the previous map-dedup-then-sort,
+	// without the per-event map and sort closure allocations.
+	nodes := sc.nodes[:0]
 	for _, si := range hits {
-		n := dc.subs[si].Owner
-		if !seen[n] {
-			seen[n] = true
-			d.Interested = append(d.Interested, n)
-		}
+		nodes = append(nodes, dc.subs[si].Owner)
 	}
-	sort.Slice(d.Interested, func(i, j int) bool { return d.Interested[i] < d.Interested[j] })
+	slices.Sort(nodes)
+	nodes = slices.Compact(nodes)
+	sc.nodes = nodes
+	d.Interested = nodes
 
 	var g int
 	var ok bool
@@ -158,10 +179,15 @@ func (dc *decider) decideStatic(ev workload.Event) Decision {
 
 	d.Method = multicast.NetworkMulticast
 	d.Group = g
+	rem := sc.rem[:0]
 	for _, n := range d.Interested {
 		if !dc.memberOf(g, n) {
-			d.Remainder = append(d.Remainder, n)
+			rem = append(rem, n)
 		}
+	}
+	sc.rem = rem
+	if len(rem) > 0 {
+		d.Remainder = rem
 	}
 	return d
 }
@@ -174,7 +200,8 @@ func (dc *decider) memberOf(g int, n topology.NodeID) bool {
 	if dc.nlIdx != nil {
 		return dc.nlIdx.Groups()[g].Members.Test(idx)
 	}
-	return dc.gridRes.Groups[g].Members.Test(idx)
+	// Group.Member consults the compressed mirror when the group is sparse.
+	return dc.gridRes.Groups[g].Member(idx)
 }
 
 // Costs prices a decision under both multicast frameworks.
@@ -235,7 +262,7 @@ func (dc *decider) costOf(ev workload.Event, d Decision, cost costModel) Costs {
 	}
 	return Costs{
 		Network:  cost.SPTCoverCost(ev.Pub, dc.groupNodes[d.Group]) + top,
-		AppLevel: cost.ALMCost(ev.Pub, dc.overlays[d.Group]) + top,
+		AppLevel: cost.ALMCost(ev.Pub, dc.overlays.get(d.Group)) + top,
 	}
 }
 

@@ -52,9 +52,19 @@ func (s *DecisionSnapshot) GroupNodes(g int) []topology.NodeID {
 }
 
 // Decide plans delivery for one event against the frozen state. view must
-// be owned by the calling goroutine.
+// be owned by the calling goroutine. The returned Decision's slices are
+// freshly allocated and safe to retain.
 func (s *DecisionSnapshot) Decide(ev workload.Event, view *multicast.SPTView) Decision {
-	return s.dec.decide(ev, view)
+	return s.dec.decide(ev, view, nil)
+}
+
+// DecideInto is Decide with caller-owned scratch: the returned Decision's
+// slices alias sc's buffers and are valid only until sc's next use. A
+// decide worker that reuses one scratch across events makes the whole
+// decide path allocation-free in steady state; decisions are bit-identical
+// to Decide. sc must be owned by the calling goroutine.
+func (s *DecisionSnapshot) DecideInto(ev workload.Event, view *multicast.SPTView, sc *DecideScratch) Decision {
+	return s.dec.decide(ev, view, sc)
 }
 
 // CostOf prices a decision made against this snapshot. view must be owned

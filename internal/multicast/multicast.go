@@ -136,13 +136,26 @@ type Overlay struct {
 func (m *Model) BuildOverlay(members []topology.NodeID) Overlay {
 	ms := make([]topology.NodeID, len(members))
 	copy(ms, members)
-	cost, edges := overlayMST(m, ms)
+	cost, edges := overlayMST(m.SPT, ms)
 	return Overlay{Members: ms, TreeCost: cost, Edges: edges}
 }
 
-// overlayMST is Prim's algorithm over the metric closure, using the model's
-// cached SPTs for distances.
-func overlayMST(m *Model, members []topology.NodeID) (float64, [][2]int) {
+// BuildOverlayShared computes a group's application-level overlay against a
+// shared SPT cache. Safe for concurrent use (SharedSPTs fills roots with
+// CAS), and — being Prim over the same deterministic Dijkstra trees —
+// returns an overlay bit-identical to Model.BuildOverlay over the same
+// graph. The decide plane uses this to build overlays lazily, on the worker
+// that first prices a group, instead of eagerly on the engine's writer.
+func BuildOverlayShared(s *SharedSPTs, members []topology.NodeID) Overlay {
+	ms := make([]topology.NodeID, len(members))
+	copy(ms, members)
+	cost, edges := overlayMST(s.SPT, ms)
+	return Overlay{Members: ms, TreeCost: cost, Edges: edges}
+}
+
+// overlayMST is Prim's algorithm over the metric closure; sptOf supplies
+// the (cached) shortest-path tree per member root.
+func overlayMST(sptOf func(topology.NodeID) *routing.SPT, members []topology.NodeID) (float64, [][2]int) {
 	k := len(members)
 	if k <= 1 {
 		return 0, nil
@@ -150,7 +163,7 @@ func overlayMST(m *Model, members []topology.NodeID) (float64, [][2]int) {
 	inTree := make([]bool, k)
 	best := make([]float64, k)
 	bestFrom := make([]int, k)
-	d0 := m.SPT(members[0]).Dist
+	d0 := sptOf(members[0]).Dist
 	for j := 1; j < k; j++ {
 		best[j] = d0[members[j]]
 		bestFrom[j] = 0
@@ -171,7 +184,7 @@ func overlayMST(m *Model, members []topology.NodeID) (float64, [][2]int) {
 		inTree[pick] = true
 		total += best[pick]
 		edges = append(edges, [2]int{bestFrom[pick], pick})
-		dp := m.SPT(members[pick]).Dist
+		dp := sptOf(members[pick]).Dist
 		for j := 0; j < k; j++ {
 			if !inTree[j] && dp[members[j]] < best[j] {
 				best[j] = dp[members[j]]

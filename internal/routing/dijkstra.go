@@ -20,6 +20,10 @@ type SPT struct {
 	Dist       []float64
 	Parent     []topology.NodeID
 	ParentCost []float64 // cost of the edge to Parent, 0 at the root
+	// treeCost is TreeCost computed once at construction. The decide plane
+	// prices broadcast per event; rescanning O(V) parent arrays there would
+	// dominate the decision at large node counts.
+	treeCost float64
 }
 
 type pqItem struct {
@@ -91,6 +95,11 @@ func DijkstraAvoid(g *topology.Graph, root topology.NodeID, blocked func(u, v to
 			}
 		}
 	}
+	for v := range t.Parent {
+		if t.Parent[v] != -1 {
+			t.treeCost += t.ParentCost[v]
+		}
+	}
 	return t
 }
 
@@ -112,16 +121,8 @@ func (t *SPT) PathTo(v topology.NodeID) []topology.NodeID {
 
 // TreeCost returns the total cost of all tree edges reaching reachable
 // nodes — the per-event broadcast cost when the tree is rooted at the
-// publisher.
-func (t *SPT) TreeCost() float64 {
-	c := 0.0
-	for v := range t.Parent {
-		if t.Parent[v] != -1 {
-			c += t.ParentCost[v]
-		}
-	}
-	return c
-}
+// publisher. O(1): the sum is computed once when the tree is built.
+func (t *SPT) TreeCost() float64 { return t.treeCost }
 
 // Coverer computes, against one SPT, the cost of the subtree spanning the
 // root and a target set: the union of root→target shortest paths with each

@@ -301,10 +301,17 @@ func chooseSplit(entries []entry, dim int) (a, b []entry) {
 // SearchPoint returns the ids of all rectangles containing p, in
 // unspecified order.
 func (t *Tree) SearchPoint(p space.Point) []int {
+	return t.SearchPointAppend(p, nil)
+}
+
+// SearchPointAppend appends the ids of all rectangles containing p to out
+// and returns the extended slice, in unspecified order. Passing a reusable
+// buffer (sliced to length 0) makes the query allocation-free once the
+// buffer has grown to the hit count.
+func (t *Tree) SearchPointAppend(p space.Point, out []int) []int {
 	if len(p) != t.dim {
 		panic(fmt.Sprintf("rtree: point dim %d, tree dim %d", len(p), t.dim))
 	}
-	var out []int
 	t.searchPoint(t.root, p, &out)
 	return out
 }

@@ -508,6 +508,9 @@ func (c *Conn) fail(err error) {
 func (c *Conn) readLoop(r *wire.Reader) {
 	defer close(c.readerDone)
 	defer close(c.recv)
+	// Deliver-batch scratch: deliveries are copied into c.recv by value,
+	// so one backing array serves every frame on this connection.
+	var batchBuf []wire.Deliver
 	for {
 		payload, err := r.ReadFrame()
 		if err != nil {
@@ -528,12 +531,13 @@ func (c *Conn) readLoop(r *wire.Reader) {
 		c.met.framesIn.Inc()
 		switch wire.MsgType(payload) {
 		case wire.TypeDeliver:
-			batch, err := wire.DecodeDeliverBatch(payload)
+			batch, err := wire.DecodeDeliverBatchInto(payload, batchBuf[:0])
 			if err != nil {
 				c.fail(fmt.Errorf("transport: bad deliver frame: %w", err))
 				return
 			}
 			c.deliver(batch)
+			batchBuf = batch
 		case wire.TypePubAck:
 			m, err := wire.DecodePubAck(payload)
 			if err != nil {

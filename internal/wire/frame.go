@@ -82,12 +82,22 @@ func NewReader(r io.Reader, maxFrame int) *Reader {
 // is valid until the next ReadFrame call (it aliases an internal buffer).
 // A clean EOF at a frame boundary returns io.EOF; EOF inside a frame
 // returns ErrTruncated.
+//
+// Frames that fit the read buffer take a zero-copy path: the payload is
+// returned directly out of the bufio window (Peek + Discard), so the
+// steady-state read loop performs no per-frame allocation or copy. Larger
+// frames fall back to a reused spill buffer. Decoders never let message
+// fields alias the payload (strings and points are copied out), so the
+// aliasing window ends at the next decode — see TestDecodeDoesNotAliasFrame.
 func (r *Reader) ReadFrame() ([]byte, error) {
-	var hdr [frameHeaderLen]byte
-	if _, err := io.ReadFull(r.r, hdr[:1]); err != nil {
-		return nil, err // clean boundary: propagate io.EOF as-is
-	}
-	if _, err := io.ReadFull(r.r, hdr[1:]); err != nil {
+	hdr, err := r.r.Peek(frameHeaderLen)
+	if len(hdr) < frameHeaderLen {
+		if len(hdr) == 0 && errors.Is(err, io.EOF) {
+			return nil, io.EOF // clean boundary: propagate io.EOF as-is
+		}
+		if err == nil {
+			err = io.ErrUnexpectedEOF
+		}
 		return nil, truncated(err)
 	}
 	n := int(binary.LittleEndian.Uint32(hdr[0:4]))
@@ -95,10 +105,31 @@ func (r *Reader) ReadFrame() ([]byte, error) {
 	if n > r.max {
 		return nil, fmt.Errorf("%w: %d > %d", ErrOversize, n, r.max)
 	}
+
+	var payload []byte
+	if frameHeaderLen+n <= r.r.Size() {
+		// Fast path: header and payload visible in the buffer window.
+		full, err := r.r.Peek(frameHeaderLen + n)
+		if err != nil {
+			return nil, truncated(err)
+		}
+		payload = full[frameHeaderLen:]
+		if got := crc32.Checksum(payload, castagnoli); got != want {
+			return nil, fmt.Errorf("%w: got %08x want %08x", ErrChecksum, got, want)
+		}
+		// Discard never fails after a successful Peek of the same length.
+		r.r.Discard(frameHeaderLen + n)
+		return payload, nil
+	}
+
+	// Spill path: the frame exceeds the window; copy into a reused buffer.
+	if _, err := r.r.Discard(frameHeaderLen); err != nil {
+		return nil, truncated(err)
+	}
 	if cap(r.buf) < n {
 		r.buf = make([]byte, n)
 	}
-	payload := r.buf[:n]
+	payload = r.buf[:n]
 	if _, err := io.ReadFull(r.r, payload); err != nil {
 		return nil, truncated(err)
 	}

@@ -375,11 +375,15 @@ func (c *cursor) done() error {
 	return nil
 }
 
-func open(payload []byte, want Type) (*cursor, error) {
+// open validates the frame type and positions a cursor after the type
+// byte. It returns the cursor by value — callers keep it on the stack, so
+// decoding allocates only for the message's own variable-length fields
+// (strings, points), never for the decoding machinery itself.
+func open(payload []byte, want Type) (cursor, error) {
 	if MsgType(payload) != want {
-		return nil, fmt.Errorf("%w: type %d, want %d", ErrBadMessage, MsgType(payload), want)
+		return cursor{}, fmt.Errorf("%w: type %d, want %d", ErrBadMessage, MsgType(payload), want)
 	}
-	return &cursor{b: payload, off: 1}, nil
+	return cursor{b: payload, off: 1}, nil
 }
 
 // DecodeHello decodes a hello payload.
@@ -490,14 +494,27 @@ func DecodePubAck(payload []byte) (PubAck, error) {
 	return p, c.done()
 }
 
-// DecodeDeliverBatch decodes a deliver batch payload.
+// DecodeDeliverBatch decodes a deliver batch payload into a fresh slice.
 func DecodeDeliverBatch(payload []byte) ([]Deliver, error) {
+	return DecodeDeliverBatchInto(payload, nil)
+}
+
+// DecodeDeliverBatchInto decodes a deliver batch payload, appending to ds
+// (usually a batch scratch sliced to [:0]) so a read loop reuses one
+// backing array across frames. The decoded deliveries share nothing with
+// the payload: every variable-length field is copied out, so the payload
+// may be invalidated (the frame reader reuses its buffer) as soon as this
+// returns. Each Deliver's Ev.Point is freshly allocated and safe for the
+// consumer to retain even after ds is reused.
+func DecodeDeliverBatchInto(payload []byte, ds []Deliver) ([]Deliver, error) {
 	c, err := open(payload, TypeDeliver)
 	if err != nil {
 		return nil, err
 	}
 	n := int(c.u16())
-	ds := make([]Deliver, 0, n)
+	if ds == nil {
+		ds = make([]Deliver, 0, n)
+	}
 	for i := 0; i < n; i++ {
 		var d Deliver
 		d.Did = c.i64()

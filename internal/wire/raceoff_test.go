@@ -1,0 +1,7 @@
+//go:build !race
+
+package wire
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-count assertions only hold in uninstrumented builds.
+const raceEnabled = false

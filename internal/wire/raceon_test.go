@@ -1,0 +1,6 @@
+//go:build race
+
+package wire
+
+// raceEnabled reports whether the race detector instruments this build.
+const raceEnabled = true

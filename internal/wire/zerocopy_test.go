@@ -1,0 +1,184 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/space"
+	"repro/internal/workload"
+)
+
+// TestReadFrameZeroCopySmall: frames that fit the read buffer come back
+// without a copy or an allocation — the payload aliases the bufio window.
+func TestReadFrameZeroCopySmall(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun counts race-detector shadow allocations")
+	}
+	var stream bytes.Buffer
+	w := NewWriter(&stream, 0)
+	const frames = 64
+	for i := 0; i < frames; i++ {
+		if err := w.WriteFrame(AppendPing(nil, uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	loop := bytes.NewReader(bytes.Repeat(stream.Bytes(), 100))
+	r := NewReader(loop, 0)
+	if _, err := r.ReadFrame(); err != nil { // warm the bufio fill
+		t.Fatal(err)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(frames*20, func() {
+		p, err := r.ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := DecodePing(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i++
+		if want := uint64(i % frames); n != want {
+			t.Fatalf("frame %d: nonce %d, want %d", i, n, want)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("small-frame read loop allocates %.1f times per frame, want 0", allocs)
+	}
+}
+
+// TestReadFrameSpillPath: frames larger than the read buffer still decode
+// correctly through the spill buffer, and the buffer is reused.
+func TestReadFrameSpillPath(t *testing.T) {
+	big := make([]byte, 48<<10) // exceeds the 32 KiB bufio window
+	big[0] = byte(TypePing)
+	for i := range big[1:] {
+		big[1+i] = byte(i * 7)
+	}
+	var stream bytes.Buffer
+	w := NewWriter(&stream, len(big))
+	for i := 0; i < 3; i++ {
+		if err := w.WriteFrame(big); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&stream, len(big))
+	for i := 0; i < 3; i++ {
+		p, err := r.ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(p, big) {
+			t.Fatalf("spill frame %d corrupted", i)
+		}
+	}
+	if _, err := r.ReadFrame(); !errors.Is(err, io.EOF) {
+		t.Fatalf("after last frame: %v, want io.EOF", err)
+	}
+}
+
+// TestDecodeDoesNotAliasFrame is the bytes-escape regression test: the
+// zero-copy ReadFrame hands decoders a slice of the connection's read
+// buffer, which the next ReadFrame overwrites. Decoded messages must
+// therefore copy every variable-length field out of the payload. Scribble
+// over the payload after decoding and verify nothing in the messages
+// moved.
+func TestDecodeDoesNotAliasFrame(t *testing.T) {
+	ev := workload.Event{Pub: 7, Point: space.Point{0.25, -1.5, 3.75}}
+	batch := []Deliver{
+		{Did: 1, Seq: 10, Ev: ev, Method: 2, Group: 5, Interested: true},
+		{Did: 2, Seq: 11, Ev: ev, Method: 1, Group: -1},
+	}
+	payloads := [][]byte{
+		AppendSubscribed(nil, Subscribed{ReqID: 1, Slot: 2, Err: "kaboom"}),
+		AppendPublish(nil, Publish{PSeq: 3, Ev: ev}),
+		AppendDeliverBatch(nil, batch),
+		AppendError(nil, ErrorMsg{Code: CodeDraining, Msg: "drain"}),
+	}
+
+	sub, err := DecodeSubscribed(payloads[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := DecodePublish(payloads[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := DecodeDeliverBatchInto(payloads[2], make([]Deliver, 0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := DecodeError(payloads[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the frame reader reusing its buffer underneath the messages.
+	for _, p := range payloads {
+		for i := range p {
+			p[i] = 0xAA
+		}
+	}
+
+	if sub.Err != "kaboom" {
+		t.Errorf("Subscribed.Err aliased the frame: %q", sub.Err)
+	}
+	if em.Msg != "drain" {
+		t.Errorf("ErrorMsg.Msg aliased the frame: %q", em.Msg)
+	}
+	wantPt := space.Point{0.25, -1.5, 3.75}
+	for i, x := range pub.Ev.Point {
+		if x != wantPt[i] {
+			t.Fatalf("Publish.Ev.Point aliased the frame: %v", pub.Ev.Point)
+		}
+	}
+	if len(ds) != 2 {
+		t.Fatalf("decoded %d deliveries, want 2", len(ds))
+	}
+	for di, d := range ds {
+		for i, x := range d.Ev.Point {
+			if x != wantPt[i] {
+				t.Fatalf("Deliver[%d].Ev.Point aliased the frame: %v", di, d.Ev.Point)
+			}
+		}
+	}
+}
+
+// TestDecodeDeliverBatchIntoReuse: a reused scratch keeps its backing
+// array across calls and yields the same deliveries as a fresh decode.
+func TestDecodeDeliverBatchIntoReuse(t *testing.T) {
+	ev := workload.Event{Pub: 3, Point: space.Point{1, 2}}
+	mk := func(did int64) []byte {
+		return AppendDeliverBatch(nil, []Deliver{{Did: did, Seq: did * 10, Ev: ev}})
+	}
+	scratch := make([]Deliver, 0, 4)
+	first, err := DecodeDeliverBatchInto(mk(1), scratch[:0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := DecodeDeliverBatchInto(mk(2), first[:0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &first[:1][0] != &second[:1][0] {
+		t.Error("scratch backing array not reused")
+	}
+	if second[0].Did != 2 || second[0].Seq != 20 {
+		t.Fatalf("reused decode wrong: %+v", second[0])
+	}
+	fresh, err := DecodeDeliverBatch(mk(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh[0].Did != second[0].Did || fresh[0].Seq != second[0].Seq {
+		t.Fatalf("fresh/reused decode mismatch: %+v vs %+v", fresh[0], second[0])
+	}
+}
