@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 race chaos chaos-recovery chaos-wire chaos-replicate bench bench-json bench-baseline bench-decide bench-decide-n bench-recovery bench-wire bench-replicate bench-smoke bench-1m bench-1m-smoke alloc-regression vet staticcheck fmt
+.PHONY: all build test tier1 race chaos chaos-recovery chaos-wire chaos-replicate chaos-federate bench bench-json bench-baseline bench-decide bench-decide-n bench-recovery bench-wire bench-replicate bench-federate bench-smoke bench-1m bench-1m-smoke alloc-regression vet staticcheck fmt
 
 # Label recorded next to a bench-baseline entry in BENCH_cluster.json.
 BENCH_LABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo local)
@@ -116,6 +116,21 @@ chaos-wire:
 # twice under the race detector.
 chaos-replicate:
 	$(GO) test -race -count=2 ./internal/replicate/
+
+# chaos-federate runs the federation suite — partition derivation, the
+# cross-shard exactly-once router tests (boundary straddlers, overlap
+# dedup, fenced-leader rerouting, remote shards over the wire) and the
+# chaos matrix where a replicated shard pair fails over mid-fan-out under
+# concurrent churn — twice under the race detector.
+chaos-federate:
+	$(GO) test -race -count=2 ./internal/federate/
+
+# bench-federate measures end-to-end publish→deliver latency (p50/p99)
+# through the federation router at 1 shard vs 4 shards and appends a
+# labelled entry to BENCH_cluster.json — the fan-out/merge overhead row.
+bench-federate:
+	$(GO) test -run '^$$' -bench 'BenchmarkFederatePublishDeliver' -count=3 ./internal/federate/ | \
+		$(GO) run ./cmd/benchrecord -file BENCH_cluster.json -label "$(BENCH_LABEL)-federate"
 
 # bench-replicate measures the replicated publish barrier (dual-fsync
 # p50/p99 lag) and the full failover time (kill → detection → promotion →

@@ -30,6 +30,10 @@
 //	durable   crash–restart durability timeline: clean incarnation →
 //	          scheduled mid-stream crash → journal-replay recovery, with
 //	          preserved counters and recovery stats per incarnation
+//	federate  federation sweep: the evaluation stream through 1-, 2- and
+//	          4-shard rectangle-partitioned federations, exactly-once
+//	          checked against the brute-force match, with fan-out and
+//	          merge-latency accounting per width
 //	all       run everything above in order
 //
 // Flags:
@@ -109,7 +113,7 @@ func main() {
 	flag.StringVar(&opt.memprofile, "memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: pubsub-bench [flags] table1|table2|baseline|fig7|fig8|fig9|fig10|fig11|scenarios|ablation|faults|recovery|churn|durable|all\n")
+			"usage: pubsub-bench [flags] table1|table2|baseline|fig7|fig8|fig9|fig10|fig11|scenarios|ablation|faults|recovery|churn|durable|federate|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -201,8 +205,10 @@ func run(name string, opt options) error {
 		return runChurn(opt)
 	case "durable":
 		return runDurable(opt)
+	case "federate":
+		return runFederateSweep(opt)
 	case "all":
-		for _, n := range []string{"table1", "table2", "baseline", "fig7", "fig8", "fig9", "fig10", "scenarios", "interest", "frontier", "ablation", "faults", "recovery", "churn", "durable"} {
+		for _, n := range []string{"table1", "table2", "baseline", "fig7", "fig8", "fig9", "fig10", "scenarios", "interest", "frontier", "ablation", "faults", "recovery", "churn", "durable", "federate"} {
 			if err := run(n, opt); err != nil {
 				return fmt.Errorf("%s: %w", n, err)
 			}
@@ -649,6 +655,33 @@ func runChurn(opt options) error {
 	}
 	return opt.writeCSV("churn.csv", func(f *os.File) error {
 		return experiments.RenderChurnCSV(f, pts)
+	})
+}
+
+// runFederateSweep replays the evaluation stream through federations of
+// increasing shard counts, verifying exactly-once delivery against the
+// brute-force match and reporting fan-out and merge-latency per width.
+func runFederateSweep(opt options) error {
+	env, err := experiments.NewStockEnv(opt.envConfig())
+	if err != nil {
+		return err
+	}
+	cfg := experiments.FederateSweepConfig{}
+	if opt.quick {
+		cfg.ShardCounts = []int{1, 4}
+		cfg.Groups = 20
+		cfg.CellBudget = 400
+	}
+	pts, err := experiments.RunFederate(env, cfg)
+	if err != nil {
+		return err
+	}
+	if err := experiments.RenderFederate(os.Stdout,
+		"Federation sweep: rectangle-partitioned shards with cross-shard exactly-once merge", pts); err != nil {
+		return err
+	}
+	return opt.writeCSV("federate.csv", func(f *os.File) error {
+		return experiments.RenderFederateCSV(f, pts)
 	})
 }
 

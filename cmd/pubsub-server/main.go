@@ -35,6 +35,18 @@
 //	-epoch-dir DIR   store the replication fencing epoch here instead of
 //	                 inside -data-dir (e.g. on storage that survives a
 //	                 data-dir rebuild)
+//	-shards N        run an in-process federation: partition the
+//	                 subscription space into N tiles (N a power of two)
+//	                 and serve them through a federate.Router with
+//	                 cross-shard exactly-once merge; incompatible with
+//	                 -data-dir/-replica-of/-epoch-dir (run one durable
+//	                 shard per process with -shard-of instead)
+//	-shard-of I/N    serve only tile I of the N-tile derived partition:
+//	                 the world is restricted to the subscriptions
+//	                 intersecting that tile, and a federation router in
+//	                 another process fans events out across the N
+//	                 daemons; composes with -data-dir and -replica-of,
+//	                 so each shard can be a replicated pair
 //	-session-timeout D  how long a disconnected session may resume
 //	                 (default 10s)
 //	-drain-timeout D maximum graceful-drain time on SIGINT/SIGTERM
@@ -69,6 +81,8 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -76,6 +90,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/durable"
+	"repro/internal/federate"
 	"repro/internal/health"
 	"repro/internal/noloss"
 	"repro/internal/replicate"
@@ -104,6 +119,9 @@ type options struct {
 	dataDir       string
 	replicaOf     string
 	epochDir      string
+	shards        int
+	shardsSet     bool // -shards given explicitly (even as 0)
+	shardOf       string
 
 	sessionTimeout time.Duration
 	drainTimeout   time.Duration
@@ -134,7 +152,45 @@ func (o options) validate() error {
 	if o.epochDir != "" && o.dataDir == "" {
 		return errors.New("-epoch-dir requires -data-dir (fencing is part of durable state)")
 	}
+	if o.shardsSet {
+		if !powerOfTwo(o.shards) {
+			return fmt.Errorf("-shards = %d: must be a power of two ≥ 1", o.shards)
+		}
+		if o.shardOf != "" {
+			return errors.New("-shards and -shard-of are mutually exclusive: -shards runs the whole federation in one process, -shard-of serves one tile of it")
+		}
+		if o.dataDir != "" || o.replicaOf != "" || o.epochDir != "" {
+			return errors.New("-shards is incompatible with -data-dir/-replica-of/-epoch-dir: run one durable shard per process with -shard-of instead")
+		}
+	}
+	if o.shardOf != "" {
+		if _, _, err := parseShardOf(o.shardOf); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+func powerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// parseShardOf parses the -shard-of INDEX/COUNT flag.
+func parseShardOf(s string) (idx, n int, err error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return 0, 0, fmt.Errorf("-shard-of = %q: want INDEX/COUNT, e.g. 0/4", s)
+	}
+	idx, err1 := strconv.Atoi(s[:slash])
+	n, err2 := strconv.Atoi(s[slash+1:])
+	if err1 != nil || err2 != nil {
+		return 0, 0, fmt.Errorf("-shard-of = %q: want INDEX/COUNT, e.g. 0/4", s)
+	}
+	if !powerOfTwo(n) {
+		return 0, 0, fmt.Errorf("-shard-of = %q: shard count %d must be a power of two ≥ 1", s, n)
+	}
+	if idx < 0 || idx >= n {
+		return 0, 0, fmt.Errorf("-shard-of = %q: index %d out of range [0, %d)", s, idx, n)
+	}
+	return idx, n, nil
 }
 
 func main() {
@@ -155,10 +211,17 @@ func main() {
 	flag.StringVar(&opt.dataDir, "data-dir", "", "durable broker state directory")
 	flag.StringVar(&opt.replicaOf, "replica-of", "", "run as a warm standby of the leader at this address")
 	flag.StringVar(&opt.epochDir, "epoch-dir", "", "fencing-epoch directory (default: -data-dir)")
+	flag.IntVar(&opt.shards, "shards", 0, "run an in-process federation of this many shards (power of two)")
+	flag.StringVar(&opt.shardOf, "shard-of", "", "serve tile INDEX/COUNT of the derived partition")
 	flag.DurationVar(&opt.sessionTimeout, "session-timeout", 10*time.Second, "disconnected-session resume window")
 	flag.DurationVar(&opt.drainTimeout, "drain-timeout", 30*time.Second, "maximum graceful-drain time on shutdown")
 	flag.StringVar(&opt.httpAddr, "http", "", "serve /metrics and /debug/pprof/ on this address")
 	flag.Parse()
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "shards" {
+			opt.shardsSet = true
+		}
+	})
 
 	if err := opt.validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "pubsub-server: %v\n", err)
@@ -170,25 +233,26 @@ func main() {
 	}
 }
 
-// buildEngine constructs the world and clustering engine both roles share:
-// a standby needs the identical engine for promotion, a leader for serving.
-func buildEngine(opt options, reg *telemetry.Registry) (*core.Engine, *workload.World, error) {
+// buildWorld constructs the deterministic full world every role derives
+// from the seed.
+func buildWorld(opt options) (*workload.World, error) {
 	topo := topology.Eval600
 	topo.Seed = opt.seed
 	g, err := topology.Generate(topo)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	w, err := workload.NewStockWorld(g, workload.StockConfig{
+	return workload.NewStockWorld(g, workload.StockConfig{
 		NumSubscriptions: opt.subs,
 		BlockSplit:       []float64{0.4, 0.3, 0.3},
 		NameMeans:        []float64{3, 10, 17},
 		PubModes:         opt.modes,
 		Seed:             opt.seed + 1,
 	})
-	if err != nil {
-		return nil, nil, err
-	}
+}
+
+// clusterConfig resolves the -alg selection into a core configuration.
+func clusterConfig(opt options) (core.Config, error) {
 	cfg := core.Config{Groups: opt.groups, CellBudget: opt.budget, Threshold: opt.threshold, DynamicMethod: opt.dynamic}
 	switch opt.alg {
 	case "kmeans":
@@ -204,11 +268,40 @@ func buildEngine(opt options, reg *telemetry.Registry) (*core.Engine, *workload.
 	case "noloss":
 		cfg.NoLoss = &noloss.Config{PoolSize: 5000, Iterations: 8}
 	default:
-		return nil, nil, fmt.Errorf("unknown algorithm %q", opt.alg)
+		return core.Config{}, fmt.Errorf("unknown algorithm %q", opt.alg)
+	}
+	return cfg, nil
+}
+
+// buildEngine constructs the world and clustering engine both roles share:
+// a standby needs the identical engine for promotion, a leader for serving.
+// With -shard-of the world is first restricted to the owned tile, so a
+// leader/standby pair running the same flags agree on the base state.
+func buildEngine(opt options, reg *telemetry.Registry) (*core.Engine, *workload.World, error) {
+	w, err := buildWorld(opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg, err := clusterConfig(opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	train := w.Events(2000, opt.seed+2)
+	if opt.shardOf != "" {
+		idx, n, _ := parseShardOf(opt.shardOf) // validated at startup
+		tiles, err := federate.Derive(w, train, n)
+		if err != nil {
+			return nil, nil, err
+		}
+		w, err = federate.TileWorld(w, tiles[idx])
+		if err != nil {
+			return nil, nil, err
+		}
+		fmt.Printf("shard:      tile %d/%d %v, %d subscriptions\n", idx, n, tiles[idx], len(w.Subs))
 	}
 
 	start := time.Now()
-	engine, err := core.NewFromWorld(w, w.Events(2000, opt.seed+2), cfg)
+	engine, err := core.NewFromWorld(w, train, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -243,6 +336,9 @@ func brokerOptions(opt options, reg *telemetry.Registry, srv *transport.Server) 
 
 func run(opt options) error {
 	reg := telemetry.NewRegistry()
+	if opt.shardsSet {
+		return runFederated(opt, reg)
+	}
 	engine, w, err := buildEngine(opt, reg)
 	if err != nil {
 		return err
@@ -281,6 +377,77 @@ func run(opt options) error {
 		}
 	}
 	return serve(opt, reg, srv, b, ldr)
+}
+
+// runFederated runs the whole federation in one process: derive the
+// N-tile partition from the seeded world, build one broker per tile, and
+// serve the federate.Router — which fans publishes out to overlapping
+// tiles and merges deliveries exactly-once — as the wire backend.
+func runFederated(opt options, reg *telemetry.Registry) error {
+	w, err := buildWorld(opt)
+	if err != nil {
+		return err
+	}
+	cfg, err := clusterConfig(opt)
+	if err != nil {
+		return err
+	}
+	train := w.Events(2000, opt.seed+2)
+	tiles, err := federate.Derive(w, train, opt.shards)
+	if err != nil {
+		return err
+	}
+
+	srv := transport.NewServer(transport.Config{Registry: reg, SessionTimeout: opt.sessionTimeout})
+	r, err := federate.NewRouter(federate.Config{Tiles: tiles, Observer: srv.Dispatch})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	for i, tile := range tiles {
+		tw, err := federate.TileWorld(w, tile)
+		if err != nil {
+			r.Close()
+			return err
+		}
+		engine, err := core.NewFromWorld(tw, train, cfg)
+		if err != nil {
+			r.Close()
+			return err
+		}
+		bopts := []broker.Option{
+			broker.WithWorkers(opt.workers),
+			broker.WithDecideWorkers(opt.decideWorkers),
+			broker.WithObserver(r.ShardObserver(i)),
+		}
+		if opt.maxInflight > 0 || opt.shedPolicy != "" {
+			hc := health.Config{MaxInflight: opt.maxInflight, Seed: opt.seed}
+			if opt.shedPolicy != "" {
+				hc.Policy, _ = health.ParsePolicy(opt.shedPolicy) // validated already
+			}
+			h, err := health.New(hc)
+			if err != nil {
+				r.Close()
+				return err
+			}
+			bopts = append(bopts, broker.WithHealth(h))
+		}
+		b, err := broker.New(engine, bopts...)
+		if err != nil {
+			r.Close()
+			return err
+		}
+		if err := r.Attach(i, b); err != nil {
+			b.Close()
+			r.Close()
+			return err
+		}
+		fmt.Printf("shard %d:    tile %v, %d subscriptions, %d non-empty groups\n",
+			i, tile, len(tw.Subs), engine.NumGroups())
+	}
+	fmt.Printf("federation: %d shards (%s, K=%d each) built in %v\n",
+		opt.shards, opt.alg, opt.groups, time.Since(start).Round(time.Millisecond))
+	return serve(opt, reg, srv, r, nil)
 }
 
 // runReplica runs the warm-standby role: mirror the leader's journal
@@ -336,7 +503,7 @@ func runReplica(opt options, reg *telemetry.Registry, engine *core.Engine, w *wo
 // broker is a replication leader; it is closed after the transport drain
 // so the final checkpoint ships to a connected follower first, and so the
 // replication session (which Serve waits on like any connection) ends.
-func serve(opt options, reg *telemetry.Registry, srv *transport.Server, b *broker.Broker, ldr *replicate.Leader) error {
+func serve(opt options, reg *telemetry.Registry, srv *transport.Server, b transport.Backend, ldr *replicate.Leader) error {
 	closeBroker := func() {
 		if ldr != nil {
 			ldr.Close()
@@ -345,10 +512,12 @@ func serve(opt options, reg *telemetry.Registry, srv *transport.Server, b *broke
 		}
 	}
 	if opt.dataDir != "" {
-		rec := b.Recovery()
-		fmt.Printf("durable:    %s: checkpoint %v, %d journal(s), %d records replayed in %v\n",
-			opt.dataDir, rec.CheckpointLoaded, rec.JournalsReplayed, rec.RecordsReplayed,
-			rec.Duration.Round(time.Microsecond))
+		if db, ok := b.(*broker.Broker); ok {
+			rec := db.Recovery()
+			fmt.Printf("durable:    %s: checkpoint %v, %d journal(s), %d records replayed in %v\n",
+				opt.dataDir, rec.CheckpointLoaded, rec.JournalsReplayed, rec.RecordsReplayed,
+				rec.Duration.Round(time.Microsecond))
+		}
 	}
 	if ldr != nil {
 		fmt.Printf("replicate:  epoch %d; followers attach on the client listener\n", ldr.Term())

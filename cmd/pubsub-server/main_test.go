@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func baseOptions() options {
+	return options{
+		workers:      4,
+		drainTimeout: 30 * time.Second,
+	}
+}
+
+func TestValidateShardFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		mut     func(*options)
+		wantErr string
+	}{
+		{"defaults ok", func(o *options) {}, ""},
+		{"shards 4 ok", func(o *options) { o.shards, o.shardsSet = 4, true }, ""},
+		{"shards 1 ok", func(o *options) { o.shards, o.shardsSet = 1, true }, ""},
+		{"shards 0 rejected", func(o *options) { o.shards, o.shardsSet = 0, true }, "power of two"},
+		{"shards negative rejected", func(o *options) { o.shards, o.shardsSet = -2, true }, "power of two"},
+		{"shards 3 rejected", func(o *options) { o.shards, o.shardsSet = 3, true }, "power of two"},
+		{"shards 6 rejected", func(o *options) { o.shards, o.shardsSet = 6, true }, "power of two"},
+		{"shards with data-dir rejected", func(o *options) {
+			o.shards, o.shardsSet = 4, true
+			o.dataDir = "/tmp/x"
+		}, "incompatible"},
+		{"shards with replica-of rejected", func(o *options) {
+			o.shards, o.shardsSet = 4, true
+			o.dataDir, o.replicaOf = "/tmp/x", "127.0.0.1:1"
+		}, "incompatible"},
+		{"shards with shard-of rejected", func(o *options) {
+			o.shards, o.shardsSet = 4, true
+			o.shardOf = "0/4"
+		}, "mutually exclusive"},
+		{"shard-of ok", func(o *options) { o.shardOf = "2/4" }, ""},
+		{"shard-of with replicated pair ok", func(o *options) {
+			o.shardOf = "0/2"
+			o.dataDir, o.replicaOf = "/tmp/x", "127.0.0.1:1"
+		}, ""},
+		{"shard-of malformed", func(o *options) { o.shardOf = "zero/4" }, "INDEX/COUNT"},
+		{"shard-of no slash", func(o *options) { o.shardOf = "3" }, "INDEX/COUNT"},
+		{"shard-of count not power of two", func(o *options) { o.shardOf = "1/3" }, "power of two"},
+		{"shard-of count zero", func(o *options) { o.shardOf = "0/0" }, "power of two"},
+		{"shard-of index out of range", func(o *options) { o.shardOf = "4/4" }, "out of range"},
+		{"shard-of negative index", func(o *options) { o.shardOf = "-1/4" }, "out of range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := baseOptions()
+			tc.mut(&o)
+			err := o.validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validate() accepted a contradictory combination, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validate() = %q, want mention of %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseShardOf(t *testing.T) {
+	idx, n, err := parseShardOf("3/8")
+	if err != nil || idx != 3 || n != 8 {
+		t.Fatalf("parseShardOf(3/8) = (%d, %d, %v), want (3, 8, nil)", idx, n, err)
+	}
+}

@@ -665,10 +665,23 @@ func New(engine *core.Engine, opts ...Option) (*Broker, error) {
 // instead of blocking; a Block-policy wait interrupted by Close returns
 // ErrClosed. Safe to race with Close.
 func (b *Broker) Publish(ev workload.Event) error {
+	_, err := b.PublishSeq(ev)
+	return err
+}
+
+// PublishSeq is Publish reporting the publication sequence number the
+// event consumed: deliveries of this event carry it as Delivery.Seq. The
+// returned seq is -1 exactly when the event never entered the broker's
+// history (closed broker, admission rejection). A non-negative seq with a
+// non-nil error means the seq was consumed — and, for durable brokers,
+// possibly journaled — before the failure, so a recovery replay may still
+// deliver under it; federation routers record the seq even on error so
+// cross-shard dedup recognises those replays.
+func (b *Broker) PublishSeq(ev workload.Event) (int64, error) {
 	b.closeMu.RLock()
 	defer b.closeMu.RUnlock()
 	if b.closed {
-		return ErrClosed
+		return -1, ErrClosed
 	}
 	var tok *health.Token
 	if b.health != nil {
@@ -681,9 +694,9 @@ func (b *Broker) Publish(ev workload.Event) error {
 		tok, err = b.health.Admission.Admit()
 		if err != nil {
 			if errors.Is(err, health.ErrClosed) {
-				return ErrClosed
+				return -1, ErrClosed
 			}
-			return err
+			return -1, err
 		}
 	}
 	seq := b.seq.Add(1) - 1
@@ -696,11 +709,11 @@ func (b *Broker) Publish(ev workload.Event) error {
 		if err := b.dur.store.AppendPublish(seq, ev); err != nil {
 			b.dur.inflight.Delete(seq)
 			tok.Release()
-			return err
+			return seq, err
 		}
 	}
 	b.publishCh <- queued{seq: seq, ev: ev, snap: b.snap.Load(), tok: tok}
-	return nil
+	return seq, nil
 }
 
 // Subscribe registers a new subscription with the running broker and

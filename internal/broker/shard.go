@@ -38,6 +38,14 @@ type Shard interface {
 	// return means the publication is accepted (and, for durable shards,
 	// journaled): it will be delivered to every matching subscriber.
 	Decide(ev workload.Event) error
+	// DecideSeq is Decide reporting the shard-local publication sequence
+	// the event consumed (deliveries carry it as Delivery.Seq), or -1 when
+	// the event never entered the shard's history. A non-negative seq
+	// alongside a non-nil error means the seq was consumed — possibly
+	// journaled — before the failure; a federation router records it so
+	// recovery replays of the half-accepted publish dedup against the
+	// router's retry.
+	DecideSeq(ev workload.Event) (int64, error)
 	// Apply performs one subscription mutation and returns the slot the
 	// shard assigned (meaningful for additions).
 	Apply(m Mutation) (slot int, err error)
@@ -57,6 +65,10 @@ var _ Shard = (*Broker)(nil)
 // Decide implements Shard: it is Publish under the federation contract's
 // name.
 func (b *Broker) Decide(ev workload.Event) error { return b.Publish(ev) }
+
+// DecideSeq implements Shard: PublishSeq under the federation contract's
+// name.
+func (b *Broker) DecideSeq(ev workload.Event) (int64, error) { return b.PublishSeq(ev) }
 
 // Apply implements Shard, dispatching to Subscribe or Unsubscribe.
 func (b *Broker) Apply(m Mutation) (int, error) {

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFederateSmall(t *testing.T) {
+	env := smallEnv(t, 92)
+	pts, err := RunFederate(env, FederateSweepConfig{
+		ShardCounts: []int{1, 4},
+		Groups:      20,
+		CellBudget:  400,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.Duplicates != 0 || p.Missing != 0 {
+			t.Errorf("%d shards: %d duplicates, %d missing — exactly-once violated",
+				p.Shards, p.Duplicates, p.Missing)
+		}
+		if p.Stats.Published != int64(len(env.Eval)) {
+			t.Errorf("%d shards: published %d events, want %d", p.Shards, p.Stats.Published, len(env.Eval))
+		}
+		if p.Stats.Fanout < p.Stats.Published {
+			t.Errorf("%d shards: fanout %d below published %d", p.Shards, p.Stats.Fanout, p.Stats.Published)
+		}
+		if p.P99 < p.P50 {
+			t.Errorf("%d shards: p99 %v below p50 %v", p.Shards, p.P99, p.P50)
+		}
+	}
+	// A single tile covers everything; the sharded run must register the
+	// boundary straddlers on several shards.
+	if pts[0].Straddlers != 0 {
+		t.Errorf("1-shard run reports %d straddlers", pts[0].Straddlers)
+	}
+	if pts[1].Straddlers == 0 {
+		t.Error("4-shard run reports no straddlers; partition is suspiciously clean")
+	}
+	if pts[1].Stats.CrossShardSubs != 0 {
+		t.Errorf("pre-seeded subs went through the router: CrossShardSubs = %d", pts[1].Stats.CrossShardSubs)
+	}
+
+	var tab, csv strings.Builder
+	if err := RenderFederate(&tab, "federation sweep", pts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tab.String(), "straddlers") {
+		t.Error("table missing header")
+	}
+	if err := RenderFederateCSV(&csv, pts); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(csv.String(), "\n"); got != 3 {
+		t.Errorf("csv has %d lines, want 3", got)
+	}
+}

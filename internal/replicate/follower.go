@@ -509,6 +509,9 @@ func (f *Follower) Close() error {
 // Decide rejects publishes: standbys do not serve writes.
 func (f *Follower) Decide(workload.Event) error { return ErrNotLeader }
 
+// DecideSeq rejects publishes: standbys do not serve writes.
+func (f *Follower) DecideSeq(workload.Event) (int64, error) { return -1, ErrNotLeader }
+
 // Apply rejects subscription churn: standbys do not serve writes.
 func (f *Follower) Apply(broker.Mutation) (int, error) { return 0, ErrNotLeader }
 

@@ -752,6 +752,11 @@ func (l *Leader) Close() error {
 // before the ack, and ErrFenced surfaces here once superseded.
 func (l *Leader) Decide(ev workload.Event) error { return l.b.Publish(ev) }
 
+// DecideSeq is Decide reporting the consumed publication seq (see
+// broker.Shard); a seq consumed before an ErrFenced or crash failure is
+// reported so a federation router can dedup the mirrored replay.
+func (l *Leader) DecideSeq(ev workload.Event) (int64, error) { return l.b.PublishSeq(ev) }
+
 // Apply performs one subscription mutation on the underlying broker.
 func (l *Leader) Apply(m broker.Mutation) (int, error) { return l.b.Apply(m) }
 

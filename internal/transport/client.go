@@ -250,28 +250,39 @@ func (c *Conn) nextID() int64 {
 // and the server's dedup window guarantees it enters the broker at most
 // once.
 func (c *Conn) Publish(ev workload.Event) error {
+	_, err := c.PublishSeq(ev)
+	return err
+}
+
+// PublishSeq is Publish reporting the broker publication sequence the
+// event consumed (deliveries of the event carry the same seq), or -1 when
+// the event never entered the broker's history. Like the in-process
+// broker's PublishSeq, a non-negative seq may accompany an error — the
+// remote broker consumed (and possibly journaled) the seq before failing.
+func (c *Conn) PublishSeq(ev workload.Event) (int64, error) {
 	pseq := c.nextID()
 	frame := wire.AppendPublish(nil, wire.Publish{PSeq: pseq, Ev: ev})
-	p := &pending{frame: frame, done: make(chan string, 1)}
+	p := &pending{frame: frame, done: make(chan string, 1), extra: make(chan int64, 1)}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return c.terminalErr()
+		return -1, c.terminalErr()
 	}
 	c.pubs[pseq] = p
 	c.mu.Unlock()
 	if err := c.writeFrame(frame); err != nil {
-		return err
+		return -1, err
 	}
 	c.met.publishes.Inc()
 	msg, ok := <-p.done
 	if !ok {
-		return c.terminalErr()
+		return -1, c.terminalErr()
 	}
+	seq := <-p.extra
 	if msg != "" {
-		return errors.New(msg)
+		return seq, errors.New(msg)
 	}
-	return nil
+	return seq, nil
 }
 
 // Subscribe registers an interest rectangle for owner and returns the
@@ -549,6 +560,9 @@ func (c *Conn) readLoop(r *wire.Reader) {
 			delete(c.pubs, m.PSeq)
 			c.mu.Unlock()
 			if p != nil {
+				if p.extra != nil {
+					p.extra <- m.Seq
+				}
 				p.done <- m.Err
 			}
 		case wire.TypeSubscribed:

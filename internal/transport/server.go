@@ -26,6 +26,28 @@ import (
 // ErrServerClosed is returned by Serve after Shutdown or Close.
 var ErrServerClosed = errors.New("transport: server closed")
 
+// Backend is the decision fabric a Server bridges to the wire: the
+// in-process broker.Broker is the canonical implementation, and a
+// federation router (internal/federate) that partitions the subscription
+// space across shards satisfies the same surface, so one daemon can serve
+// either. Deliveries flow the other way — register the Server's Dispatch
+// as the backend's delivery observer.
+type Backend interface {
+	// PublishSeq admits one event, reporting the publication sequence it
+	// consumed (-1 when it never entered the backend's history).
+	PublishSeq(ev workload.Event) (int64, error)
+	// Subscribe registers an interest rectangle and returns its slot.
+	Subscribe(s workload.Subscription) (int, error)
+	// Unsubscribe releases a slot returned by Subscribe.
+	Unsubscribe(slot int) error
+	// Close drains and stops the backend.
+	Close() error
+}
+
+// Backend conformance is pinned where the implementations live; the
+// broker's is asserted here to keep the contract obvious.
+var _ Backend = (*broker.Broker)(nil)
+
 // Config tunes a Server. The zero value is usable: every field has a
 // default applied by NewServer.
 type Config struct {
@@ -101,7 +123,7 @@ type Server struct {
 	met *metrics
 
 	mu        sync.Mutex
-	b         *broker.Broker
+	b         Backend
 	ln        net.Listener
 	sessions  map[uint64]*session
 	byNode    map[topology.NodeID]map[*session]int // refcount of slots per session
@@ -151,6 +173,7 @@ func (srv *Server) Dispatch(n topology.NodeID, d broker.Delivery) {
 		return
 	}
 	wd := wire.Deliver{
+		Node:       n,
 		Seq:        d.Seq,
 		Ev:         d.Event,
 		Method:     byte(d.Method),
@@ -165,7 +188,7 @@ func (srv *Server) Dispatch(n topology.NodeID, d broker.Delivery) {
 // Serve accepts connections on ln, speaking to b, until Shutdown or
 // Close. It always returns a non-nil error; after a graceful stop that
 // error is ErrServerClosed.
-func (srv *Server) Serve(ln net.Listener, b *broker.Broker) error {
+func (srv *Server) Serve(ln net.Listener, b Backend) error {
 	srv.mu.Lock()
 	if srv.closed {
 		srv.mu.Unlock()
@@ -470,12 +493,19 @@ func (srv *Server) dropNodeRef(sess *session, owner topology.NodeID) {
 // enters the broker exactly once. The dedup window records a pseq only
 // after the broker accepted it — a failed publish stays retryable.
 func (srv *Server) handlePublish(sess *session, m wire.Publish) {
-	reply := wire.PubAck{PSeq: m.PSeq}
+	reply := wire.PubAck{PSeq: m.PSeq, Seq: -1}
 	sess.mu.Lock()
 	dup := sess.pubWin.Seen(m.PSeq)
 	sess.mu.Unlock()
 	if dup {
 		srv.met.publishDups.Inc()
+		// Replay the original ack when it is still cached, so a client
+		// whose ack was lost in a disconnect still learns the broker seq
+		// its publish consumed.
+		if cached := sess.cachedCtrlReply(m.PSeq); cached != nil {
+			sess.sendCtrl(cached)
+			return
+		}
 		sess.sendCtrl(wire.AppendPubAck(nil, reply))
 		return
 	}
@@ -485,13 +515,25 @@ func (srv *Server) handlePublish(sess *session, m wire.Publish) {
 	srv.mu.Unlock()
 	if draining {
 		reply.Err = "server draining"
-	} else if err := b.Publish(m.Ev); err != nil {
+	} else if seq, err := b.PublishSeq(m.Ev); err != nil {
+		// The seq still reports, even alongside an error: a consumed seq
+		// may have been journaled before the failure, and a federation
+		// router needs it to dedup a recovery replay against its retry.
+		reply.Seq = seq
 		reply.Err = err.Error()
 	} else {
+		reply.Seq = seq
 		srv.met.publishes.Inc()
 		sess.mu.Lock()
 		sess.pubWin.Admit(m.PSeq)
 		sess.mu.Unlock()
+		// Cache the successful ack for retransmission (pseqs share the
+		// control request-id space on the client, so the one cache serves
+		// both).
+		frame := wire.AppendPubAck(nil, reply)
+		sess.cacheCtrlReply(m.PSeq, frame)
+		sess.sendCtrl(frame)
+		return
 	}
 	sess.sendCtrl(wire.AppendPubAck(nil, reply))
 }

@@ -40,7 +40,12 @@ import (
 
 // Version is the protocol version carried in every hello frame. A server
 // refuses a hello whose version it does not speak.
-const Version uint16 = 1
+//
+// v2 widened two frames for broker federation: PubAck carries the broker
+// publication seq the event consumed, and Deliver carries the destination
+// node (a session subscribed for several owners — a federation router —
+// needs the attribution to dedup across shards).
+const Version uint16 = 2
 
 // DefaultMaxFrame bounds a frame's payload length (1 MiB). Both sides
 // reject longer frames before allocating for them.

@@ -109,17 +109,24 @@ type Publish struct {
 }
 
 // PubAck acknowledges a publish; a non-empty Err reports rejection
-// (overload, draining, closed).
+// (overload, draining, closed). Seq is the broker publication sequence
+// the event consumed, -1 when it never entered the broker's history —
+// deliveries of the event carry the same seq, which is how a federation
+// router correlates a remote shard's deliveries with its own fan-out.
 type PubAck struct {
 	PSeq int64
+	Seq  int64
 	Err  string
 }
 
 // Deliver is one delivery inside a TypeDeliver batch. Did is the
 // per-session delivery id (contiguous, assigned at enqueue — the resume
-// watermark); Seq is the broker's publication sequence number.
+// watermark); Seq is the broker's publication sequence number; Node is
+// the subscriber node the delivery is addressed to (a session subscribed
+// for several owners needs the attribution).
 type Deliver struct {
 	Did        int64
+	Node       topology.NodeID
 	Seq        int64
 	Ev         workload.Event
 	Method     byte
@@ -231,6 +238,7 @@ func AppendPublish(b []byte, p Publish) []byte {
 func AppendPubAck(b []byte, p PubAck) []byte {
 	b = append(b, byte(TypePubAck))
 	b = lei64(b, p.PSeq)
+	b = lei64(b, p.Seq)
 	return appendString(b, p.Err)
 }
 
@@ -241,6 +249,7 @@ func AppendDeliverBatch(b []byte, ds []Deliver) []byte {
 	b = le16(b, uint16(len(ds)))
 	for _, d := range ds {
 		b = lei64(b, d.Did)
+		b = lei64(b, int64(d.Node))
 		b = lei64(b, d.Seq)
 		b = appendEvent(b, d.Ev)
 		b = append(b, d.Method)
@@ -490,6 +499,7 @@ func DecodePubAck(payload []byte) (PubAck, error) {
 		return p, err
 	}
 	p.PSeq = c.i64()
+	p.Seq = c.i64()
 	p.Err = c.str()
 	return p, c.done()
 }
@@ -518,6 +528,7 @@ func DecodeDeliverBatchInto(payload []byte, ds []Deliver) ([]Deliver, error) {
 	for i := 0; i < n; i++ {
 		var d Deliver
 		d.Did = c.i64()
+		d.Node = topology.NodeID(c.i64())
 		d.Seq = c.i64()
 		d.Ev = c.event()
 		d.Method = c.u8()

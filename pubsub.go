@@ -43,6 +43,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/durable"
 	"repro/internal/faults"
+	"repro/internal/federate"
 	"repro/internal/health"
 	"repro/internal/multicast"
 	"repro/internal/noloss"
@@ -476,6 +477,51 @@ var (
 	ErrReplicaFenced = replicate.ErrFenced
 	// ErrReplicaNotLeader is returned by follower publish/apply paths.
 	ErrReplicaNotLeader = replicate.ErrNotLeader
+)
+
+// Federation: the subscription space rectangle-partitioned across N
+// shards behind one Router, which routes subscription churn to the
+// owning shard(s), fans each publish out to every tile overlapping the
+// event point and merges the per-shard delivery streams exactly-once —
+// deduplicating boundary straddlers and chasing replica failovers (see
+// the Federated broker shards section of DESIGN.md).
+type (
+	// FederationPartition is an ordered list of shard tiles covering Ω.
+	FederationPartition = federate.Partition
+	// FederationRouter owns the shards, the fan-out and the merge.
+	FederationRouter = federate.Router
+	// FederationConfig tunes a router: tiles, merged-delivery observer,
+	// shard re-resolution hook, dedup and retry windows.
+	FederationConfig = federate.Config
+	// FederationSubID names a federated subscription across shards.
+	FederationSubID = federate.SubID
+	// FederationStats counts fan-outs, retries, re-resolutions and
+	// suppressed duplicate deliveries.
+	FederationStats = federate.Stats
+	// FederationRemote is a shard reached over the wire transport.
+	FederationRemote = federate.Remote
+	// BrokerShard is the decision-fabric surface every shard implements:
+	// in-process brokers, replica leaders, wire-attached remotes.
+	BrokerShard = broker.Shard
+)
+
+// Federation constructors and errors.
+var (
+	// DerivePartition splits a workload into power-of-two weighted tiles.
+	DerivePartition = federate.Derive
+	// TileWorld restricts a world to the subscriptions one tile serves.
+	TileWorld = federate.TileWorld
+	// NewFederationRouter validates a config and builds the router.
+	NewFederationRouter = federate.NewRouter
+	// AttachRemoteShard dials a wire server and attaches it as a shard.
+	AttachRemoteShard = federate.AttachRemote
+	// ErrFederationClosed is returned by operations after Router.Close.
+	ErrFederationClosed = federate.ErrClosed
+	// ErrFederationNoShard reports an event or subscription whose tiles
+	// have no attached, resolvable shard.
+	ErrFederationNoShard = federate.ErrNoShard
+	// ErrFederationUnknownSub is Unsubscribe's report for an unknown ID.
+	ErrFederationUnknownSub = federate.ErrUnknownSub
 )
 
 // Persistence: round-trippable text formats for topologies, subscription
